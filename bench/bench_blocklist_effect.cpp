@@ -1,0 +1,57 @@
+// Blocklist-effectiveness ablation (operationalizing Figure 6 right and
+// the paper's conclusions): how much aggressive-scanner traffic does
+// blocking the top-k AH remove, and how many acknowledged research
+// scanners get caught in the block?
+#include <iostream>
+
+#include "common.hpp"
+#include "orion/impact/blocklist.hpp"
+
+int main() {
+  using namespace orion;
+  const bench::World& world = bench::World::instance();
+
+  bench::print_header(
+      "Blocklist effectiveness (extension of Fig 6 right / Conclusions)",
+      "\"even starting by blocking a small amount of AH, a large fraction "
+      "of the problem is ameliorated\"; succinct lists also minimize the "
+      "DHCP-churn / NAT collateral risk of blocking");
+
+  for (const int year : {2021, 2022}) {
+    const detect::IpSet& ah =
+        world.detection(year).of(detect::Definition::AddressDispersion).ips;
+    const std::vector<std::size_t> sizes = {
+        10, 25, 50, 100, 250, 500, ah.size()};
+    const impact::BlocklistCurve curve = impact::evaluate_blocklist(
+        world.dataset(year), ah, sizes, &world.acked(), &world.rdns());
+
+    report::Table table({"blocked AH", "% of AH list", "AH traffic removed",
+                         "all scanning removed", "ACKed IPs blocked"});
+    for (const impact::BlocklistPoint& p : curve.points) {
+      table.add_row(
+          {report::fmt_count(p.blocked_ips),
+           report::fmt_double(100.0 * static_cast<double>(p.blocked_ips) /
+                                  static_cast<double>(ah.size()), 1) + "%",
+           report::fmt_percent(p.ah_traffic_removed, 1),
+           report::fmt_percent(p.scanning_traffic_removed, 1),
+           report::fmt_count(p.acked_blocked)});
+    }
+    std::cout << "Darknet-" << (year - 2020) << " (" << year << "), "
+              << ah.size() << " D1 AH:\n"
+              << table.to_ascii() << "\n";
+  }
+
+  const detect::IpSet& ah =
+      world.detection(2022).of(detect::Definition::AddressDispersion).ips;
+  const auto curve = impact::evaluate_blocklist(
+      world.dataset(2022), ah, {50, ah.size()}, &world.acked(), &world.rdns());
+  const double removed_by_50 = curve.points[0].ah_traffic_removed;
+  std::cout << "shape checks vs paper:\n"
+            << "  blocking ~3% of the AH list removes a disproportionate "
+            << report::fmt_percent(removed_by_50, 1) << " of AH traffic:  "
+            << (removed_by_50 > 0.10 ? "yes" : "NO") << "\n"
+            << "  collateral stays small for short lists ("
+            << curve.points[0].acked_blocked << " ACKed in top-50):  "
+            << (curve.points[0].acked_blocked < 25 ? "yes" : "NO") << "\n";
+  return 0;
+}

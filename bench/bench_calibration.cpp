@@ -1,0 +1,82 @@
+// Scenario calibration report: dataset sizes, detection thresholds, AH
+// population composition and packet shares for both longitudinal datasets.
+// Not a paper table per se, but the first thing to read when re-tuning the
+// scaled scenario (DESIGN.md §5).
+#include <iostream>
+
+#include "common.hpp"
+#include "orion/charact/temporal.hpp"
+#include "orion/charact/validation.hpp"
+
+int main() {
+  using namespace orion;
+  const bench::World& world = bench::World::instance();
+
+  bench::print_header("Scenario calibration summary",
+                      "internal consistency check, no paper counterpart");
+
+  report::Table table({"metric", "Darknet-1 (2021)", "Darknet-2 (2022)"});
+  const auto row = [&](const std::string& name, auto get) {
+    table.add_row({name, get(2021), get(2022)});
+  };
+
+  row("events", [&](int y) {
+    return report::fmt_count(world.dataset(y).event_count());
+  });
+  row("unique sources", [&](int y) {
+    return report::fmt_count(world.dataset(y).unique_sources());
+  });
+  row("packets", [&](int y) {
+    return report::fmt_count(world.dataset(y).total_packets());
+  });
+  for (const detect::Definition d : detect::kAllDefinitions) {
+    row(std::string("AH IPs ") + to_string(d), [&](int y) {
+      return report::fmt_count(world.detection(y).of(d).ips.size());
+    });
+  }
+  row("D2 threshold (pkts/event)", [&](int y) {
+    return report::fmt_count(
+        world.detection(y).of(detect::Definition::PacketVolume).threshold);
+  });
+  row("D3 threshold (ports/day)", [&](int y) {
+    return report::fmt_count(
+        world.detection(y).of(detect::Definition::DistinctPorts).threshold);
+  });
+  row("mean daily AH (D1)", [&](int y) {
+    return report::fmt_double(
+        world.detection(y).of(detect::Definition::AddressDispersion).mean_daily_count(), 1);
+  });
+  row("mean active AH (D1)", [&](int y) {
+    return report::fmt_double(
+        world.detection(y).of(detect::Definition::AddressDispersion).mean_active_count(), 1);
+  });
+  row("AH packet share (D1, with noise)", [&](int y) {
+    const auto trends = charact::temporal_trends(
+        world.dataset(y), world.detection(y),
+        detect::Definition::AddressDispersion, world.noise_series(y));
+    return report::fmt_percent(trends.ah_packet_share(), 1);
+  });
+  row("AH share of daily scanning IPs (D1)", [&](int y) {
+    const auto trends = charact::temporal_trends(
+        world.dataset(y), world.detection(y),
+        detect::Definition::AddressDispersion, {});
+    return report::fmt_percent(trends.ah_ip_share(), 2);
+  });
+  row("Jaccard(D1, D2)", [&](int y) {
+    return report::fmt_double(
+        charact::definition_jaccard(world.detection(y),
+                                    detect::Definition::AddressDispersion,
+                                    detect::Definition::PacketVolume),
+        2);
+  });
+  row("D1 subset of D2", [&](int y) {
+    const auto& d1 = world.detection(y).of(detect::Definition::AddressDispersion).ips;
+    const auto& d2 = world.detection(y).of(detect::Definition::PacketVolume).ips;
+    std::size_t in = 0;
+    for (const auto ip : d1) in += d2.contains(ip);
+    return report::fmt_percent(static_cast<double>(in) /
+                               static_cast<double>(d1.size()), 1);
+  });
+  std::cout << table.to_ascii();
+  return 0;
+}

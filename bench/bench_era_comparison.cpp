@@ -1,0 +1,168 @@
+// Section 5's longitudinal comparison against prior studies: the paper
+// contrasts its 2021/2022 AH port profile with Durumeric et al. 2014
+// (SSH-first, ZMap/Masscan barely present) and Richter & Berger 2019
+// (Telnet-first, TCP/445 heavy, no Redis). We synthesize era-profiled
+// populations with the same machinery and print the rank shifts.
+#include <iostream>
+
+#include "common.hpp"
+#include "orion/charact/portfig.hpp"
+#include "orion/scangen/event_synth.hpp"
+#include "orion/scangen/ports.hpp"
+
+namespace {
+
+using namespace orion;
+
+/// Hand-rolled era population: `catalog` drives port choice, `tool_mix`
+/// the ZMap/Masscan prevalence.
+std::vector<scangen::ScannerProfile> era_population(
+    const std::vector<scangen::WeightedPort>& catalog, double zmap_share,
+    double masscan_share, std::uint64_t seed) {
+  net::Rng rng(seed);
+  std::vector<scangen::ScannerProfile> scanners;
+  for (int i = 0; i < 400; ++i) {
+    scangen::ScannerProfile s;
+    s.source = net::Ipv4Address(0x30000000u + static_cast<std::uint32_t>(i) * 131);
+    const double u = rng.uniform();
+    s.tool = u < zmap_share                 ? pkt::ScanTool::ZMap
+             : u < zmap_share + masscan_share ? pkt::ScanTool::Masscan
+                                              : pkt::ScanTool::Other;
+    s.rng_stream = static_cast<std::uint64_t>(i) + 1;
+    const std::size_t sessions = 2 + rng.bounded(6);
+    for (std::size_t j = 0; j < sessions; ++j) {
+      scangen::SessionSpec spec;
+      spec.start = net::SimTime::at(net::Duration::days(
+                       static_cast<std::int64_t>(rng.bounded(28))) +
+                   net::Duration::seconds(static_cast<std::int64_t>(rng.bounded(86400))));
+      spec.duration = net::Duration::hours(2 + static_cast<std::int64_t>(rng.bounded(40)));
+      spec.coverage = 0.1 + rng.uniform() * 0.9;
+      spec.ports = {{scangen::pick_port(catalog, rng).port,
+                     scangen::pick_port(catalog, rng).type}};
+      s.sessions.push_back(spec);
+    }
+    scanners.push_back(std::move(s));
+  }
+  return scanners;
+}
+
+// 2014 (Durumeric et al., Figure 2): SSH dominates large scans; HTTP(S),
+// RDP and SIP follow; Telnet modest; no Redis; research tools young.
+const std::vector<scangen::WeightedPort>& catalog_2014() {
+  static const std::vector<scangen::WeightedPort> c = {
+      {22, pkt::TrafficType::TcpSyn, 30.0},  {80, pkt::TrafficType::TcpSyn, 14.0},
+      {443, pkt::TrafficType::TcpSyn, 12.0}, {3389, pkt::TrafficType::TcpSyn, 10.0},
+      {5060, pkt::TrafficType::Udp, 8.0},    {23, pkt::TrafficType::TcpSyn, 6.0},
+      {8080, pkt::TrafficType::TcpSyn, 5.0}, {25, pkt::TrafficType::TcpSyn, 4.0},
+      {53, pkt::TrafficType::Udp, 3.0},      {0, pkt::TrafficType::IcmpEchoReq, 3.0},
+  };
+  return c;
+}
+
+// 2019 (Richter & Berger, Figure 10): Telnet first, 445 heavy (WannaCry
+// aftermath), web and SSH present, Redis absent.
+const std::vector<scangen::WeightedPort>& catalog_2019() {
+  static const std::vector<scangen::WeightedPort> c = {
+      {23, pkt::TrafficType::TcpSyn, 26.0},   {445, pkt::TrafficType::TcpSyn, 18.0},
+      {22, pkt::TrafficType::TcpSyn, 12.0},   {80, pkt::TrafficType::TcpSyn, 10.0},
+      {8080, pkt::TrafficType::TcpSyn, 7.0},  {3389, pkt::TrafficType::TcpSyn, 7.0},
+      {2323, pkt::TrafficType::TcpSyn, 6.0},  {443, pkt::TrafficType::TcpSyn, 5.0},
+      {5555, pkt::TrafficType::TcpSyn, 4.0},  {81, pkt::TrafficType::TcpSyn, 3.0},
+  };
+  return c;
+}
+
+std::size_t rank_of(const std::vector<charact::PortRow>& rows, std::uint16_t port) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].port == port) return i + 1;  // 1-based
+  }
+  return 0;  // absent
+}
+
+double tool_packet_share(const std::vector<charact::PortRow>& rows) {
+  std::uint64_t total = 0, tooled = 0;
+  for (const auto& row : rows) {
+    total += row.packets;
+    tooled += row.by_tool[telescope::tool_index(pkt::ScanTool::ZMap)] +
+              row.by_tool[telescope::tool_index(pkt::ScanTool::Masscan)];
+  }
+  return total == 0 ? 0.0 : static_cast<double>(tooled) / static_cast<double>(total);
+}
+
+std::vector<charact::PortRow> era_top_ports(
+    const std::vector<scangen::ScannerProfile>& scanners, std::uint64_t seed) {
+  const telescope::EventDataset dataset(
+      scangen::synthesize_events({.scanners = scanners, .orgs = {}, .config = {}},
+                                 {.darknet_size = 32768, .seed = seed}),
+      32768);
+  detect::IpSet everyone;
+  for (const auto& s : scanners) everyone.insert(s.source);
+  return charact::top_ports(dataset, everyone, 25);
+}
+
+}  // namespace
+
+int main() {
+  const bench::World& world = bench::World::instance();
+
+  bench::print_header(
+      "Era comparison: 2014 / 2019 baselines vs this study (Section 5)",
+      "SSH was #1 in Durumeric 2014, now #3; Telnet was #1 in Richter "
+      "2019, now #2; Redis absent from both baselines, now #1-2; TCP/445 "
+      "heavy in 2019, absent from today's AH; ZMap/Masscan minimal in "
+      "2014, prominent now");
+
+  const auto rows_2014 = era_top_ports(
+      era_population(catalog_2014(), 0.02, 0.01, 14), 140);
+  const auto rows_2019 = era_top_ports(
+      era_population(catalog_2019(), 0.15, 0.10, 19), 190);
+  const auto rows_2021 = charact::top_ports(
+      world.dataset(2021),
+      world.detection(2021).of(detect::Definition::AddressDispersion).ips, 25);
+  const auto rows_2022 = charact::top_ports(
+      world.dataset(2022),
+      world.detection(2022).of(detect::Definition::AddressDispersion).ips, 25);
+
+  report::Table table({"service", "2014 rank", "2019 rank", "2021 rank",
+                       "2022 rank"});
+  const auto row = [&](const char* name, std::uint16_t port) {
+    const auto fmt = [&](const std::vector<charact::PortRow>& rows) {
+      const std::size_t r = rank_of(rows, port);
+      return r == 0 ? std::string("-") : "#" + std::to_string(r);
+    };
+    table.add_row({name, fmt(rows_2014), fmt(rows_2019), fmt(rows_2021),
+                   fmt(rows_2022)});
+  };
+  row("SSH/22", 22);
+  row("Telnet/23", 23);
+  row("Redis/6379", 6379);
+  row("SMB/445", 445);
+  row("HTTP/80", 80);
+  row("RDP/3389", 3389);
+  std::cout << table.to_ascii();
+
+  report::Table tools({"era", "ZMap+Masscan packet share (top-25 ports)"});
+  tools.add_row({"2014", report::fmt_percent(tool_packet_share(rows_2014), 1)});
+  tools.add_row({"2019", report::fmt_percent(tool_packet_share(rows_2019), 1)});
+  tools.add_row({"2021", report::fmt_percent(tool_packet_share(rows_2021), 1)});
+  tools.add_row({"2022", report::fmt_percent(tool_packet_share(rows_2022), 1)});
+  std::cout << "\n" << tools.to_ascii();
+
+  const bool ssh_shift = rank_of(rows_2014, 22) == 1 && rank_of(rows_2021, 22) >= 3;
+  const bool redis_new =
+      rank_of(rows_2014, 6379) == 0 && rank_of(rows_2019, 6379) == 0 &&
+      rank_of(rows_2021, 6379) <= 2;
+  const bool smb_gone = rank_of(rows_2019, 445) <= 2 && rank_of(rows_2022, 445) == 0;
+  const bool tools_rose =
+      tool_packet_share(rows_2014) < 0.1 && tool_packet_share(rows_2021) > 0.3;
+  std::cout << "\nshape checks vs paper (Section 5 narrative):\n"
+            << "  SSH falls from #1 (2014) to #3+ today:  "
+            << (ssh_shift ? "yes" : "NO")
+            << "\n  Redis appears from nowhere to the top-2:  "
+            << (redis_new ? "yes" : "NO")
+            << "\n  TCP/445 heavy in 2019, absent from today's AH:  "
+            << (smb_gone ? "yes" : "NO")
+            << "\n  ZMap/Masscan rise from minimal to prominent:  "
+            << (tools_rose ? "yes" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Blocklist staleness (extension; paper footnote 3 + [50]): the paper's
+// 72h stream study used a day-old AH list and noted that "due to DHCP
+// churn some AH IPs might have become obsolete". This bench freezes a
+// published list (the union of the 30 days of daily-AH lists before a
+// publication day) and measures how much of each later day's AH traffic
+// the frozen list still covers — the operational decay rate of a shared
+// blocklist under DHCP churn and population growth.
+#include <iostream>
+#include <unordered_map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace orion;
+  const bench::World& world = bench::World::instance();
+
+  bench::print_header(
+      "Blocklist staleness under DHCP churn (extension of footnote 3)",
+      "published lists decay as ISP-hosted scanners re-address and new AH "
+      "appear; cloud-hosted scanners keep stable IPs, so the curve "
+      "flattens instead of hitting zero");
+
+  const detect::DetectionResult& detection = world.detection(2022);
+  const detect::DefinitionResult& d1 =
+      detection.of(detect::Definition::AddressDispersion);
+  const auto day_index = [&](std::int64_t day) {
+    return static_cast<std::size_t>(day - detection.first_day);
+  };
+
+  // Frozen list: all daily AH over the 30 days up to the publication day.
+  const std::int64_t publication =
+      detection.first_day + (detection.last_day - detection.first_day) / 2;
+  detect::IpSet frozen;
+  for (std::int64_t day = publication - 30; day <= publication; ++day) {
+    for (const net::Ipv4Address ip : d1.daily[day_index(day)]) frozen.insert(ip);
+  }
+  std::cout << "frozen list: " << frozen.size() << " AH published on "
+            << net::day_label(publication) << " (30-day window)\n\n";
+
+  // Per-day per-source AH packets.
+  std::unordered_map<std::int64_t,
+                     std::unordered_map<net::Ipv4Address, std::uint64_t>>
+      per_day_src;
+  for (const auto& e : world.dataset(2022).events()) {
+    per_day_src[e.day()][e.key.src] += e.packets;
+  }
+
+  report::Table table({"days since publication", "AH traffic still blocked",
+                       "active AH still on list"});
+  std::vector<double> coverage;
+  for (const std::int64_t lag : {1, 3, 7, 14, 21, 28, 42}) {
+    const std::int64_t day = publication + lag;
+    if (day > detection.last_day) break;
+    double covered = 0, total = 0, on_list = 0, actives = 0;
+    const auto& packets = per_day_src[day];
+    for (const net::Ipv4Address ip : d1.active[day_index(day)]) {
+      const auto it = packets.find(ip);
+      const double p = it == packets.end() ? 0.0 : static_cast<double>(it->second);
+      total += p;
+      actives += 1;
+      if (frozen.contains(ip)) {
+        covered += p;
+        on_list += 1;
+      }
+    }
+    coverage.push_back(total == 0 ? 0.0 : covered / total);
+    table.add_row({std::to_string(lag),
+                   report::fmt_percent(total == 0 ? 0 : covered / total, 1),
+                   report::fmt_percent(actives == 0 ? 0 : on_list / actives, 1)});
+  }
+  std::cout << table.to_ascii();
+
+  std::cout << "\nshape checks vs paper:\n"
+            << "  fresh (1-day-old) list blocks the majority of AH traffic:  "
+            << (coverage.front() > 0.5 ? "yes" : "NO")
+            << "\n  coverage decays with staleness (churn + new AH):  "
+            << (coverage.back() < coverage.front() ? "yes" : "NO")
+            << "\n  ... but does not collapse (stable cloud scanners):  "
+            << (coverage.back() > 0.2 ? "yes" : "NO") << "\n";
+  return 0;
+}

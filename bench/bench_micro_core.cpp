@@ -1,0 +1,262 @@
+// Microbenchmarks for the hot paths: event aggregation, cardinality
+// sketches, detection statistics, traffic generation and routing — plus
+// the DESIGN.md §7 ablations (exact-set vs HLL tracking, lazy-sweep
+// aggregator, binomial thinning vs naive per-address generation,
+// deterministic vs random flow sampling).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "orion/detect/detector.hpp"
+#include "orion/flowsim/routing.hpp"
+#include "orion/flowsim/sampler.hpp"
+#include "orion/packet/builder.hpp"
+#include "orion/scangen/packet_gen.hpp"
+#include "orion/scangen/scenario.hpp"
+#include "orion/scangen/target_sampler.hpp"
+#include "orion/stats/ecdf.hpp"
+#include "orion/stats/hyperloglog.hpp"
+#include "orion/stats/p2_quantile.hpp"
+#include "orion/stats/reservoir.hpp"
+#include "orion/telescope/aggregator.hpp"
+
+namespace {
+
+using namespace orion;
+
+net::PrefixSet dark_space() {
+  return net::PrefixSet({*net::Prefix::parse("198.18.0.0/17")});
+}
+
+// --- aggregator -------------------------------------------------------------
+
+std::vector<pkt::Packet> make_probe_batch(std::size_t count) {
+  std::vector<pkt::Packet> packets;
+  packets.reserve(count);
+  net::Rng rng(1);
+  const net::PrefixSet space = dark_space();
+  for (std::size_t src = 0; src < 64; ++src) {
+    pkt::ProbeBuilder builder(net::Ipv4Address(0x0B000000u + (std::uint32_t)src),
+                              pkt::ScanTool::ZMap, net::Rng(src));
+    for (std::size_t i = 0; i < count / 64; ++i) {
+      const net::SimTime t =
+          net::SimTime::at(net::Duration::millis((std::int64_t)(packets.size())));
+      packets.push_back(builder.tcp_syn(
+          t, space.address_at(rng.bounded(space.total_addresses())), 6379));
+    }
+  }
+  return packets;
+}
+
+void BM_AggregatorObserve(benchmark::State& state) {
+  const auto packets = make_probe_batch(1 << 16);
+  for (auto _ : state) {
+    state.PauseTiming();
+    telescope::EventCollector collector;
+    telescope::EventAggregator agg(dark_space(), {}, collector.sink());
+    state.ResumeTiming();
+    for (const pkt::Packet& p : packets) agg.observe(p);
+    agg.finish();
+    benchmark::DoNotOptimize(agg.events_emitted());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(packets.size()));
+}
+BENCHMARK(BM_AggregatorObserve)->Unit(benchmark::kMillisecond);
+
+/// Ablation: sweep interval of the lazy expiry (DESIGN.md §7) — coarse
+/// sweeps amortize better until expiry latency dominates memory.
+void BM_AggregatorSweepInterval(benchmark::State& state) {
+  const auto packets = make_probe_batch(1 << 15);
+  telescope::AggregatorConfig config;
+  config.sweep_interval = net::Duration::seconds(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    telescope::EventCollector collector;
+    telescope::EventAggregator agg(dark_space(), config, collector.sink());
+    state.ResumeTiming();
+    for (const pkt::Packet& p : packets) agg.observe(p);
+    agg.finish();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(packets.size()));
+}
+BENCHMARK(BM_AggregatorSweepInterval)->Arg(1)->Arg(30)->Arg(300)->Unit(benchmark::kMillisecond);
+
+// --- cardinality sketches ----------------------------------------------------
+
+void BM_HyperLogLogAdd(benchmark::State& state) {
+  stats::HyperLogLog hll(12);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    hll.add(stats::hll_hash(++key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HyperLogLogAdd);
+
+/// Ablation: hybrid exact->HLL estimator vs plain exact set at increasing
+/// per-event destination counts.
+void BM_CardinalityEstimatorAdd(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    stats::CardinalityEstimator est(4096, 12);
+    for (std::uint64_t i = 0; i < n; ++i) est.add(i * 2654435761ull);
+    benchmark::DoNotOptimize(est.estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CardinalityEstimatorAdd)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ExactSetAdd(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    std::unordered_set<std::uint64_t> set;
+    for (std::uint64_t i = 0; i < n; ++i) set.insert(i * 2654435761ull);
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExactSetAdd)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// --- detection statistics ----------------------------------------------------
+
+/// Ablation: streaming-quantile strategies for the online detector —
+/// reservoir-sampled ECDF (memory O(capacity), re-sorted per query) vs P²
+/// (O(1) memory, approximate).
+void BM_ReservoirQuantile(benchmark::State& state) {
+  net::Rng rng(13);
+  for (auto _ : state) {
+    stats::ReservoirSampler<std::uint64_t> reservoir(100000, 1);
+    for (int i = 0; i < 200000; ++i) reservoir.add(rng.bounded(1000000));
+    stats::Ecdf ecdf(reservoir.sample());
+    benchmark::DoNotOptimize(ecdf.top_alpha_threshold(1e-3));
+  }
+  state.SetItemsProcessed(state.iterations() * 200000);
+}
+BENCHMARK(BM_ReservoirQuantile)->Unit(benchmark::kMillisecond);
+
+void BM_P2Quantile(benchmark::State& state) {
+  net::Rng rng(14);
+  for (auto _ : state) {
+    stats::P2Quantile p2(0.999);
+    for (int i = 0; i < 200000; ++i) {
+      p2.add(static_cast<double>(rng.bounded(1000000)));
+    }
+    benchmark::DoNotOptimize(p2.estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * 200000);
+}
+BENCHMARK(BM_P2Quantile)->Unit(benchmark::kMillisecond);
+
+
+void BM_EcdfTopAlpha(benchmark::State& state) {
+  net::Rng rng(3);
+  std::vector<std::uint64_t> samples(1 << 20);
+  for (auto& s : samples) s = rng.bounded(100000);
+  for (auto _ : state) {
+    stats::Ecdf ecdf(samples);
+    benchmark::DoNotOptimize(ecdf.top_alpha_threshold(1e-4));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_EcdfTopAlpha)->Unit(benchmark::kMillisecond);
+
+// --- traffic generation --------------------------------------------------------
+
+void BM_RngBinomial(benchmark::State& state) {
+  net::Rng rng(4);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.binomial(n, 0.1));
+  }
+}
+BENCHMARK(BM_RngBinomial)->Arg(64)->Arg(32768)->Arg(1 << 24);
+
+void BM_TargetSampler(benchmark::State& state) {
+  net::Rng rng(5);
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scangen::sample_distinct_offsets(1 << 17, k, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_TargetSampler)->Arg(100)->Arg(10000)->Arg(1 << 17);
+
+/// Ablation: binomial thinning vs naively iterating every address of a
+/// space and flipping a coin (what a non-conditional generator would do
+/// per session; the real naive cost is 2^32 per Internet-wide scan).
+void BM_ThinnedArrivals(benchmark::State& state) {
+  net::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.binomial(std::uint64_t{1} << 24, 0.3));
+  }
+}
+BENCHMARK(BM_ThinnedArrivals);
+
+void BM_NaivePerAddressArrivals(benchmark::State& state) {
+  net::Rng rng(7);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < (std::uint64_t{1} << 24); ++i) {
+      hits += rng.chance(0.3);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel("16M addresses/iter (naive)");
+}
+BENCHMARK(BM_NaivePerAddressArrivals)->Unit(benchmark::kMillisecond);
+
+void BM_PacketStreamGeneration(benchmark::State& state) {
+  const scangen::Scenario scenario{scangen::tiny()};
+  for (auto _ : state) {
+    scangen::PacketStreamGenerator gen(
+        scenario.population_2021().scanners, scenario.darknet(),
+        net::SimTime::epoch(), net::SimTime::at(net::Duration::days(3)),
+        {.seed = 8, .exact_targets = true});
+    std::uint64_t count = 0;
+    while (gen.next()) ++count;
+    benchmark::DoNotOptimize(count);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(count));
+  }
+}
+BENCHMARK(BM_PacketStreamGeneration)->Unit(benchmark::kMillisecond);
+
+// --- flow machinery -------------------------------------------------------------
+
+void BM_SamplerModes(benchmark::State& state) {
+  const auto mode = static_cast<flowsim::SamplingMode>(state.range(0));
+  flowsim::PacketSampler sampler(mode, 1000, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample());
+  }
+}
+BENCHMARK(BM_SamplerModes)->Arg(0)->Arg(1);
+
+void BM_PeeringSplit(benchmark::State& state) {
+  const flowsim::PeeringPolicy policy = flowsim::PeeringPolicy::merit_like();
+  net::Rng rng(10);
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.split(net::Ipv4Address(++src), 100000,
+                                          asdb::Region::Asia, rng));
+  }
+}
+BENCHMARK(BM_PeeringSplit);
+
+void BM_PrefixSetLookup(benchmark::State& state) {
+  const scangen::Scenario scenario{scangen::tiny()};
+  const net::PrefixSet& merit = scenario.merit();
+  net::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        merit.contains(net::Ipv4Address(static_cast<std::uint32_t>(rng.next()))));
+  }
+}
+BENCHMARK(BM_PrefixSetLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

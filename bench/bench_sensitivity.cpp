@@ -1,0 +1,71 @@
+// Definition-parameter sensitivity (methodology ablation): the paper picks
+// 10% dispersion and α = 1e-4 without sweeping them. How robust are the
+// resulting AH populations to those choices? A stable plateau around the
+// chosen operating point means the lists are not an artifact of the
+// parameters — the property the paper's "quality lists" goal relies on.
+#include <iostream>
+
+#include "common.hpp"
+#include "orion/stats/ecdf.hpp"
+
+int main() {
+  using namespace orion;
+  const bench::World& world = bench::World::instance();
+  const auto& dataset = world.dataset(2022);
+
+  bench::print_header(
+      "Definition-parameter sensitivity (methodology ablation)",
+      "no paper counterpart; checks that the AH population is stable "
+      "around the chosen 10% / top-α operating points");
+
+  // --- Definition 1: dispersion threshold sweep.
+  report::Table d1({"dispersion threshold", "AH IPs", "vs 10% baseline (Jaccard)"});
+  detect::DetectorConfig base_config = world.detector_config();
+  const detect::IpSet& baseline =
+      world.detection(2022).of(detect::Definition::AddressDispersion).ips;
+  std::vector<double> jaccards;
+  for (const double threshold : {0.05, 0.08, 0.10, 0.125, 0.15, 0.20, 0.30}) {
+    detect::DetectorConfig config = base_config;
+    config.dispersion_threshold = threshold;
+    const auto result = detect::AggressiveScannerDetector(config).detect(dataset);
+    const auto& ips = result.of(detect::Definition::AddressDispersion).ips;
+    const double j = stats::jaccard(ips, baseline);
+    jaccards.push_back(j);
+    d1.add_row({report::fmt_percent(threshold, 0), report::fmt_count(ips.size()),
+                report::fmt_double(j, 3)});
+  }
+  std::cout << d1.to_ascii() << "\n";
+
+  // --- Definition 2: alpha sweep.
+  report::Table d2({"alpha (tail mass)", "threshold (pkts)", "AH IPs"});
+  std::vector<std::size_t> d2_sizes;
+  for (const double alpha : {0.01, 0.02, 0.028, 0.04, 0.06, 0.10}) {
+    detect::DetectorConfig config = base_config;
+    config.packet_volume_alpha = alpha;
+    const auto result = detect::AggressiveScannerDetector(config).detect(dataset);
+    const auto& def = result.of(detect::Definition::PacketVolume);
+    d2_sizes.push_back(def.ips.size());
+    d2.add_row({report::fmt_double(alpha, 3), report::fmt_count(def.threshold),
+                report::fmt_count(def.ips.size())});
+  }
+  std::cout << d2.to_ascii() << "\n";
+
+  // Stability verdicts. The sweep exposes WHY 10% is a good operating
+  // point: the AH population sits on a plateau ABOVE the rule (12-30%
+  // changes it by little — those scanners sweep most of the space anyway)
+  // while BELOW the rule the sub-threshold medium-coverage background
+  // floods in by an order of magnitude. The rule sits just above a cliff.
+  const bool plateau_above = jaccards[3] >= 0.85 && jaccards.back() >= 0.7;
+  const bool cliff_below = jaccards[1] < 0.3;
+  const bool d2_monotone =
+      std::is_sorted(d2_sizes.rbegin(), d2_sizes.rend()) ||
+      std::is_sorted(d2_sizes.begin(), d2_sizes.end());
+  std::cout << "shape checks (methodology robustness):\n"
+            << "  plateau above the 10% rule (J(12%)>=0.85, J(30%)>=0.7):  "
+            << (plateau_above ? "yes" : "NO")
+            << "\n  cliff below it (8% floods with sub-threshold scanners):  "
+            << (cliff_below ? "yes" : "NO")
+            << "\n  D2 population size monotone in alpha:  "
+            << (d2_monotone ? "yes" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 5 — Origins of definition-1 aggressive scanners: top-10 ASes per
+// year by unique source IPs, with /24 and packet accounting and ACKed
+// counts in parentheses.
+#include <iostream>
+
+#include "common.hpp"
+#include "orion/charact/origins.hpp"
+
+int main() {
+  using namespace orion;
+  const bench::World& world = bench::World::instance();
+
+  bench::print_header(
+      "Table 5: Origins of aggressive scanners (definition #1)",
+      "a US cloud provider tops both years (29-37k IPs, ~3.6-3.8k ACKed); "
+      "CN ISPs/clouds/hosting and TW follow; a KR ISP enters in 2022; "
+      "top-10 hold 50-61% of AH IPs and 15-23% of AH packets");
+
+  charact::OriginTable tables[2];
+  for (const int year : {2021, 2022}) {
+    const detect::IpSet& ah =
+        world.detection(year).of(detect::Definition::AddressDispersion).ips;
+    charact::OriginTable origins =
+        charact::origin_table(world.dataset(year), ah, world.scenario().registry(),
+                     &world.acked(), &world.rdns(), 10);
+
+    report::Table table({"AS Type", "unique /32s", "unique /24s", "Pkts (M)"});
+    for (const charact::OriginRow& row : origins.rows) {
+      std::string ips = report::fmt_count(row.unique_ips);
+      if (row.acked_ips > 0) ips += " (" + report::fmt_count(row.acked_ips) + ")";
+      table.add_row({row.as_type + " (" + row.country + ")", ips,
+                     report::fmt_count(row.unique_slash24s),
+                     report::fmt_double(static_cast<double>(row.packets) / 1e6, 1)});
+    }
+    const auto pct = [](std::uint64_t part, std::uint64_t whole) {
+      return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                    static_cast<double>(whole);
+    };
+    table.add_row(
+        {"Total (top-10 %)",
+         report::fmt_count(origins.top_ips) + " (" +
+             report::fmt_double(pct(origins.top_ips, origins.total_ips), 0) + "%)",
+         report::fmt_count(origins.top_slash24s) + " (" +
+             report::fmt_double(pct(origins.top_slash24s, origins.total_slash24s), 0) +
+             "%)",
+         report::fmt_double(static_cast<double>(origins.top_packets) / 1e6, 1) +
+             " (" +
+             report::fmt_double(pct(origins.top_packets, origins.total_packets), 0) +
+             "%)"});
+    std::cout << "Darknet-" << (year == 2021 ? 1 : 2) << " (" << year << "):\n"
+              << table.to_ascii() << "\n";
+    tables[year - 2021] = std::move(origins);
+  }
+
+  const auto& rows_2021 = tables[0].rows;
+  const auto& rows_2022 = tables[1].rows;
+  const bool us_cloud_top = !rows_2021.empty() && !rows_2022.empty() &&
+                            rows_2021[0].as_type == "Cloud" &&
+                            rows_2021[0].country == "US" &&
+                            rows_2022[0].as_type == "Cloud" &&
+                            rows_2022[0].country == "US";
+  bool kr_2022 = false;
+  for (const auto& row : rows_2022) kr_2022 |= row.country == "KR";
+  bool acked_in_top_cloud =
+      !rows_2021.empty() && rows_2021[0].acked_ips > 0;
+  std::cout << "shape checks vs paper:\n"
+            << "  US cloud tops both years:  " << (us_cloud_top ? "yes" : "NO")
+            << "\n  KR ISP present in 2022 top-10:  " << (kr_2022 ? "yes" : "NO")
+            << "\n  ACKed scanners concentrated in the top US cloud:  "
+            << (acked_in_top_cloud ? "yes" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 9 — Top GreyNoise-style honeypot tags for the non-ACKed AH of June
+// 2022: the miscreant population is dominated by tool clients (ZMap),
+// crawlers, Mirai and bruteforcers.
+#include <iostream>
+#include <unordered_set>
+
+#include "common.hpp"
+#include "orion/charact/validation.hpp"
+
+int main() {
+  using namespace orion;
+  const bench::World& world = bench::World::instance();
+
+  bench::print_header(
+      "Table 9: GN tags for non-ACKed AH (June 2022)",
+      "top tags: ZMap Client (13.5k), Web Crawler (11.7k), Mirai (9.0k), "
+      "Docker Scanner, Kubernetes Crawler, SSH Bruteforcer, TLS/SSL "
+      "Crawler, ... — tool clients and IoT/bruteforce malware dominate");
+
+  // Honeypots watch the June window; AH = definition-1 AH active in June.
+  intel::HoneypotConfig gn_config;
+  gn_config.window_start_day = bench::june2022_start();
+  gn_config.window_end_day = bench::june2022_end();
+  intel::HoneypotNetwork honeypots(world.scenario().honeypots(), gn_config);
+  honeypots.observe(world.population(2022));
+
+  const detect::DefinitionResult& d1 =
+      world.detection(2022).of(detect::Definition::AddressDispersion);
+  detect::IpSet june_ah;
+  for (std::int64_t day = bench::june2022_start(); day < bench::june2022_end();
+       ++day) {
+    const auto index =
+        static_cast<std::size_t>(day - world.detection(2022).first_day);
+    for (const net::Ipv4Address ip : d1.active[index]) june_ah.insert(ip);
+  }
+  std::cout << june_ah.size() << " D1 AH active in June 2022; "
+            << honeypots.size() << " IPs in the honeypot dataset\n\n";
+
+  const auto tags =
+      charact::gn_tags(june_ah, honeypots, world.acked(), world.rdns());
+  report::Table table({"Rank", "Tag", "IP Count"});
+  std::size_t rank = 1;
+  std::uint64_t zmap = 0, mirai = 0, top_count = 0;
+  for (const auto& [tag, count] : tags.top(20)) {
+    if (tag == "ZMap Client") zmap = count;
+    if (tag == "Mirai") mirai = count;
+    if (rank == 1) top_count = count;
+    table.add_row({"#" + std::to_string(rank++), tag, report::fmt_count(count)});
+  }
+  std::cout << table.to_ascii();
+
+  std::cout << "\nshape checks vs paper:\n"
+            << "  ZMap Client among the top tags:  " << (zmap > 0 ? "yes" : "NO")
+            << "\n  Mirai among the top tags:  " << (mirai > 0 ? "yes" : "NO")
+            << "\n  heavy-tailed tag distribution (top tag >> 20th):  "
+            << (top_count > 5 * tags.top(20).back().second ? "yes" : "NO")
+            << "\n";
+  return 0;
+}

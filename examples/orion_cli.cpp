@@ -1,0 +1,257 @@
+// orion_cli — command-line front-end to the orionscan pipeline.
+//
+//   orion_cli simulate  --out events.ode [--scenario tiny|paper] [--year 2021|2022]
+//   orion_cli aggregate --pcap capture.pcap --darknet 198.18.0.0/22 --out events.ode
+//   orion_cli filter    --in events.ode --out clean.ode
+//   orion_cli detect    --in events.ode --lists lists.csv
+//                       [--dispersion 0.10] [--alpha2 0.028] [--alpha3 2e-4]
+//   orion_cli export    --in events.ode --csv events.csv
+//   orion_cli summary   --in events.ode
+//
+// Event datasets travel in the ODE1 binary format (telescope/store.hpp);
+// daily AH lists in the CSV format of detect/lists.hpp.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "orion/detect/detector.hpp"
+#include "orion/detect/list_diff.hpp"
+#include "orion/detect/lists.hpp"
+#include "orion/detect/spoof_filter.hpp"
+#include "orion/packet/pcap.hpp"
+#include "orion/report/table.hpp"
+#include "orion/scangen/event_synth.hpp"
+#include "orion/scangen/scenario.hpp"
+#include "orion/telescope/capture.hpp"
+#include "orion/telescope/store.hpp"
+
+namespace {
+
+using namespace orion;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: orion_cli <command> [options]\n"
+      "  simulate  --out FILE [--scenario tiny|paper] [--year 2021|2022]\n"
+      "  aggregate --pcap FILE --darknet CIDR --out FILE [--timeout-min N]\n"
+      "  filter    --in FILE --out FILE [--darknet CIDR]\n"
+      "  detect    --in FILE [--lists FILE] [--dispersion F] [--alpha2 F] [--alpha3 F]\n"
+      "  export    --in FILE --csv FILE\n"
+      "  summary   --in FILE\n"
+      "  diff      --old LISTS.csv --new LISTS.csv\n";
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
+  std::map<std::string, std::string> flags;
+  for (int i = from; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
+    if (i + 1 >= argc) usage("missing value for " + key);
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string require(const std::map<std::string, std::string>& flags,
+                    const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) usage("missing required --" + key);
+  return it->second;
+}
+
+std::string get_or(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+telescope::EventDataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << "\n";
+    std::exit(1);
+  }
+  return telescope::read_events_binary(in);
+}
+
+void save_dataset(const telescope::EventDataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+  telescope::write_events_binary(dataset, out);
+  std::cout << "wrote " << dataset.event_count() << " events to " << path << "\n";
+}
+
+net::PrefixSet parse_prefix_set(const std::string& cidr) {
+  const auto p = net::Prefix::parse(cidr);
+  if (!p) {
+    std::cerr << "error: bad CIDR: " << cidr << "\n";
+    std::exit(1);
+  }
+  return net::PrefixSet({*p});
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  const std::string out = require(flags, "out");
+  const std::string which = get_or(flags, "scenario", "tiny");
+  const int year = std::stoi(get_or(flags, "year", "2021"));
+  if (year != 2021 && year != 2022) usage("--year must be 2021 or 2022");
+
+  const scangen::Scenario scenario{which == "paper" ? scangen::paper_scaled()
+                                   : which == "tiny" ? scangen::tiny()
+                                                     : (usage("--scenario must be tiny or paper"),
+                                                        scangen::tiny())};
+  const auto& population = year == 2021 ? scenario.population_2021()
+                                        : scenario.population_2022();
+  const telescope::EventDataset dataset(
+      scangen::synthesize_events(
+          population, {.darknet_size = scenario.darknet().total_addresses(),
+                       .seed = scenario.config().seed}),
+      scenario.darknet().total_addresses());
+  save_dataset(dataset, out);
+  return 0;
+}
+
+int cmd_aggregate(const std::map<std::string, std::string>& flags) {
+  const std::string pcap_path = require(flags, "pcap");
+  const std::string out = require(flags, "out");
+  const net::PrefixSet dark = parse_prefix_set(require(flags, "darknet"));
+
+  telescope::AggregatorConfig config;
+  const std::string timeout = get_or(flags, "timeout-min", "");
+  config.timeout = timeout.empty()
+                       ? telescope::derive_timeout(dark.total_addresses(), 100.0,
+                                                   net::Duration::days(2))
+                       : net::Duration::minutes(std::stoll(timeout));
+  telescope::TelescopeCapture capture(dark, config);
+  pkt::PcapReader reader(pcap_path);
+  while (auto packet = reader.next()) capture.observe(*packet);
+  std::cout << "read " << reader.packets_read() << " packets ("
+            << reader.skipped() << " skipped) from " << pcap_path << "\n";
+  save_dataset(capture.finish(), out);
+  return 0;
+}
+
+int cmd_filter(const std::map<std::string, std::string>& flags) {
+  const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
+  const std::string dark = get_or(flags, "darknet", "");
+  net::PrefixSet dark_space;
+  if (!dark.empty()) dark_space = parse_prefix_set(dark);
+
+  detect::SpoofFilter filter({}, dark_space);
+  detect::SpoofFilterStats stats;
+  auto clean = filter.run(dataset.events(), stats);
+  std::cout << "clean " << stats.clean << " | bogon " << stats.bogon
+            << " | own-space " << stats.own_space << " | misconfig "
+            << stats.misconfiguration << " | spoofed-burst "
+            << stats.backscatter << "\n";
+  save_dataset(telescope::EventDataset(std::move(clean), dataset.darknet_size()),
+               require(flags, "out"));
+  return 0;
+}
+
+int cmd_detect(const std::map<std::string, std::string>& flags) {
+  const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
+  detect::DetectorConfig config;
+  config.dispersion_threshold = std::stod(get_or(flags, "dispersion", "0.10"));
+  config.packet_volume_alpha = std::stod(get_or(flags, "alpha2", "0.028"));
+  config.port_count_alpha = std::stod(get_or(flags, "alpha3", "2e-4"));
+
+  const detect::DetectionResult result =
+      detect::AggressiveScannerDetector(config).detect(dataset);
+
+  report::Table table({"definition", "AH IPs", "threshold", "qualifying events"});
+  for (const detect::Definition d : detect::kAllDefinitions) {
+    const detect::DefinitionResult& def = result.of(d);
+    table.add_row({to_string(d), report::fmt_count(def.ips.size()),
+                   def.threshold == 0 ? ">=10% dispersion"
+                                      : report::fmt_count(def.threshold),
+                   report::fmt_count(def.qualifying_events)});
+  }
+  std::cout << table.to_ascii();
+
+  const auto lists_path = flags.find("lists");
+  if (lists_path != flags.end()) {
+    std::ofstream out(lists_path->second, std::ios::trunc);
+    if (!out) {
+      std::cerr << "error: cannot open " << lists_path->second << "\n";
+      return 1;
+    }
+    const auto entries = detect::build_daily_lists(result);
+    detect::write_daily_lists_csv(entries, out);
+    std::cout << "\nwrote " << entries.size() << " daily-list entries to "
+              << lists_path->second << "\n";
+  }
+  return 0;
+}
+
+int cmd_export(const std::map<std::string, std::string>& flags) {
+  const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
+  std::ofstream out(require(flags, "csv"), std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot open output csv\n";
+    return 1;
+  }
+  telescope::write_events_csv(dataset, out);
+  std::cout << "exported " << dataset.event_count() << " events\n";
+  return 0;
+}
+
+int cmd_diff(const std::map<std::string, std::string>& flags) {
+  const auto load = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open " << path << "\n";
+      std::exit(1);
+    }
+    return detect::read_daily_lists_csv(in);
+  };
+  const auto old_entries = load(require(flags, "old"));
+  const auto new_entries = load(require(flags, "new"));
+  const detect::ListDiff diff = detect::diff_daily_lists(old_entries, new_entries);
+  std::cout << "added " << diff.added.size() << " | removed "
+            << diff.removed.size() << " | stable " << diff.stable
+            << " | churn " << report::fmt_percent(diff.churn(), 1) << "\n";
+  for (const net::Ipv4Address ip : diff.added) {
+    std::cout << "+ " << ip.to_string() << "\n";
+  }
+  for (const net::Ipv4Address ip : diff.removed) {
+    std::cout << "- " << ip.to_string() << "\n";
+  }
+  return 0;
+}
+
+int cmd_summary(const std::map<std::string, std::string>& flags) {
+  const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
+  report::Table table({"metric", "value"});
+  table.add_row({"darknet size", report::fmt_count(dataset.darknet_size())});
+  table.add_row({"events", report::fmt_count(dataset.event_count())});
+  table.add_row({"packets", report::fmt_count(dataset.total_packets())});
+  table.add_row({"unique sources", report::fmt_count(dataset.unique_sources())});
+  table.add_row({"first day", net::day_label(dataset.first_day())});
+  table.add_row({"last day", net::day_label(dataset.last_day())});
+  std::cout << table.to_ascii();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (command == "simulate") return cmd_simulate(flags);
+  if (command == "aggregate") return cmd_aggregate(flags);
+  if (command == "filter") return cmd_filter(flags);
+  if (command == "detect") return cmd_detect(flags);
+  if (command == "export") return cmd_export(flags);
+  if (command == "summary") return cmd_summary(flags);
+  if (command == "diff") return cmd_diff(flags);
+  usage("unknown command: " + command);
+}

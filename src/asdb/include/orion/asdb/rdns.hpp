@@ -1,0 +1,40 @@
+// Reverse-DNS simulator. The paper's ACKed-scanner matching falls back to
+// PTR-record keyword matching (48 keywords derived from the Acknowledged
+// Scanners list); this module provides the PTR side of that machinery.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "orion/asdb/registry.hpp"
+#include "orion/netbase/ipv4.hpp"
+
+namespace orion::asdb {
+
+class ReverseDns {
+ public:
+  /// `registry` provides AS context for generic hostnames; `ptr_coverage`
+  /// is the probability an ordinary IP has a PTR record at all.
+  ReverseDns(const Registry* registry, double ptr_coverage = 0.7,
+             std::uint64_t seed = 7);
+
+  /// Registers an explicit PTR record (research-scanner hostnames are
+  /// installed this way by the population builder).
+  void register_ptr(net::Ipv4Address ip, std::string hostname);
+
+  /// PTR lookup. Explicit records win; otherwise a deterministic generic
+  /// hostname ("h<ip-dashed>.<org>.example") or nullopt for uncovered IPs.
+  std::optional<std::string> lookup(net::Ipv4Address ip) const;
+
+  std::size_t explicit_records() const { return explicit_.size(); }
+
+ private:
+  const Registry* registry_;
+  double ptr_coverage_;
+  std::uint64_t seed_;
+  std::unordered_map<net::Ipv4Address, std::string> explicit_;
+};
+
+}  // namespace orion::asdb

@@ -1,0 +1,100 @@
+// Synthetic Internet registry: a deterministic allocation of IPv4 prefixes
+// to autonomous systems with org names, country codes, AS types and coarse
+// regions. Substitutes for the BGP/WHOIS/geolocation metadata the paper
+// uses to build its origin tables (Table 5, Table 7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orion/netbase/ipv4.hpp"
+#include "orion/netbase/prefix.hpp"
+#include "orion/netbase/rng.hpp"
+
+namespace orion::asdb {
+
+enum class AsType : std::uint8_t { Cloud, Isp, Hosting, Education, Content };
+
+constexpr const char* to_string(AsType t) {
+  switch (t) {
+    case AsType::Cloud: return "Cloud";
+    case AsType::Isp: return "ISP";
+    case AsType::Hosting: return "Host.";
+    case AsType::Education: return "Edu";
+    case AsType::Content: return "Content";
+  }
+  return "?";
+}
+
+/// Coarse origin region; drives the ISP peering policy (which border router
+/// traffic from a given source enters through).
+enum class Region : std::uint8_t { NorthAmerica, Europe, Asia, Other };
+
+constexpr const char* to_string(Region r) {
+  switch (r) {
+    case Region::NorthAmerica: return "NA";
+    case Region::Europe: return "EU";
+    case Region::Asia: return "AS";
+    case Region::Other: return "OT";
+  }
+  return "?";
+}
+
+Region region_of_country(const std::string& country_code);
+
+struct AsRecord {
+  std::uint32_t asn = 0;
+  std::string org;
+  std::string country;  // ISO-3166-like two-letter code
+  AsType type = AsType::Isp;
+  Region region = Region::Other;
+  std::vector<net::Prefix> prefixes;
+
+  std::uint64_t address_count() const;
+};
+
+/// Configuration for the synthetic Internet builder.
+struct RegistryConfig {
+  std::uint64_t seed = 1;
+  // AS population per type; defaults give ~700 ASes across ~200 countries.
+  std::size_t cloud_count = 60;
+  std::size_t isp_count = 400;
+  std::size_t hosting_count = 120;
+  std::size_t education_count = 80;
+  std::size_t content_count = 40;
+  std::size_t country_count = 205;
+  // Address blocks the allocator must never hand to an AS (darknets,
+  // simulated ISP/campus spaces, honeypot sensors).
+  std::vector<net::Prefix> reserved;
+};
+
+class Registry {
+ public:
+  /// Builds the synthetic Internet deterministically from the config seed.
+  static Registry build(const RegistryConfig& config);
+
+  /// Longest-prefix-match lookup; nullptr for unallocated space.
+  const AsRecord* lookup(net::Ipv4Address address) const;
+  const AsRecord* find_asn(std::uint32_t asn) const;
+
+  /// Uniform random address within an AS (prefix chosen ∝ size).
+  net::Ipv4Address random_address_in_as(const AsRecord& as, net::Rng& rng) const;
+
+  const std::vector<AsRecord>& records() const { return records_; }
+  std::size_t as_count() const { return records_.size(); }
+  const std::vector<std::string>& countries() const { return countries_; }
+
+  /// All ASes of a given type in a given country ("" = any country).
+  std::vector<const AsRecord*> filter(AsType type,
+                                      const std::string& country = "") const;
+
+ private:
+  std::vector<AsRecord> records_;
+  std::vector<std::string> countries_;
+  // Flattened (prefix -> record index) sorted by base address for lookup.
+  std::vector<std::pair<net::Prefix, std::size_t>> index_;
+};
+
+}  // namespace orion::asdb

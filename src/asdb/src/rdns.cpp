@@ -1,0 +1,34 @@
+#include "orion/asdb/rdns.hpp"
+
+namespace orion::asdb {
+
+ReverseDns::ReverseDns(const Registry* registry, double ptr_coverage,
+                       std::uint64_t seed)
+    : registry_(registry), ptr_coverage_(ptr_coverage), seed_(seed) {}
+
+void ReverseDns::register_ptr(net::Ipv4Address ip, std::string hostname) {
+  explicit_[ip] = std::move(hostname);
+}
+
+std::optional<std::string> ReverseDns::lookup(net::Ipv4Address ip) const {
+  const auto it = explicit_.find(ip);
+  if (it != explicit_.end()) return it->second;
+
+  // Deterministic per-IP coverage decision (same IP always answers the
+  // same way) without storing per-IP state.
+  std::uint64_t h = seed_ ^ ip.value();
+  const std::uint64_t mixed = net::splitmix64(h);
+  const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  if (u >= ptr_coverage_) return std::nullopt;
+
+  std::string host = "h";
+  for (int i = 0; i < 4; ++i) {
+    if (i) host.push_back('-');
+    host += std::to_string(ip.octet(i));
+  }
+  const AsRecord* as = registry_ ? registry_->lookup(ip) : nullptr;
+  host += as ? "." + as->org + ".example" : ".unknown.example";
+  return host;
+}
+
+}  // namespace orion::asdb

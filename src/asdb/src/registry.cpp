@@ -1,0 +1,226 @@
+#include "orion/asdb/registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace orion::asdb {
+
+namespace {
+
+// Real codes cover the head of the country distribution (and the paper's
+// Table 5 origins); generated two-letter codes fill the ~200-country tail.
+constexpr std::array<const char*, 40> kHeadCountries = {
+    "CN", "US", "KR", "TW", "RU", "BR", "IN", "DE", "NL", "FR",
+    "GB", "JP", "VN", "ID", "TH", "IR", "UA", "SG", "HK", "CA",
+    "IT", "ES", "PL", "TR", "MX", "AR", "EG", "ZA", "NG", "PK",
+    "BD", "MY", "PH", "RO", "BG", "CZ", "SE", "CH", "AU", "CL"};
+
+constexpr std::array<const char*, 12> kAsiaCodes = {
+    "CN", "KR", "TW", "JP", "VN", "ID", "TH", "SG", "HK", "IN", "MY", "PH"};
+constexpr std::array<const char*, 16> kEuropeCodes = {
+    "RU", "DE", "NL", "FR", "GB", "UA", "IT", "ES", "PL", "TR", "RO", "BG",
+    "CZ", "SE", "CH", "IE"};
+
+std::string type_slug(AsType t) {
+  switch (t) {
+    case AsType::Cloud: return "cloud";
+    case AsType::Isp: return "isp";
+    case AsType::Hosting: return "hosting";
+    case AsType::Education: return "edu";
+    case AsType::Content: return "cdn";
+  }
+  return "as";
+}
+
+/// Sequential prefix allocator over unicast space, skipping reserved blocks.
+class Allocator {
+ public:
+  explicit Allocator(std::vector<net::Prefix> reserved)
+      : reserved_(std::move(reserved)) {}
+
+  net::Prefix allocate(int length) {
+    for (;;) {
+      const std::uint64_t size = std::uint64_t{1} << (32 - length);
+      // Align the cursor to the prefix size.
+      cursor_ = (cursor_ + size - 1) / size * size;
+      if (cursor_ + size > 0xE0000000ull) {  // stop before multicast space
+        throw std::runtime_error("asdb::Allocator: address space exhausted");
+      }
+      const net::Prefix candidate(
+          net::Ipv4Address(static_cast<std::uint32_t>(cursor_)), length);
+      cursor_ += size;
+      if (!overlaps_reserved(candidate)) return candidate;
+    }
+  }
+
+ private:
+  bool overlaps_reserved(const net::Prefix& p) const {
+    return std::any_of(reserved_.begin(), reserved_.end(),
+                       [&](const net::Prefix& r) {
+                         return r.contains(p) || p.contains(r);
+                       });
+  }
+
+  std::vector<net::Prefix> reserved_;
+  std::uint64_t cursor_ = 0x0B000000ull;  // start at 11.0.0.0, past 10/8
+};
+
+}  // namespace
+
+Region region_of_country(const std::string& country_code) {
+  if (country_code == "US" || country_code == "CA" || country_code == "MX") {
+    return Region::NorthAmerica;
+  }
+  for (const char* c : kAsiaCodes) {
+    if (country_code == c) return Region::Asia;
+  }
+  for (const char* c : kEuropeCodes) {
+    if (country_code == c) return Region::Europe;
+  }
+  return Region::Other;
+}
+
+std::uint64_t AsRecord::address_count() const {
+  std::uint64_t total = 0;
+  for (const net::Prefix& p : prefixes) total += p.size();
+  return total;
+}
+
+Registry Registry::build(const RegistryConfig& config) {
+  Registry registry;
+  net::Rng rng(config.seed);
+  Allocator allocator(config.reserved);
+
+  // --- Country list: real head + generated tail, deduplicated.
+  std::unordered_set<std::string> seen;
+  for (const char* code : kHeadCountries) {
+    if (registry.countries_.size() >= config.country_count) break;
+    if (seen.insert(code).second) registry.countries_.emplace_back(code);
+  }
+  for (char a = 'A'; a <= 'Z' && registry.countries_.size() < config.country_count;
+       ++a) {
+    for (char b = 'A'; b <= 'Z' && registry.countries_.size() < config.country_count;
+         ++b) {
+      const std::string code{a, b};
+      if (seen.insert(code).second) registry.countries_.push_back(code);
+    }
+  }
+
+  // Country selection is Zipf-ish: the head countries take most ASes.
+  const auto pick_country = [&](net::Rng& r) -> const std::string& {
+    // P(rank k) ∝ 1/(k+3): heavy head, long tail.
+    for (;;) {
+      const auto k = static_cast<std::size_t>(
+          r.exponential(1.0) * static_cast<double>(registry.countries_.size()) / 4.0);
+      if (k < registry.countries_.size()) return registry.countries_[k];
+    }
+  };
+
+  std::uint32_t next_asn = 1001;
+  // The head of each AS-type population is pinned to the countries that
+  // dominate real-world scanning origins (Table 5 of the paper), so every
+  // registry — however small — contains US clouds, CN ISPs/clouds/hosting
+  // and TW/KR/RU ISPs for the population builder to elect as key origins.
+  const auto pinned_country = [](AsType type, std::size_t i) -> const char* {
+    switch (type) {
+      case AsType::Cloud: {
+        constexpr std::array<const char*, 6> head = {"US", "US", "CN",
+                                                     "US", "CN", "US"};
+        return i < head.size() ? head[i] : nullptr;
+      }
+      case AsType::Isp: {
+        constexpr std::array<const char*, 8> head = {"CN", "CN", "TW", "KR",
+                                                     "RU", "US", "CN", "KR"};
+        return i < head.size() ? head[i] : nullptr;
+      }
+      case AsType::Hosting: {
+        constexpr std::array<const char*, 3> head = {"CN", "US", "CN"};
+        return i < head.size() ? head[i] : nullptr;
+      }
+      default:
+        return nullptr;
+    }
+  };
+  const auto add_as = [&](AsType type, std::size_t count, int min_len,
+                          int max_len, int max_prefixes) {
+    for (std::size_t i = 0; i < count; ++i) {
+      AsRecord record;
+      record.asn = next_asn++;
+      record.type = type;
+      const char* pinned = pinned_country(type, i);
+      record.country = pinned ? pinned : pick_country(rng);
+      record.region = region_of_country(record.country);
+      record.org = type_slug(type) + "-" + record.country + "-" +
+                   std::to_string(record.asn);
+      const int prefix_count = 1 + static_cast<int>(rng.bounded(
+                                       static_cast<std::uint64_t>(max_prefixes)));
+      for (int j = 0; j < prefix_count; ++j) {
+        const int length =
+            min_len + static_cast<int>(rng.bounded(
+                          static_cast<std::uint64_t>(max_len - min_len + 1)));
+        record.prefixes.push_back(allocator.allocate(length));
+      }
+      registry.records_.push_back(std::move(record));
+    }
+  };
+
+  // Clouds get the biggest blocks (they originate the most scanner IPs in
+  // the paper); ISPs mid-size; hosting/education/content smaller.
+  add_as(AsType::Cloud, config.cloud_count, 14, 17, 4);
+  add_as(AsType::Isp, config.isp_count, 15, 19, 3);
+  add_as(AsType::Hosting, config.hosting_count, 17, 20, 2);
+  add_as(AsType::Education, config.education_count, 16, 20, 1);
+  add_as(AsType::Content, config.content_count, 16, 19, 2);
+
+  // --- Lookup index.
+  for (std::size_t i = 0; i < registry.records_.size(); ++i) {
+    for (const net::Prefix& p : registry.records_[i].prefixes) {
+      registry.index_.emplace_back(p, i);
+    }
+  }
+  std::sort(registry.index_.begin(), registry.index_.end(),
+            [](const auto& a, const auto& b) { return a.first.base() < b.first.base(); });
+  return registry;
+}
+
+const AsRecord* Registry::lookup(net::Ipv4Address address) const {
+  const auto it = std::upper_bound(
+      index_.begin(), index_.end(), address,
+      [](net::Ipv4Address a, const auto& entry) { return a < entry.first.base(); });
+  if (it == index_.begin()) return nullptr;
+  const auto& [prefix, record_index] = *std::prev(it);
+  // Allocations are disjoint, so checking the immediate predecessor suffices.
+  return prefix.contains(address) ? &records_[record_index] : nullptr;
+}
+
+const AsRecord* Registry::find_asn(std::uint32_t asn) const {
+  // ASNs are assigned sequentially from 1001.
+  if (asn < 1001 || asn >= 1001 + records_.size()) return nullptr;
+  return &records_[asn - 1001];
+}
+
+net::Ipv4Address Registry::random_address_in_as(const AsRecord& as,
+                                                net::Rng& rng) const {
+  const std::uint64_t total = as.address_count();
+  std::uint64_t offset = rng.bounded(total);
+  for (const net::Prefix& p : as.prefixes) {
+    if (offset < p.size()) return p.at(offset);
+    offset -= p.size();
+  }
+  throw std::logic_error("Registry::random_address_in_as: empty AS");
+}
+
+std::vector<const AsRecord*> Registry::filter(AsType type,
+                                              const std::string& country) const {
+  std::vector<const AsRecord*> out;
+  for (const AsRecord& record : records_) {
+    if (record.type == type && (country.empty() || record.country == country)) {
+      out.push_back(&record);
+    }
+  }
+  return out;
+}
+
+}  // namespace orion::asdb

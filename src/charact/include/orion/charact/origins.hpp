@@ -1,0 +1,44 @@
+// Origins of aggressive scanners (Table 5): AS-level aggregation of an AH
+// population with /32, /24 and packet accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orion/asdb/registry.hpp"
+#include "orion/detect/detector.hpp"
+#include "orion/intel/acked.hpp"
+#include "orion/telescope/capture.hpp"
+
+namespace orion::charact {
+
+struct OriginRow {
+  std::uint32_t asn = 0;
+  std::string as_type;   // "Cloud", "ISP", "Host."
+  std::string country;
+  std::uint64_t unique_ips = 0;       // /32s
+  std::uint64_t unique_slash24s = 0;  // /24s
+  std::uint64_t acked_ips = 0;        // parenthesized counts in Table 5
+  std::uint64_t packets = 0;          // darknet packets from this AS's AH
+};
+
+struct OriginTable {
+  std::vector<OriginRow> rows;  // descending by unique_ips
+  // Whole-population totals (the Table 5 "Total" row and its percentages).
+  std::uint64_t total_ips = 0;
+  std::uint64_t total_slash24s = 0;
+  std::uint64_t total_packets = 0;        // all AH packets in the dataset
+  std::uint64_t top_ips = 0;              // sums over the listed rows
+  std::uint64_t top_slash24s = 0;
+  std::uint64_t top_packets = 0;
+};
+
+/// Builds the Table-5 origin table for an AH set. `acked` may be null
+/// (no parenthesized counts then).
+OriginTable origin_table(const telescope::EventDataset& dataset,
+                         const detect::IpSet& ah, const asdb::Registry& registry,
+                         const intel::AckedScannerList* acked,
+                         const asdb::ReverseDns* rdns, std::size_t top_n = 10);
+
+}  // namespace orion::charact

@@ -1,0 +1,31 @@
+// Top targeted ports with scanning-tool attribution (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/detect/detector.hpp"
+#include "orion/telescope/capture.hpp"
+
+namespace orion::charact {
+
+struct PortRow {
+  std::uint16_t port = 0;              // 0 = ICMP echo
+  pkt::TrafficType type = pkt::TrafficType::TcpSyn;
+  std::uint64_t packets = 0;
+  telescope::ToolPackets by_tool{};    // ZMap / Masscan / Mirai / Other
+
+  double tool_share(pkt::ScanTool tool) const {
+    return packets == 0
+               ? 0.0
+               : static_cast<double>(by_tool[telescope::tool_index(tool)]) /
+                     static_cast<double>(packets);
+  }
+};
+
+/// Ranks the ports the AH set targets, by darknet packets received, with
+/// the per-tool packet attribution from event fingerprints.
+std::vector<PortRow> top_ports(const telescope::EventDataset& dataset,
+                               const detect::IpSet& ah, std::size_t top_n = 25);
+
+}  // namespace orion::charact

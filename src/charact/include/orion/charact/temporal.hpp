@@ -1,0 +1,38 @@
+// Temporal trends of the AH population (Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/detect/detector.hpp"
+#include "orion/telescope/capture.hpp"
+
+namespace orion::charact {
+
+struct TemporalTrends {
+  std::int64_t first_day = 0;
+  // One slot per day of the dataset window.
+  std::vector<std::uint64_t> active_ah;          // AH active that day
+  std::vector<std::uint64_t> daily_ah;           // AH that started that day
+  std::vector<std::uint64_t> all_active;         // all scanners active
+  std::vector<std::uint64_t> all_daily;          // all scanners started
+  std::vector<std::uint64_t> daily_ah_packets;   // by the day's daily AH
+  std::vector<std::uint64_t> total_packets;      // all darknet packets
+
+  double mean(const std::vector<std::uint64_t>& series) const;
+  /// Share of total packets owed to daily AH, averaged over days
+  /// (the paper's "0.1% of IPs send >63% of packets" statistic pairs this
+  /// with ah_ip_share()).
+  double ah_packet_share() const;
+  /// Daily AH as a share of all daily scanner IPs, averaged over days.
+  double ah_ip_share() const;
+};
+
+/// Computes the Figure-3 series for one definition. `noise_per_day` adds
+/// non-scanning darknet packets into total_packets (pass {} to skip).
+TemporalTrends temporal_trends(const telescope::EventDataset& dataset,
+                               const detect::DetectionResult& detection,
+                               detect::Definition definition,
+                               const std::vector<std::uint64_t>& noise_per_day);
+
+}  // namespace orion::charact

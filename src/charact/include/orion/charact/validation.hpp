@@ -1,0 +1,96 @@
+// Cross-validation analyses: ACKed-scanner matching (Table 6),
+// cross-definition intersections (Table 7), and GreyNoise comparisons
+// (Table 9, Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orion/charact/temporal.hpp"
+#include "orion/detect/detector.hpp"
+#include "orion/intel/acked.hpp"
+#include "orion/intel/greynoise.hpp"
+#include "orion/stats/topk.hpp"
+#include "orion/telescope/capture.hpp"
+
+namespace orion::charact {
+
+// --- Table 6: validation via the Acknowledged-Scanners list --------------
+
+struct AckedValidation {
+  std::uint64_t ip_matches = 0;
+  std::uint64_t domain_matches = 0;
+  std::uint64_t total_ips = 0;       // ip + domain
+  std::uint64_t matched_packets = 0; // darknet packets by matched AH
+  std::uint64_t all_ah_packets = 0;
+  std::size_t org_count = 0;         // distinct matched orgs
+
+  double packet_share_percent() const {
+    return all_ah_packets == 0 ? 0.0
+                               : 100.0 * static_cast<double>(matched_packets) /
+                                     static_cast<double>(all_ah_packets);
+  }
+};
+
+AckedValidation validate_acked(const telescope::EventDataset& dataset,
+                               const detect::IpSet& ah,
+                               const intel::AckedScannerList& acked,
+                               const asdb::ReverseDns& rdns);
+
+// --- Table 7: AH across definitions and their intersections ---------------
+
+struct IntersectionRow {
+  std::string label;  // "D1", "D1 ∩ D2", ...
+  std::uint64_t ips = 0;
+  std::uint64_t asns = 0;
+  std::uint64_t orgs = 0;
+  std::uint64_t countries = 0;
+};
+
+/// Rows in the paper's order: D1, D2, D3, D1∩D2, D2∩D3, D1∩D3, D1∩D2∩D3.
+std::vector<IntersectionRow> intersection_table(
+    const detect::DetectionResult& detection, const asdb::Registry& registry);
+
+/// Jaccard similarity between two definitions' AH sets (the paper reports
+/// 0.8 for D1 vs D2).
+double definition_jaccard(const detect::DetectionResult& detection,
+                          detect::Definition a, detect::Definition b);
+
+// --- Figure 6 + Table 9: GreyNoise cross-validation -----------------------
+
+struct GnBreakdown {
+  std::uint64_t benign = 0;
+  std::uint64_t malicious = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t not_in_gn = 0;
+  std::uint64_t acked_removed = 0;  // AH removed by the ACKed filter
+
+  double overlap_percent() const {
+    const std::uint64_t in_gn = benign + malicious + unknown;
+    const std::uint64_t total = in_gn + not_in_gn;
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(in_gn) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Classifies a month's AH (ACKed ones removed first, as in the appendix)
+/// against the honeypot records.
+GnBreakdown gn_breakdown(const detect::IpSet& ah,
+                         const intel::HoneypotNetwork& honeypots,
+                         const intel::AckedScannerList& acked,
+                         const asdb::ReverseDns& rdns);
+
+/// Top GreyNoise tags among non-ACKed AH (Table 9).
+stats::TopK<std::string> gn_tags(const detect::IpSet& ah,
+                                 const intel::HoneypotNetwork& honeypots,
+                                 const intel::AckedScannerList& acked,
+                                 const asdb::ReverseDns& rdns);
+
+/// Figure 6 (right): per-AH darknet packet weights for the cumulative
+/// contribution curve.
+std::vector<std::uint64_t> ah_packet_weights(const telescope::EventDataset& dataset,
+                                             const detect::IpSet& ah);
+
+}  // namespace orion::charact

@@ -1,0 +1,72 @@
+#include "orion/charact/origins.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace orion::charact {
+
+OriginTable origin_table(const telescope::EventDataset& dataset,
+                         const detect::IpSet& ah, const asdb::Registry& registry,
+                         const intel::AckedScannerList* acked,
+                         const asdb::ReverseDns* rdns, std::size_t top_n) {
+  struct Agg {
+    std::unordered_set<net::Ipv4Address> ips;
+    std::unordered_set<net::Ipv4Address> slash24s;
+    std::unordered_set<net::Ipv4Address> acked_ips;
+    std::uint64_t packets = 0;
+  };
+  std::unordered_map<std::uint32_t, Agg> by_asn;  // 0 = unattributed
+
+  // IP-level membership/metadata first (packets accumulate per event below).
+  OriginTable table;
+  std::unordered_set<net::Ipv4Address> all_slash24s;
+  for (const net::Ipv4Address ip : ah) {
+    const asdb::AsRecord* as = registry.lookup(ip);
+    Agg& agg = by_asn[as ? as->asn : 0];
+    agg.ips.insert(ip);
+    agg.slash24s.insert(ip.slash24());
+    all_slash24s.insert(ip.slash24());
+    if (acked && rdns && acked->match(ip, *rdns)) agg.acked_ips.insert(ip);
+  }
+
+  for (const telescope::DarknetEvent& e : dataset.events()) {
+    if (!ah.contains(e.key.src)) continue;
+    const asdb::AsRecord* as = registry.lookup(e.key.src);
+    by_asn[as ? as->asn : 0].packets += e.packets;
+    table.total_packets += e.packets;
+  }
+
+  table.total_ips = ah.size();
+  table.total_slash24s = all_slash24s.size();
+
+  std::vector<OriginRow> rows;
+  rows.reserve(by_asn.size());
+  for (const auto& [asn, agg] : by_asn) {
+    OriginRow row;
+    row.asn = asn;
+    const asdb::AsRecord* as = registry.find_asn(asn);
+    row.as_type = as ? to_string(as->type) : "?";
+    row.country = as ? as->country : "??";
+    row.unique_ips = agg.ips.size();
+    row.unique_slash24s = agg.slash24s.size();
+    row.acked_ips = agg.acked_ips.size();
+    row.packets = agg.packets;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const OriginRow& a, const OriginRow& b) {
+    if (a.unique_ips != b.unique_ips) return a.unique_ips > b.unique_ips;
+    return a.asn < b.asn;
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+
+  for (const OriginRow& row : rows) {
+    table.top_ips += row.unique_ips;
+    table.top_slash24s += row.unique_slash24s;
+    table.top_packets += row.packets;
+  }
+  table.rows = std::move(rows);
+  return table;
+}
+
+}  // namespace orion::charact

@@ -1,0 +1,32 @@
+#include "orion/charact/portfig.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace orion::charact {
+
+std::vector<PortRow> top_ports(const telescope::EventDataset& dataset,
+                               const detect::IpSet& ah, std::size_t top_n) {
+  std::map<std::pair<std::uint16_t, pkt::TrafficType>, PortRow> rows;
+  for (const telescope::DarknetEvent& e : dataset.events()) {
+    if (!ah.contains(e.key.src)) continue;
+    PortRow& row = rows[{e.key.dst_port, e.key.type}];
+    row.port = e.key.dst_port;
+    row.type = e.key.type;
+    row.packets += e.packets;
+    for (std::size_t t = 0; t < row.by_tool.size(); ++t) {
+      row.by_tool[t] += e.packets_by_tool[t];
+    }
+  }
+  std::vector<PortRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const PortRow& a, const PortRow& b) {
+    if (a.packets != b.packets) return a.packets > b.packets;
+    return a.port < b.port;
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+}  // namespace orion::charact

@@ -1,0 +1,79 @@
+#include "orion/charact/temporal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace orion::charact {
+
+double TemporalTrends::mean(const std::vector<std::uint64_t>& series) const {
+  if (series.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : series) total += v;
+  return static_cast<double>(total) / static_cast<double>(series.size());
+}
+
+double TemporalTrends::ah_packet_share() const {
+  std::uint64_t ah = 0, total = 0;
+  for (std::size_t i = 0; i < total_packets.size(); ++i) {
+    ah += daily_ah_packets[i];
+    total += total_packets[i];
+  }
+  return total == 0 ? 0.0 : static_cast<double>(ah) / static_cast<double>(total);
+}
+
+double TemporalTrends::ah_ip_share() const {
+  std::uint64_t ah = 0, all = 0;
+  for (std::size_t i = 0; i < all_daily.size(); ++i) {
+    ah += daily_ah[i];
+    all += all_daily[i];
+  }
+  return all == 0 ? 0.0 : static_cast<double>(ah) / static_cast<double>(all);
+}
+
+TemporalTrends temporal_trends(const telescope::EventDataset& dataset,
+                               const detect::DetectionResult& detection,
+                               detect::Definition definition,
+                               const std::vector<std::uint64_t>& noise_per_day) {
+  const detect::DefinitionResult& def = detection.of(definition);
+  const std::size_t days = def.daily.size();
+  if (!noise_per_day.empty() && noise_per_day.size() != days) {
+    throw std::invalid_argument("temporal_trends: noise series length mismatch");
+  }
+
+  TemporalTrends trends;
+  trends.first_day = detection.first_day;
+  trends.daily_ah.resize(days);
+  trends.active_ah.resize(days);
+  trends.all_daily.assign(days, 0);
+  trends.all_active.assign(days, 0);
+  trends.daily_ah_packets = def.daily_ah_packets;
+  trends.total_packets = detection.total_event_packets_per_day;
+
+  for (std::size_t i = 0; i < days; ++i) {
+    trends.daily_ah[i] = def.daily[i].size();
+    trends.active_ah[i] = def.active[i].size();
+    if (!noise_per_day.empty()) trends.total_packets[i] += noise_per_day[i];
+  }
+
+  // All-scanner accounting straight from the events.
+  std::vector<std::unordered_set<net::Ipv4Address>> daily_sets(days);
+  std::vector<std::unordered_set<net::Ipv4Address>> active_sets(days);
+  for (const telescope::DarknetEvent& e : dataset.events()) {
+    const auto start =
+        static_cast<std::size_t>(e.day() - detection.first_day);
+    daily_sets[start].insert(e.key.src);
+    const std::int64_t last = std::min(e.end.day(), detection.last_day);
+    for (std::int64_t d = e.day(); d <= last; ++d) {
+      active_sets[static_cast<std::size_t>(d - detection.first_day)].insert(
+          e.key.src);
+    }
+  }
+  for (std::size_t i = 0; i < days; ++i) {
+    trends.all_daily[i] = daily_sets[i].size();
+    trends.all_active[i] = active_sets[i].size();
+  }
+  return trends;
+}
+
+}  // namespace orion::charact

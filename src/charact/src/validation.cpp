@@ -1,0 +1,156 @@
+#include "orion/charact/validation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "orion/stats/ecdf.hpp"
+
+namespace orion::charact {
+
+AckedValidation validate_acked(const telescope::EventDataset& dataset,
+                               const detect::IpSet& ah,
+                               const intel::AckedScannerList& acked,
+                               const asdb::ReverseDns& rdns) {
+  AckedValidation out;
+  std::unordered_set<net::Ipv4Address> matched;
+  std::unordered_set<std::string> orgs;
+  for (const net::Ipv4Address ip : ah) {
+    const intel::AckedMatch match = acked.match(ip, rdns);
+    if (!match) continue;
+    matched.insert(ip);
+    orgs.insert(match.org);
+    if (match.kind == intel::MatchKind::Ip) {
+      ++out.ip_matches;
+    } else {
+      ++out.domain_matches;
+    }
+  }
+  out.total_ips = matched.size();
+  out.org_count = orgs.size();
+
+  for (const telescope::DarknetEvent& e : dataset.events()) {
+    if (!ah.contains(e.key.src)) continue;
+    out.all_ah_packets += e.packets;
+    if (matched.contains(e.key.src)) out.matched_packets += e.packets;
+  }
+  return out;
+}
+
+namespace {
+
+IntersectionRow summarize(const std::string& label,
+                          const std::vector<net::Ipv4Address>& ips,
+                          const asdb::Registry& registry) {
+  IntersectionRow row;
+  row.label = label;
+  row.ips = ips.size();
+  std::unordered_set<std::uint32_t> asns;
+  std::unordered_set<std::string> orgs;
+  std::unordered_set<std::string> countries;
+  for (const net::Ipv4Address ip : ips) {
+    const asdb::AsRecord* as = registry.lookup(ip);
+    if (!as) continue;
+    asns.insert(as->asn);
+    orgs.insert(as->org);
+    countries.insert(as->country);
+  }
+  row.asns = asns.size();
+  row.orgs = orgs.size();
+  row.countries = countries.size();
+  return row;
+}
+
+std::vector<net::Ipv4Address> to_vector(const detect::IpSet& set) {
+  return {set.begin(), set.end()};
+}
+
+std::vector<net::Ipv4Address> intersect(const detect::IpSet& a,
+                                        const detect::IpSet& b) {
+  std::vector<net::Ipv4Address> out;
+  const detect::IpSet& small = a.size() <= b.size() ? a : b;
+  const detect::IpSet& large = a.size() <= b.size() ? b : a;
+  for (const net::Ipv4Address ip : small) {
+    if (large.contains(ip)) out.push_back(ip);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<IntersectionRow> intersection_table(
+    const detect::DetectionResult& detection, const asdb::Registry& registry) {
+  using detect::Definition;
+  const detect::IpSet& d1 = detection.of(Definition::AddressDispersion).ips;
+  const detect::IpSet& d2 = detection.of(Definition::PacketVolume).ips;
+  const detect::IpSet& d3 = detection.of(Definition::DistinctPorts).ips;
+
+  std::vector<IntersectionRow> rows;
+  rows.push_back(summarize("D1", to_vector(d1), registry));
+  rows.push_back(summarize("D2", to_vector(d2), registry));
+  rows.push_back(summarize("D3", to_vector(d3), registry));
+  rows.push_back(summarize("D1&D2", intersect(d1, d2), registry));
+  rows.push_back(summarize("D2&D3", intersect(d2, d3), registry));
+  rows.push_back(summarize("D1&D3", intersect(d1, d3), registry));
+  const auto d12 = intersect(d1, d2);
+  detect::IpSet d12_set(d12.begin(), d12.end());
+  rows.push_back(summarize("D1&D2&D3", intersect(d12_set, d3), registry));
+  return rows;
+}
+
+double definition_jaccard(const detect::DetectionResult& detection,
+                          detect::Definition a, detect::Definition b) {
+  return stats::jaccard(detection.of(a).ips, detection.of(b).ips);
+}
+
+GnBreakdown gn_breakdown(const detect::IpSet& ah,
+                         const intel::HoneypotNetwork& honeypots,
+                         const intel::AckedScannerList& acked,
+                         const asdb::ReverseDns& rdns) {
+  GnBreakdown out;
+  for (const net::Ipv4Address ip : ah) {
+    if (acked.match(ip, rdns)) {
+      ++out.acked_removed;
+      continue;
+    }
+    const intel::GnRecord* record = honeypots.record(ip);
+    if (!record) {
+      ++out.not_in_gn;
+      continue;
+    }
+    switch (record->classification) {
+      case intel::GnClass::Benign: ++out.benign; break;
+      case intel::GnClass::Malicious: ++out.malicious; break;
+      case intel::GnClass::Unknown: ++out.unknown; break;
+    }
+  }
+  return out;
+}
+
+stats::TopK<std::string> gn_tags(const detect::IpSet& ah,
+                                 const intel::HoneypotNetwork& honeypots,
+                                 const intel::AckedScannerList& acked,
+                                 const asdb::ReverseDns& rdns) {
+  stats::TopK<std::string> tags;
+  for (const net::Ipv4Address ip : ah) {
+    if (acked.match(ip, rdns)) continue;
+    const intel::GnRecord* record = honeypots.record(ip);
+    if (!record) continue;
+    for (const std::string& tag : record->tags) tags.add(tag);
+  }
+  return tags;
+}
+
+std::vector<std::uint64_t> ah_packet_weights(const telescope::EventDataset& dataset,
+                                             const detect::IpSet& ah) {
+  std::unordered_map<net::Ipv4Address, std::uint64_t> per_src;
+  for (const telescope::DarknetEvent& e : dataset.events()) {
+    if (ah.contains(e.key.src)) per_src[e.key.src] += e.packets;
+  }
+  std::vector<std::uint64_t> weights;
+  weights.reserve(per_src.size());
+  for (const auto& [ip, packets] : per_src) weights.push_back(packets);
+  return weights;
+}
+
+}  // namespace orion::charact

@@ -1,0 +1,35 @@
+// Day-over-day list diffing: the operational view of the published AH
+// lists (what changed since yesterday — churn a subscriber must apply).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/detect/lists.hpp"
+
+namespace orion::detect {
+
+struct ListDiff {
+  std::vector<net::Ipv4Address> added;    // on `current`, not on `previous`
+  std::vector<net::Ipv4Address> removed;  // on `previous`, not on `current`
+  std::size_t stable = 0;                 // on both
+
+  double churn() const {
+    const std::size_t total = added.size() + removed.size() + 2 * stable;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(added.size() + removed.size()) /
+                     static_cast<double>(total / 2 + (total % 2));
+  }
+};
+
+/// Diffs two days' entries (any definitions mask counts as membership).
+ListDiff diff_daily_lists(const std::vector<DailyListEntry>& previous,
+                          const std::vector<DailyListEntry>& current);
+
+/// Per-day churn series over a full list file: diff of consecutive days
+/// present in `entries` (days are taken from the entries themselves).
+std::vector<std::pair<std::int64_t, ListDiff>> churn_series(
+    const std::vector<DailyListEntry>& entries);
+
+}  // namespace orion::detect

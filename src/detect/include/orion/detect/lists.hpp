@@ -1,0 +1,41 @@
+// Shareable daily AH lists — the operational artifact the paper plans to
+// publish ("daily lists of such scanners ... that the network and threat
+// exchange communities could subscribe to").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "orion/detect/detector.hpp"
+
+namespace orion::detect {
+
+/// One list row: an AH IP on a given day with the definitions it matched
+/// (bit 0 = D1, bit 1 = D2, bit 2 = D3).
+struct DailyListEntry {
+  std::int64_t day = 0;
+  net::Ipv4Address ip;
+  std::uint8_t definitions = 0;
+
+  bool matches(Definition d) const {
+    return definitions & (1u << static_cast<unsigned>(d));
+  }
+  friend auto operator<=>(const DailyListEntry&, const DailyListEntry&) = default;
+};
+
+/// Flattens a detection result into per-day entries (using the "daily" AH
+/// sets, the publishable unit).
+std::vector<DailyListEntry> build_daily_lists(const DetectionResult& result);
+
+/// CSV with header "date,ip,definitions" (date = YYYY-MM-DD, definitions =
+/// e.g. "1+2"). Returns rows written.
+std::size_t write_daily_lists_csv(const std::vector<DailyListEntry>& entries,
+                                  std::ostream& out);
+
+/// Parses the CSV produced by write_daily_lists_csv. Throws
+/// std::runtime_error with a line number on malformed input.
+std::vector<DailyListEntry> read_daily_lists_csv(std::istream& in);
+
+}  // namespace orion::detect

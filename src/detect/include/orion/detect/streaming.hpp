@@ -1,0 +1,83 @@
+// Online AH detection for live telescope deployments.
+//
+// The batch AggressiveScannerDetector calibrates its ECDF thresholds over
+// the whole dataset — fine for retrospective studies, impossible for the
+// daily published lists the paper proposes. StreamingDetector consumes
+// events in start-time order, keeps reservoir-sampled ECDFs (bounded
+// memory over months of traffic), and emits each day's list using only
+// thresholds calibrated on data seen BEFORE that day ends.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "orion/detect/detector.hpp"
+#include "orion/stats/reservoir.hpp"
+#include "orion/telescope/event.hpp"
+
+namespace orion::detect {
+
+struct StreamingConfig {
+  DetectorConfig base;
+  /// Reservoir capacity for each rolling ECDF.
+  std::size_t ecdf_reservoir = 200000;
+  /// Days emit no list until this many packet samples accumulated
+  /// (threshold estimates are garbage on a cold start).
+  std::uint64_t warmup_samples = 5000;
+  std::uint64_t seed = 71;
+};
+
+/// One emitted day of results.
+struct StreamingDayResult {
+  std::int64_t day = 0;
+  bool calibrated = false;  // false during warm-up: lists withheld
+  /// Per definition: the sources that newly qualified this day.
+  std::array<std::vector<net::Ipv4Address>, 3> daily;
+  /// Thresholds in force when the day closed (D2 packets, D3 ports).
+  std::uint64_t packet_threshold = 0;
+  std::uint64_t port_threshold = 0;
+};
+
+class StreamingDetector {
+ public:
+  StreamingDetector(StreamingConfig config, std::uint64_t darknet_size);
+
+  /// Feeds one event (events must arrive ordered by start time; a
+  /// regression throws std::invalid_argument). Returns the completed
+  /// day's result whenever the event's start crosses a day boundary.
+  std::vector<StreamingDayResult> observe(const telescope::DarknetEvent& event);
+
+  /// Flushes the final partial day.
+  std::optional<StreamingDayResult> finish();
+
+  /// Dataset-wide AH so far, per definition.
+  const IpSet& ips(Definition d) const {
+    return ips_[static_cast<std::size_t>(d)];
+  }
+  std::uint64_t events_seen() const { return events_seen_; }
+
+ private:
+  void ingest_into_day(const telescope::DarknetEvent& event);
+  StreamingDayResult close_day();
+
+  StreamingConfig config_;
+  std::uint64_t darknet_size_;
+
+  stats::ReservoirSampler<std::uint64_t> packet_samples_;
+  stats::ReservoirSampler<std::uint64_t> port_samples_;
+
+  bool day_open_ = false;
+  std::int64_t current_day_ = 0;
+  std::array<std::unordered_set<net::Ipv4Address>, 3> day_daily_;
+  std::unordered_map<net::Ipv4Address, std::unordered_set<std::uint16_t>>
+      day_ports_;
+  std::unordered_map<net::Ipv4Address, std::uint64_t> day_best_packets_;
+
+  std::array<IpSet, 3> ips_;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace orion::detect

@@ -1,0 +1,55 @@
+#include "orion/detect/list_diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace orion::detect {
+
+namespace {
+
+ListDiff diff_sets(const std::unordered_set<net::Ipv4Address>& previous,
+                   const std::unordered_set<net::Ipv4Address>& current) {
+  ListDiff diff;
+  for (const net::Ipv4Address ip : current) {
+    if (previous.contains(ip)) {
+      ++diff.stable;
+    } else {
+      diff.added.push_back(ip);
+    }
+  }
+  for (const net::Ipv4Address ip : previous) {
+    if (!current.contains(ip)) diff.removed.push_back(ip);
+  }
+  std::sort(diff.added.begin(), diff.added.end());
+  std::sort(diff.removed.begin(), diff.removed.end());
+  return diff;
+}
+
+}  // namespace
+
+ListDiff diff_daily_lists(const std::vector<DailyListEntry>& previous,
+                          const std::vector<DailyListEntry>& current) {
+  std::unordered_set<net::Ipv4Address> a, b;
+  for (const DailyListEntry& e : previous) a.insert(e.ip);
+  for (const DailyListEntry& e : current) b.insert(e.ip);
+  return diff_sets(a, b);
+}
+
+std::vector<std::pair<std::int64_t, ListDiff>> churn_series(
+    const std::vector<DailyListEntry>& entries) {
+  std::map<std::int64_t, std::unordered_set<net::Ipv4Address>> by_day;
+  for (const DailyListEntry& e : entries) by_day[e.day].insert(e.ip);
+
+  std::vector<std::pair<std::int64_t, ListDiff>> series;
+  const std::unordered_set<net::Ipv4Address>* previous = nullptr;
+  for (const auto& [day, ips] : by_day) {
+    if (previous != nullptr) {
+      series.emplace_back(day, diff_sets(*previous, ips));
+    }
+    previous = &ips;
+  }
+  return series;
+}
+
+}  // namespace orion::detect

@@ -1,0 +1,92 @@
+#include "orion/detect/lists.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace orion::detect {
+
+std::vector<DailyListEntry> build_daily_lists(const DetectionResult& result) {
+  // (day, ip) -> definition bitmask
+  std::map<std::pair<std::int64_t, net::Ipv4Address>, std::uint8_t> merged;
+  for (const Definition d : kAllDefinitions) {
+    const DefinitionResult& def = result.of(d);
+    for (std::size_t i = 0; i < def.daily.size(); ++i) {
+      const std::int64_t day = result.first_day + static_cast<std::int64_t>(i);
+      for (const net::Ipv4Address ip : def.daily[i]) {
+        merged[{day, ip}] |=
+            static_cast<std::uint8_t>(1u << static_cast<unsigned>(d));
+      }
+    }
+  }
+  std::vector<DailyListEntry> out;
+  out.reserve(merged.size());
+  for (const auto& [key, mask] : merged) {
+    out.push_back({key.first, key.second, mask});
+  }
+  return out;
+}
+
+std::size_t write_daily_lists_csv(const std::vector<DailyListEntry>& entries,
+                                  std::ostream& out) {
+  out << "date,ip,definitions\n";
+  for (const DailyListEntry& e : entries) {
+    out << net::day_label(e.day) << ',' << e.ip.to_string() << ',';
+    bool first = true;
+    for (unsigned bit = 0; bit < 3; ++bit) {
+      if (e.definitions & (1u << bit)) {
+        if (!first) out << '+';
+        out << (bit + 1);
+        first = false;
+      }
+    }
+    out << '\n';
+  }
+  return entries.size();
+}
+
+std::vector<DailyListEntry> read_daily_lists_csv(std::istream& in) {
+  std::vector<DailyListEntry> out;
+  std::string line;
+  std::size_t line_number = 0;
+  const auto fail = [&](const std::string& why) {
+    throw std::runtime_error("daily list CSV line " + std::to_string(line_number) +
+                             ": " + why);
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line_number == 1) {
+      if (line != "date,ip,definitions") fail("bad header");
+      continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string date, ip_text, defs;
+    if (!std::getline(fields, date, ',') || !std::getline(fields, ip_text, ',') ||
+        !std::getline(fields, defs)) {
+      fail("expected 3 fields");
+    }
+    // date = YYYY-MM-DD
+    if (date.size() != 10 || date[4] != '-' || date[7] != '-') fail("bad date");
+    DailyListEntry entry;
+    entry.day = net::day_index_of(std::stoi(date.substr(0, 4)),
+                                  std::stoi(date.substr(5, 2)),
+                                  std::stoi(date.substr(8, 2)));
+    const auto ip = net::Ipv4Address::parse(ip_text);
+    if (!ip) fail("bad IP: " + ip_text);
+    entry.ip = *ip;
+    for (const char c : defs) {
+      if (c == '+') continue;
+      if (c < '1' || c > '3') fail("bad definition list: " + defs);
+      entry.definitions |= static_cast<std::uint8_t>(1u << (c - '1'));
+    }
+    if (entry.definitions == 0) fail("empty definition list");
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace orion::detect

@@ -1,0 +1,94 @@
+#include "orion/detect/spoof_filter.hpp"
+
+#include <array>
+#include <unordered_set>
+
+namespace orion::detect {
+
+namespace {
+
+std::uint64_t burst_key(const telescope::EventKey& key, std::int64_t bucket) {
+  return (static_cast<std::uint64_t>(bucket) << 20) |
+         (std::uint64_t{key.dst_port} << 4) | static_cast<std::uint64_t>(key.type);
+}
+
+}  // namespace
+
+SpoofFilter::SpoofFilter(SpoofFilterConfig config, net::PrefixSet dark_space)
+    : config_(config), dark_space_(std::move(dark_space)) {}
+
+bool SpoofFilter::is_bogon(net::Ipv4Address a) {
+  static const std::array<net::Prefix, 9> kBogons = {
+      *net::Prefix::parse("0.0.0.0/8"),        // "this network"
+      *net::Prefix::parse("10.0.0.0/8"),       // RFC 1918
+      *net::Prefix::parse("100.64.0.0/10"),    // CGN shared space
+      *net::Prefix::parse("127.0.0.0/8"),      // loopback
+      *net::Prefix::parse("169.254.0.0/16"),   // link-local
+      *net::Prefix::parse("172.16.0.0/12"),    // RFC 1918
+      *net::Prefix::parse("192.168.0.0/16"),   // RFC 1918
+      *net::Prefix::parse("224.0.0.0/4"),      // multicast
+      *net::Prefix::parse("240.0.0.0/4"),      // class E
+  };
+  for (const net::Prefix& p : kBogons) {
+    if (p.contains(a)) return true;
+  }
+  return false;
+}
+
+void SpoofFilter::build_burst_index(
+    const std::vector<telescope::DarknetEvent>& events) {
+  // Distinct single-packet sources per (port, type, bucket).
+  std::unordered_map<std::uint64_t, std::unordered_set<net::Ipv4Address>> sources;
+  const std::int64_t bucket_ns = config_.backscatter_bucket.total_nanos();
+  for (const telescope::DarknetEvent& e : events) {
+    if (e.packets != 1) continue;
+    const std::int64_t bucket = e.start.since_epoch().total_nanos() / bucket_ns;
+    sources[burst_key(e.key, bucket)].insert(e.key.src);
+  }
+  burst_index_.clear();
+  for (const auto& [key, set] : sources) burst_index_[key] = set.size();
+}
+
+EventVerdict SpoofFilter::classify(const telescope::DarknetEvent& event) const {
+  if (is_bogon(event.key.src)) return EventVerdict::BogonSource;
+  if (dark_space_.contains(event.key.src)) return EventVerdict::OwnSpaceSource;
+
+  if (event.unique_dests <= config_.misconfig_max_dests &&
+      event.packets >= config_.misconfig_min_packets &&
+      event.end - event.start >= config_.misconfig_min_duration) {
+    return EventVerdict::Misconfiguration;
+  }
+
+  if (event.packets == 1 && !burst_index_.empty()) {
+    const std::int64_t bucket = event.start.since_epoch().total_nanos() /
+                                config_.backscatter_bucket.total_nanos();
+    const auto it = burst_index_.find(burst_key(event.key, bucket));
+    if (it != burst_index_.end() &&
+        it->second >= config_.backscatter_source_threshold) {
+      return EventVerdict::BackscatterBurst;
+    }
+  }
+  return EventVerdict::Clean;
+}
+
+std::vector<telescope::DarknetEvent> SpoofFilter::run(
+    const std::vector<telescope::DarknetEvent>& events, SpoofFilterStats& stats) {
+  build_burst_index(events);
+  std::vector<telescope::DarknetEvent> clean;
+  clean.reserve(events.size());
+  for (const telescope::DarknetEvent& e : events) {
+    switch (classify(e)) {
+      case EventVerdict::Clean:
+        ++stats.clean;
+        clean.push_back(e);
+        break;
+      case EventVerdict::BogonSource: ++stats.bogon; break;
+      case EventVerdict::OwnSpaceSource: ++stats.own_space; break;
+      case EventVerdict::Misconfiguration: ++stats.misconfiguration; break;
+      case EventVerdict::BackscatterBurst: ++stats.backscatter; break;
+    }
+  }
+  return clean;
+}
+
+}  // namespace orion::detect

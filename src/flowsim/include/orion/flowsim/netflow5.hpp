@@ -1,0 +1,62 @@
+// NetFlow v5 export-packet codec (the format the paper's collectors speak).
+// Self-contained encoder/decoder for the classic 24-byte header + 48-byte
+// record layout, so simulated flow tables can be exported to and ingested
+// from real collector tooling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "orion/netbase/five_tuple.hpp"
+#include "orion/netbase/ipv4.hpp"
+
+namespace orion::flowsim {
+
+struct NetflowV5Record {
+  net::Ipv4Address src;
+  net::Ipv4Address dst;
+  std::uint32_t packets = 0;
+  std::uint32_t octets = 0;
+  std::uint32_t first_uptime_ms = 0;
+  std::uint32_t last_uptime_ms = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint8_t protocol = 6;
+  std::uint16_t src_as = 0;
+  std::uint16_t dst_as = 0;
+
+  friend constexpr auto operator<=>(const NetflowV5Record&,
+                                    const NetflowV5Record&) = default;
+};
+
+struct NetflowV5Header {
+  std::uint32_t sys_uptime_ms = 0;
+  std::uint32_t unix_secs = 0;
+  std::uint32_t flow_sequence = 0;
+  std::uint8_t engine_id = 0;
+  /// Low 14 bits: the 1:N sampling interval.
+  std::uint16_t sampling_interval = 0;
+};
+
+constexpr std::size_t kNetflowV5HeaderSize = 24;
+constexpr std::size_t kNetflowV5RecordSize = 48;
+constexpr std::size_t kNetflowV5MaxRecords = 30;  // per RFC-de-facto export
+
+/// Encodes up to kNetflowV5MaxRecords records into one export packet.
+/// Throws std::invalid_argument on more.
+std::vector<std::uint8_t> encode_netflow_v5(const NetflowV5Header& header,
+                                            std::span<const NetflowV5Record> records);
+
+struct NetflowV5Packet {
+  NetflowV5Header header;
+  std::vector<NetflowV5Record> records;
+};
+
+/// Decodes one export packet; nullopt on wrong version, bad count or
+/// truncation.
+std::optional<NetflowV5Packet> decode_netflow_v5(std::span<const std::uint8_t> data);
+
+}  // namespace orion::flowsim

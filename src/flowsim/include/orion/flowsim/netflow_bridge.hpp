@@ -1,0 +1,27 @@
+// Bridges the simulated flow tables and the NetFlow v5 wire format:
+// export a RouterDay as a stream of v5 export packets (what the simulated
+// router would actually emit toward a collector) and rebuild a RouterDay
+// from received packets (what a collector ingests). A RouterDay surviving
+// the round trip proves the whole collection path speaks real NetFlow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/flowsim/flows.hpp"
+#include "orion/flowsim/netflow5.hpp"
+
+namespace orion::flowsim {
+
+/// Serializes a router-day's sampled flow table as NetFlow v5 export
+/// packets (30 records each, sequence numbers chained).
+std::vector<std::vector<std::uint8_t>> export_router_day(
+    const RouterDay& day, std::uint32_t sampling_rate, std::uint8_t engine_id);
+
+/// Collector side: rebuilds the sampled flow table from export packets.
+/// Packets failing to decode are counted in `rejected` and skipped.
+RouterDay ingest_router_day(
+    const std::vector<std::vector<std::uint8_t>>& packets,
+    std::size_t& rejected);
+
+}  // namespace orion::flowsim

@@ -1,0 +1,70 @@
+// Border-router peering policy: which of the ISP's core routers traffic
+// from a given external source enters through. The paper observes that
+// router-1's tier-1 peers carry most Europe/Asia traffic — which is why it
+// endures the highest AH impact (Table 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "orion/netbase/rng.hpp"
+
+#include "orion/asdb/registry.hpp"
+#include "orion/netbase/ipv4.hpp"
+
+namespace orion::flowsim {
+
+constexpr std::size_t kRouterCount = 3;
+
+class PeeringPolicy {
+ public:
+  /// region_router[region][router] = probability traffic from that region
+  /// enters via that router; each row must sum to ~1.
+  using Matrix = std::array<std::array<double, kRouterCount>, 4>;
+
+  explicit PeeringPolicy(Matrix matrix, std::uint64_t seed = 99);
+  PeeringPolicy(Matrix matrix, Matrix reach, std::uint64_t seed);
+
+  /// Merit-like policy: router-1 is the Europe/Asia point of presence.
+  static PeeringPolicy merit_like();
+
+  /// The router one PACKET enters through: deterministic per (src, dst)
+  /// pair (paths are stable per destination prefix), distributed across
+  /// routers per the source region's row. A single source therefore
+  /// appears at every router, weighted by the peering matrix — which is
+  /// why the paper sees ~95% of active AH at routers 1-2 (Table 8).
+  std::size_t route_packet(net::Ipv4Address src, net::Ipv4Address dst,
+                           asdb::Region region) const;
+
+  /// Legacy per-source stable route (the row sampled once per source).
+  std::size_t route(net::Ipv4Address src, asdb::Region region) const;
+
+  /// Whether a source's routes are carried by a router at all. Routers 1-2
+  /// are tier-1 points of presence reaching everything; router-3 is a
+  /// regional peer carrying only about half of the sources (Table 8).
+  /// Deterministic per (source, router).
+  bool reachable(net::Ipv4Address src, asdb::Region region,
+                 std::size_t router) const;
+
+  /// Splits a source's packet count across the routers reachable from it,
+  /// ~ Multinomial(renormalized row(region)).
+  std::array<std::uint64_t, kRouterCount> split(net::Ipv4Address src,
+                                                std::uint64_t count,
+                                                asdb::Region region,
+                                                net::Rng& rng) const;
+
+  /// Expected share of a region's traffic on each router.
+  const std::array<double, kRouterCount>& row(asdb::Region region) const {
+    return matrix_[static_cast<std::size_t>(region)];
+  }
+
+ private:
+  std::array<double, kRouterCount> effective_row(net::Ipv4Address src,
+                                                 asdb::Region region) const;
+
+  Matrix matrix_;
+  Matrix reach_;  // reach_[region][router] = P(router carries the source)
+  std::uint64_t seed_;
+};
+
+}  // namespace orion::flowsim

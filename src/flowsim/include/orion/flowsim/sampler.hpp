@@ -1,0 +1,39 @@
+// Packet sampling for NetFlow export (the paper's collectors sample 1:1000).
+#pragma once
+
+#include <cstdint>
+
+#include "orion/netbase/rng.hpp"
+
+namespace orion::flowsim {
+
+enum class SamplingMode : std::uint8_t {
+  Deterministic,  // every Nth packet (classic cisco sampled netflow)
+  Random,         // each packet independently with probability 1/N
+};
+
+/// Streaming 1:N packet sampler. Deterministic mode has a per-stream
+/// phase; random mode is Bernoulli. The bias of deterministic sampling on
+/// bursty scanner traffic is one of the DESIGN.md ablations.
+class PacketSampler {
+ public:
+  PacketSampler(SamplingMode mode, std::uint32_t rate, std::uint64_t seed);
+
+  /// True if this packet is exported.
+  bool sample();
+
+  /// Number of sampled packets among a batch of `count` arrivals, without
+  /// iterating them (used by the analytic flow generator).
+  std::uint64_t sample_batch(std::uint64_t count, net::Rng& rng) const;
+
+  std::uint32_t rate() const { return rate_; }
+  SamplingMode mode() const { return mode_; }
+
+ private:
+  SamplingMode mode_;
+  std::uint32_t rate_;
+  std::uint32_t counter_;
+  net::Rng rng_;
+};
+
+}  // namespace orion::flowsim

@@ -1,0 +1,60 @@
+// Mirrored packet-stream monitor: the per-second accounting stations the
+// paper ran at Merit (one core-router mirror) and CU (whole campus) for
+// 72 hours (Figures 1 and 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/flowsim/user_traffic.hpp"
+#include "orion/stats/timeseries.hpp"
+
+namespace orion::flowsim {
+
+struct StreamMonitorConfig {
+  net::SimTime start;
+  net::Duration bin_width = net::Duration::seconds(1);
+  std::size_t bin_count = 3 * 86400;  // the paper's 72 hours
+  std::uint64_t seed = 31;
+};
+
+/// Accumulates scanner packets (classified AH / non-AH by the caller, who
+/// owns the AH lists) into 1-second bins and synthesizes the user-traffic
+/// bins from the traffic model. All Figure-1 series derive from the three
+/// bin arrays.
+class StreamMonitor {
+ public:
+  StreamMonitor(StreamMonitorConfig config, UserTrafficModel user_model);
+
+  void observe_scanner_packet(net::SimTime when, bool is_ah);
+
+  /// Fills the user-traffic bins (Poisson around the model rate). Call
+  /// once after all scanner packets are fed.
+  void finalize();
+
+  const stats::BinnedSeries& ah_bins() const { return ah_; }
+  const stats::BinnedSeries& other_scanner_bins() const { return other_; }
+  const stats::BinnedSeries& user_bins() const;
+  /// total per bin = ah + other scanners + user.
+  stats::BinnedSeries total_bins() const;
+
+  // --- Figure 1 series
+  /// Top row: AH share of all packets, counted cumulatively from start.
+  std::vector<double> cumulative_impact() const;
+  /// Middle row: per-bin AH share.
+  std::vector<double> instantaneous_impact() const;
+  /// Bottom row: total packet rate (packets/second).
+  std::vector<double> total_rate() const;
+  /// Figure 2: AH packet rate normalized by the network's /24 count.
+  std::vector<double> ah_rate_per_slash24(std::uint64_t slash24_count) const;
+
+ private:
+  StreamMonitorConfig config_;
+  UserTrafficModel user_model_;
+  stats::BinnedSeries ah_;
+  stats::BinnedSeries other_;
+  stats::BinnedSeries user_;
+  bool finalized_ = false;
+};
+
+}  // namespace orion::flowsim

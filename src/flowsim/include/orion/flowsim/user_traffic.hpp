@@ -1,0 +1,52 @@
+// Legitimate user-traffic model for the monitored networks. Produces the
+// DENOMINATOR of every network-impact ratio: total ingress/egress packets
+// a border router (or campus monitor) processes, with diurnal and
+// weekday/weekend structure and the content-cache effect the paper uses to
+// explain the Merit-vs-CU gap (cache-served traffic never crosses the
+// border routers, shrinking the denominator and "amplifying" scanner
+// share).
+#pragma once
+
+#include <cstdint>
+
+#include "orion/netbase/rng.hpp"
+#include "orion/netbase/simtime.hpp"
+
+namespace orion::flowsim {
+
+struct UserTrafficConfig {
+  /// Mean border-crossing rate before cache removal, packets/second.
+  double base_pps = 5000.0;
+  /// Fraction of user traffic served by in-network content caches (never
+  /// seen at the border). 0 for CU, ~0.55 for Merit.
+  double cache_fraction = 0.0;
+  /// Weekend days carry this fraction of weekday traffic.
+  double weekend_factor = 0.72;
+  /// Diurnal swing: rate varies by ±amplitude around the daily mean,
+  /// peaking mid-day.
+  double diurnal_amplitude = 0.35;
+  /// Linear yearly growth of the base rate.
+  double growth_per_year = 0.10;
+  std::uint64_t seed = 1234;
+};
+
+class UserTrafficModel {
+ public:
+  explicit UserTrafficModel(UserTrafficConfig config) : config_(config) {}
+
+  /// Instantaneous border-crossing packet rate (packets/second).
+  double rate_pps(net::SimTime t) const;
+
+  /// Total border-crossing packets on a day (deterministic, with day-keyed
+  /// jitter of a few percent).
+  std::uint64_t packets_on_day(std::int64_t day) const;
+
+  const UserTrafficConfig& config() const { return config_; }
+
+ private:
+  double day_factor(std::int64_t day) const;
+
+  UserTrafficConfig config_;
+};
+
+}  // namespace orion::flowsim

@@ -1,0 +1,182 @@
+#include "orion/flowsim/flows.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "orion/scangen/arrivals.hpp"
+
+namespace orion::flowsim {
+
+std::uint64_t RouterDay::estimated_src_packets(net::Ipv4Address src,
+                                               std::uint32_t rate) const {
+  // Flow tables are keyed by (src, port, type); a per-source estimate sums
+  // the source's keys. Callers doing bulk joins should iterate `sampled`
+  // directly; this accessor exists for point queries in tests.
+  std::uint64_t sampled_total = 0;
+  for (const auto& [key, count] : sampled) {
+    if (key.src == src) sampled_total += count;
+  }
+  return sampled_total * rate;
+}
+
+FlowDataset::FlowDataset(FlowSimConfig config,
+                         std::vector<std::vector<RouterDay>> days)
+    : config_(std::move(config)), days_(std::move(days)) {}
+
+const RouterDay& FlowDataset::at(std::size_t router, std::int64_t day) const {
+  if (router >= days_.size() || day < config_.start_day ||
+      day >= config_.end_day) {
+    throw std::out_of_range("FlowDataset::at: no such router-day");
+  }
+  return days_[router][static_cast<std::size_t>(day - config_.start_day)];
+}
+
+std::size_t FlowDataset::sampled_sources(std::size_t router,
+                                         std::int64_t day) const {
+  const RouterDay& rd = at(router, day);
+  std::unordered_set<net::Ipv4Address> sources;
+  for (const auto& [key, count] : rd.sampled) sources.insert(key.src);
+  return sources.size();
+}
+
+namespace {
+
+/// Splits `total` arrivals across the days a session overlaps,
+/// proportionally to per-day overlap, via successive binomial splits (the
+/// parts are exchangeable and sum exactly to `total`).
+template <typename PerDay>
+void split_across_days(net::SimTime start, net::SimTime end, std::uint64_t total,
+                       std::int64_t window_start, std::int64_t window_end,
+                       net::Rng& rng, PerDay per_day) {
+  const double total_seconds = (end - start).total_seconds();
+  if (total_seconds <= 0 || total == 0) return;
+  std::uint64_t remaining = total;
+  double remaining_seconds = total_seconds;
+  const std::int64_t first_day = start.day();
+  const std::int64_t last_day = (end - net::Duration::nanos(1)).day();
+  for (std::int64_t day = first_day; day <= last_day && remaining > 0; ++day) {
+    const net::SimTime day_begin = net::SimTime::at(net::Duration::days(day));
+    const net::SimTime day_end = day_begin + net::Duration::days(1);
+    const double overlap =
+        (std::min(end, day_end) - std::max(start, day_begin)).total_seconds();
+    if (overlap <= 0) continue;
+    std::uint64_t count;
+    if (overlap >= remaining_seconds) {
+      count = remaining;
+    } else {
+      count = rng.binomial(remaining, overlap / remaining_seconds);
+    }
+    remaining -= count;
+    remaining_seconds -= overlap;
+    if (count > 0 && day >= window_start && day < window_end) {
+      per_day(day, count);
+    }
+  }
+}
+
+}  // namespace
+
+FlowDataset generate_flows(const scangen::Population& population,
+                           const asdb::Registry& registry,
+                           const PeeringPolicy& policy, FlowSimConfig config) {
+  if (config.end_day <= config.start_day) {
+    throw std::invalid_argument("generate_flows: empty day window");
+  }
+  const auto day_count =
+      static_cast<std::size_t>(config.end_day - config.start_day);
+  std::vector<std::vector<RouterDay>> days(kRouterCount,
+                                           std::vector<RouterDay>(day_count));
+
+  const std::uint64_t space_size = config.isp_space.total_addresses();
+  net::Rng base(config.seed);
+  PacketSampler sampler(config.sampling_mode, config.sampling_rate,
+                        config.seed ^ 0xF10Eull);
+
+  const net::SimTime window_start =
+      net::SimTime::at(net::Duration::days(config.start_day));
+  const net::SimTime window_end =
+      net::SimTime::at(net::Duration::days(config.end_day));
+
+  for (const scangen::ScannerProfile& scanner : population.scanners) {
+    // Skip scanners whose sessions can't touch the window.
+    const bool overlaps = std::any_of(
+        scanner.sessions.begin(), scanner.sessions.end(),
+        [&](const scangen::SessionSpec& s) {
+          return s.end() > window_start && s.start < window_end;
+        });
+    if (!overlaps) continue;
+
+    net::Rng rng = base.fork(scanner.rng_stream ^ 0x1507ull);
+    const asdb::AsRecord* as = registry.lookup(scanner.source);
+    const asdb::Region region = as ? as->region : asdb::Region::Other;
+
+    for (const scangen::SessionSpec& session : scanner.sessions) {
+      if (session.end() <= window_start || session.start >= window_end) continue;
+
+      // Port plan: explicit ports, or the sweep treated as one aggregate
+      // TCP flow (per-port flow keys for sweeps would dominate memory for
+      // no analytical gain — their ISP footprint is negligible).
+      struct PortPlan {
+        scangen::PortSpec port;
+        std::uint64_t arrivals;
+      };
+      std::vector<PortPlan> plans;
+      if (session.sweep_port_count > 0) {
+        const std::uint64_t nominal =
+            static_cast<std::uint64_t>(session.sweep_port_count) * space_size;
+        const std::uint64_t arrivals = rng.binomial(nominal, session.coverage);
+        plans.push_back({{1, pkt::TrafficType::TcpSyn}, arrivals});
+      } else {
+        for (const scangen::PortSpec& port : session.ports) {
+          const std::uint64_t uniques =
+              scangen::sample_unique_targets(space_size, session.coverage, rng);
+          plans.push_back(
+              {port, scangen::session_packets_for_port(uniques, session.repeats)});
+        }
+      }
+
+      for (const PortPlan& plan : plans) {
+        split_across_days(
+            session.start, session.end(), plan.arrivals, config.start_day,
+            config.end_day, rng, [&](std::int64_t day, std::uint64_t count) {
+              // Destination-dependent paths spread one source's packets
+              // across all border routers per the peering matrix.
+              const auto per_router =
+                  policy.split(scanner.source, count, region, rng);
+              for (std::size_t router = 0; router < kRouterCount; ++router) {
+                if (per_router[router] == 0) continue;
+                RouterDay& rd =
+                    days[router][static_cast<std::size_t>(day - config.start_day)];
+                rd.scanner_packets += per_router[router];
+                rd.total_packets += per_router[router];
+                const std::uint64_t sampled =
+                    sampler.sample_batch(per_router[router], rng);
+                if (sampled > 0) {
+                  rd.sampled[{scanner.source, plan.port.port, plan.port.type}] +=
+                      sampled;
+                }
+              }
+            });
+      }
+    }
+  }
+
+  // User traffic denominator.
+  const UserTrafficModel user(config.user);
+  for (std::size_t router = 0; router < kRouterCount; ++router) {
+    for (std::size_t i = 0; i < day_count; ++i) {
+      const std::int64_t day = config.start_day + static_cast<std::int64_t>(i);
+      const auto user_packets = static_cast<std::uint64_t>(
+          static_cast<double>(user.packets_on_day(day)) *
+          config.user_router_share[router]);
+      days[router][i].user_packets = user_packets;
+      days[router][i].total_packets += user_packets;
+    }
+  }
+
+  return FlowDataset(std::move(config), std::move(days));
+}
+
+}  // namespace orion::flowsim

@@ -1,0 +1,110 @@
+#include "orion/flowsim/netflow5.hpp"
+
+#include <stdexcept>
+
+namespace orion::flowsim {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> d, std::size_t off) {
+  return static_cast<std::uint16_t>((std::uint16_t{d[off]} << 8) | d[off + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> d, std::size_t off) {
+  return (std::uint32_t{get_u16(d, off)} << 16) | get_u16(d, off + 2);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_netflow_v5(
+    const NetflowV5Header& header, std::span<const NetflowV5Record> records) {
+  if (records.size() > kNetflowV5MaxRecords) {
+    throw std::invalid_argument("encode_netflow_v5: too many records");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kNetflowV5HeaderSize + records.size() * kNetflowV5RecordSize);
+
+  put_u16(out, 5);  // version
+  put_u16(out, static_cast<std::uint16_t>(records.size()));
+  put_u32(out, header.sys_uptime_ms);
+  put_u32(out, header.unix_secs);
+  put_u32(out, 0);  // unix nsecs
+  put_u32(out, header.flow_sequence);
+  out.push_back(0);  // engine type
+  out.push_back(header.engine_id);
+  put_u16(out, header.sampling_interval);
+
+  for (const NetflowV5Record& r : records) {
+    put_u32(out, r.src.value());
+    put_u32(out, r.dst.value());
+    put_u32(out, 0);  // nexthop
+    put_u16(out, 0);  // input ifindex
+    put_u16(out, 0);  // output ifindex
+    put_u32(out, r.packets);
+    put_u32(out, r.octets);
+    put_u32(out, r.first_uptime_ms);
+    put_u32(out, r.last_uptime_ms);
+    put_u16(out, r.src_port);
+    put_u16(out, r.dst_port);
+    out.push_back(0);  // pad1
+    out.push_back(r.tcp_flags);
+    out.push_back(r.protocol);
+    out.push_back(0);  // tos
+    put_u16(out, r.src_as);
+    put_u16(out, r.dst_as);
+    out.push_back(0);  // src mask
+    out.push_back(0);  // dst mask
+    put_u16(out, 0);   // pad2
+  }
+  return out;
+}
+
+std::optional<NetflowV5Packet> decode_netflow_v5(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kNetflowV5HeaderSize) return std::nullopt;
+  if (get_u16(data, 0) != 5) return std::nullopt;
+  const std::uint16_t count = get_u16(data, 2);
+  if (count > kNetflowV5MaxRecords) return std::nullopt;
+  if (data.size() < kNetflowV5HeaderSize + count * kNetflowV5RecordSize) {
+    return std::nullopt;
+  }
+
+  NetflowV5Packet packet;
+  packet.header.sys_uptime_ms = get_u32(data, 4);
+  packet.header.unix_secs = get_u32(data, 8);
+  packet.header.flow_sequence = get_u32(data, 16);
+  packet.header.engine_id = data[21];
+  packet.header.sampling_interval = get_u16(data, 22);
+
+  packet.records.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::size_t base = kNetflowV5HeaderSize + i * kNetflowV5RecordSize;
+    NetflowV5Record r;
+    r.src = net::Ipv4Address(get_u32(data, base + 0));
+    r.dst = net::Ipv4Address(get_u32(data, base + 4));
+    r.packets = get_u32(data, base + 16);
+    r.octets = get_u32(data, base + 20);
+    r.first_uptime_ms = get_u32(data, base + 24);
+    r.last_uptime_ms = get_u32(data, base + 28);
+    r.src_port = get_u16(data, base + 32);
+    r.dst_port = get_u16(data, base + 34);
+    r.tcp_flags = data[base + 37];
+    r.protocol = data[base + 38];
+    r.src_as = get_u16(data, base + 40);
+    r.dst_as = get_u16(data, base + 42);
+    packet.records.push_back(r);
+  }
+  return packet;
+}
+
+}  // namespace orion::flowsim

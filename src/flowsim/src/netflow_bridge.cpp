@@ -1,0 +1,95 @@
+#include "orion/flowsim/netflow_bridge.hpp"
+
+#include <algorithm>
+
+namespace orion::flowsim {
+
+namespace {
+
+std::uint8_t protocol_number(pkt::TrafficType type) {
+  switch (type) {
+    case pkt::TrafficType::TcpSyn: return 6;
+    case pkt::TrafficType::Udp: return 17;
+    case pkt::TrafficType::IcmpEchoReq: return 1;
+    case pkt::TrafficType::Other: break;
+  }
+  return 6;
+}
+
+pkt::TrafficType traffic_type(std::uint8_t protocol) {
+  switch (protocol) {
+    case 6: return pkt::TrafficType::TcpSyn;
+    case 17: return pkt::TrafficType::Udp;
+    case 1: return pkt::TrafficType::IcmpEchoReq;
+    default: return pkt::TrafficType::Other;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> export_router_day(
+    const RouterDay& day, std::uint32_t sampling_rate, std::uint8_t engine_id) {
+  // Deterministic record order (flow tables hash-order otherwise).
+  std::vector<std::pair<FlowKey, std::uint64_t>> flows(day.sampled.begin(),
+                                                       day.sampled.end());
+  std::sort(flows.begin(), flows.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.src, a.first.dst_port, a.first.type) <
+           std::tie(b.first.src, b.first.dst_port, b.first.type);
+  });
+
+  std::vector<std::vector<std::uint8_t>> packets;
+  std::vector<NetflowV5Record> batch;
+  NetflowV5Header header;
+  header.engine_id = engine_id;
+  header.sampling_interval = static_cast<std::uint16_t>(sampling_rate & 0x3FFF);
+
+  std::uint32_t sequence = 0;
+  const auto flush = [&]() {
+    if (batch.empty()) return;
+    header.flow_sequence = sequence;
+    packets.push_back(encode_netflow_v5(header, batch));
+    sequence += static_cast<std::uint32_t>(batch.size());
+    batch.clear();
+  };
+
+  for (const auto& [key, sampled_packets] : flows) {
+    NetflowV5Record record;
+    record.src = key.src;
+    record.dst_port = key.dst_port;
+    record.protocol = protocol_number(key.type);
+    // v5 counters are 32-bit; split oversized flows across records.
+    std::uint64_t remaining = sampled_packets;
+    while (remaining > 0) {
+      const std::uint32_t chunk = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(remaining, 0xFFFFFFFFull));
+      record.packets = chunk;
+      record.octets = chunk * 40;  // SYN-sized
+      batch.push_back(record);
+      if (batch.size() == kNetflowV5MaxRecords) flush();
+      remaining -= chunk;
+    }
+  }
+  flush();
+  return packets;
+}
+
+RouterDay ingest_router_day(
+    const std::vector<std::vector<std::uint8_t>>& packets,
+    std::size_t& rejected) {
+  RouterDay day;
+  rejected = 0;
+  for (const auto& wire : packets) {
+    const auto decoded = decode_netflow_v5(wire);
+    if (!decoded) {
+      ++rejected;
+      continue;
+    }
+    for (const NetflowV5Record& record : decoded->records) {
+      day.sampled[{record.src, record.dst_port, traffic_type(record.protocol)}] +=
+          record.packets;
+    }
+  }
+  return day;
+}
+
+}  // namespace orion::flowsim

@@ -1,0 +1,139 @@
+#include "orion/flowsim/routing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace orion::flowsim {
+
+namespace {
+
+std::size_t pick_from_row(const std::array<double, kRouterCount>& row, double u) {
+  double cumulative = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    cumulative += row[i];
+    if (u < cumulative) return i;
+  }
+  return row.size() - 1;
+}
+
+double hash_uniform(std::uint64_t seed, std::uint64_t key) {
+  std::uint64_t state = seed ^ (key * 0x7F4A7C15ull);
+  return static_cast<double>(net::splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+PeeringPolicy::Matrix full_reach() {
+  PeeringPolicy::Matrix reach;
+  for (auto& row : reach) row = {{1.0, 1.0, 1.0}};
+  return reach;
+}
+
+}  // namespace
+
+PeeringPolicy::PeeringPolicy(Matrix matrix, std::uint64_t seed)
+    : PeeringPolicy(matrix, full_reach(), seed) {}
+
+PeeringPolicy::PeeringPolicy(Matrix matrix, Matrix reach, std::uint64_t seed)
+    : matrix_(matrix), reach_(reach), seed_(seed) {
+  for (const auto& row : matrix_) {
+    double sum = 0;
+    for (const double p : row) {
+      if (p < 0) throw std::invalid_argument("PeeringPolicy: negative weight");
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > 1e-6) {
+      throw std::invalid_argument("PeeringPolicy: row must sum to 1");
+    }
+  }
+  for (const auto& row : reach_) {
+    double sum = 0;
+    for (const double p : row) {
+      if (p < 0 || p > 1) {
+        throw std::invalid_argument("PeeringPolicy: reach must be in [0,1]");
+      }
+      sum += p;
+    }
+    if (sum <= 0) throw std::invalid_argument("PeeringPolicy: unreachable region");
+  }
+}
+
+PeeringPolicy PeeringPolicy::merit_like() {
+  // Rows: NorthAmerica, Europe, Asia, Other (asdb::Region order).
+  const Matrix matrix{{
+      {{0.42, 0.32, 0.26}},  // North America
+      {{0.62, 0.24, 0.14}},  // Europe
+      {{0.68, 0.20, 0.12}},  // Asia
+      {{0.45, 0.32, 0.23}},  // Other
+  }};
+  // Routers 1-2 are tier-1 PoPs; router-3 is a regional peer that carries
+  // roughly half of the external sources (the paper's Table 8 sees only
+  // 20-52% of active AH there).
+  const Matrix reach{{
+      {{1.0, 1.0, 0.55}},  // North America
+      {{1.0, 1.0, 0.45}},  // Europe
+      {{1.0, 1.0, 0.45}},  // Asia
+      {{1.0, 1.0, 0.50}},  // Other
+  }};
+  return PeeringPolicy(matrix, reach, 99);
+}
+
+bool PeeringPolicy::reachable(net::Ipv4Address src, asdb::Region region,
+                              std::size_t router) const {
+  const double q = reach_[static_cast<std::size_t>(region)][router];
+  if (q >= 1.0) return true;
+  if (q <= 0.0) return false;
+  return hash_uniform(seed_ + 0x5EAC4 * (router + 1), src.value()) < q;
+}
+
+std::array<double, kRouterCount> PeeringPolicy::effective_row(
+    net::Ipv4Address src, asdb::Region region) const {
+  const auto& row = matrix_[static_cast<std::size_t>(region)];
+  std::array<double, kRouterCount> effective{};
+  double total = 0;
+  for (std::size_t i = 0; i < kRouterCount; ++i) {
+    if (reachable(src, region, i)) {
+      effective[i] = row[i];
+      total += row[i];
+    }
+  }
+  if (total <= 0) {
+    // Degenerate: nothing reachable — fall back to the raw row.
+    return row;
+  }
+  for (double& p : effective) p /= total;
+  return effective;
+}
+
+std::size_t PeeringPolicy::route_packet(net::Ipv4Address src, net::Ipv4Address dst,
+                                        asdb::Region region) const {
+  // Stable per (src, dst /24): hash into a uniform and invert the CDF of
+  // the source's effective (reachability-filtered) row.
+  const double u = hash_uniform(
+      seed_ ^ (std::uint64_t{dst.slash24().value()} << 29), src.value());
+  return pick_from_row(effective_row(src, region), u);
+}
+
+std::size_t PeeringPolicy::route(net::Ipv4Address src,
+                                 asdb::Region region) const {
+  return pick_from_row(effective_row(src, region), hash_uniform(seed_, src.value()));
+}
+
+std::array<std::uint64_t, kRouterCount> PeeringPolicy::split(
+    net::Ipv4Address src, std::uint64_t count, asdb::Region region,
+    net::Rng& rng) const {
+  const auto row = effective_row(src, region);
+  std::array<std::uint64_t, kRouterCount> out{};
+  double remaining_weight = 1.0;
+  std::uint64_t remaining = count;
+  for (std::size_t i = 0; i + 1 < kRouterCount && remaining > 0; ++i) {
+    if (remaining_weight <= 0) break;
+    const double p = row[i] / remaining_weight;
+    const std::uint64_t share = p >= 1.0 ? remaining : rng.binomial(remaining, p);
+    out[i] = share;
+    remaining -= share;
+    remaining_weight -= row[i];
+  }
+  out[kRouterCount - 1] += remaining;
+  return out;
+}
+
+}  // namespace orion::flowsim

@@ -1,0 +1,47 @@
+#include "orion/flowsim/sampler.hpp"
+
+#include <stdexcept>
+
+namespace orion::flowsim {
+
+PacketSampler::PacketSampler(SamplingMode mode, std::uint32_t rate,
+                             std::uint64_t seed)
+    : mode_(mode), rate_(rate), counter_(0), rng_(seed) {
+  if (rate == 0) throw std::invalid_argument("PacketSampler: zero rate");
+  if (mode_ == SamplingMode::Deterministic) {
+    counter_ = static_cast<std::uint32_t>(rng_.bounded(rate));  // random phase
+  }
+}
+
+bool PacketSampler::sample() {
+  switch (mode_) {
+    case SamplingMode::Deterministic:
+      if (++counter_ >= rate_) {
+        counter_ = 0;
+        return true;
+      }
+      return false;
+    case SamplingMode::Random:
+      return rng_.bounded(rate_) == 0;
+  }
+  return false;
+}
+
+std::uint64_t PacketSampler::sample_batch(std::uint64_t count,
+                                          net::Rng& rng) const {
+  switch (mode_) {
+    case SamplingMode::Deterministic: {
+      // Every Nth packet of the interleaved stream: for a batch that is a
+      // fraction of the whole stream the hit count is count/rate with the
+      // remainder resolved by a Bernoulli on the fractional part.
+      const std::uint64_t base = count / rate_;
+      const std::uint64_t remainder = count % rate_;
+      return base + (rng.bounded(rate_) < remainder ? 1 : 0);
+    }
+    case SamplingMode::Random:
+      return rng.binomial(count, 1.0 / static_cast<double>(rate_));
+  }
+  return 0;
+}
+
+}  // namespace orion::flowsim

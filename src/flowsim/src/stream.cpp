@@ -1,0 +1,64 @@
+#include "orion/flowsim/stream.hpp"
+
+#include <stdexcept>
+
+namespace orion::flowsim {
+
+StreamMonitor::StreamMonitor(StreamMonitorConfig config,
+                             UserTrafficModel user_model)
+    : config_(config),
+      user_model_(user_model),
+      ah_(config.start, config.bin_width, config.bin_count),
+      other_(config.start, config.bin_width, config.bin_count),
+      user_(config.start, config.bin_width, config.bin_count) {}
+
+void StreamMonitor::observe_scanner_packet(net::SimTime when, bool is_ah) {
+  (is_ah ? ah_ : other_).add(when);
+}
+
+void StreamMonitor::finalize() {
+  if (finalized_) throw std::logic_error("StreamMonitor::finalize called twice");
+  net::Rng rng(config_.seed);
+  const double width_s = config_.bin_width.total_seconds();
+  for (std::size_t i = 0; i < config_.bin_count; ++i) {
+    const net::SimTime mid =
+        ah_.bin_start(i) + config_.bin_width / 2;
+    user_.add(ah_.bin_start(i), rng.poisson(user_model_.rate_pps(mid) * width_s));
+  }
+  finalized_ = true;
+}
+
+const stats::BinnedSeries& StreamMonitor::user_bins() const {
+  if (!finalized_) throw std::logic_error("StreamMonitor: not finalized");
+  return user_;
+}
+
+stats::BinnedSeries StreamMonitor::total_bins() const {
+  stats::BinnedSeries total(config_.start, config_.bin_width, config_.bin_count);
+  for (std::size_t i = 0; i < config_.bin_count; ++i) {
+    total.add(total.bin_start(i),
+              ah_.bin(i) + other_.bin(i) + user_bins().bin(i));
+  }
+  return total;
+}
+
+std::vector<double> StreamMonitor::cumulative_impact() const {
+  return stats::cumulative_ratio_series(ah_, total_bins());
+}
+
+std::vector<double> StreamMonitor::instantaneous_impact() const {
+  return stats::ratio_series(ah_, total_bins());
+}
+
+std::vector<double> StreamMonitor::total_rate() const {
+  return total_bins().rates();
+}
+
+std::vector<double> StreamMonitor::ah_rate_per_slash24(
+    std::uint64_t slash24_count) const {
+  std::vector<double> rates = ah_.rates();
+  for (double& r : rates) r /= static_cast<double>(slash24_count);
+  return rates;
+}
+
+}  // namespace orion::flowsim

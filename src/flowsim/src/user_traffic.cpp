@@ -1,0 +1,39 @@
+#include "orion/flowsim/user_traffic.hpp"
+
+#include <cmath>
+
+namespace orion::flowsim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double UserTrafficModel::day_factor(std::int64_t day) const {
+  double factor = net::is_weekend(day) ? config_.weekend_factor : 1.0;
+  factor *= 1.0 + config_.growth_per_year * static_cast<double>(day) / 365.0;
+  // Day-keyed jitter, ±4%.
+  std::uint64_t state = config_.seed ^ (static_cast<std::uint64_t>(day) * 0xABCDu);
+  const double u = static_cast<double>(net::splitmix64(state) >> 11) * 0x1.0p-53;
+  factor *= 0.96 + 0.08 * u;
+  return factor;
+}
+
+double UserTrafficModel::rate_pps(net::SimTime t) const {
+  const std::int64_t day = t.day();
+  const double seconds_into_day =
+      static_cast<double>(t.second() - day * 86400);
+  // Diurnal curve peaking at 15:00 local.
+  const double phase = 2.0 * kPi * (seconds_into_day / 86400.0 - 15.0 / 24.0);
+  const double diurnal = 1.0 + config_.diurnal_amplitude * std::cos(phase);
+  return config_.base_pps * (1.0 - config_.cache_fraction) * day_factor(day) *
+         diurnal;
+}
+
+std::uint64_t UserTrafficModel::packets_on_day(std::int64_t day) const {
+  // The diurnal term integrates to zero over a full day.
+  const double total = config_.base_pps * (1.0 - config_.cache_fraction) *
+                       day_factor(day) * 86400.0;
+  return static_cast<std::uint64_t>(total);
+}
+
+}  // namespace orion::flowsim

@@ -1,0 +1,45 @@
+// Blocklist effectiveness: the paper's operational takeaway is that the
+// AH contribution is so Zipf-concentrated that "even starting by blocking
+// a small amount of AH, a large fraction of the problem is ameliorated"
+// (Fig 6 right + Conclusions). This module quantifies that trade-off:
+// traffic removed vs list size vs collateral (acknowledged research
+// scanners caught in the block).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/asdb/rdns.hpp"
+#include "orion/detect/detector.hpp"
+#include "orion/intel/acked.hpp"
+#include "orion/telescope/capture.hpp"
+
+namespace orion::impact {
+
+struct BlocklistPoint {
+  std::size_t blocked_ips = 0;
+  /// Fraction of ALL darknet scanning packets removed by the block.
+  double scanning_traffic_removed = 0;
+  /// Fraction of AH packets removed.
+  double ah_traffic_removed = 0;
+  /// Acknowledged research IPs included in the block (collateral when an
+  /// operator does not want to block disclosed research).
+  std::size_t acked_blocked = 0;
+};
+
+struct BlocklistCurve {
+  std::vector<BlocklistPoint> points;  // one per requested list size
+  std::uint64_t total_scanning_packets = 0;
+  std::uint64_t total_ah_packets = 0;
+};
+
+/// Ranks the AH set by dataset packet contribution and evaluates blocking
+/// the top-k for each k in `list_sizes`. `acked`/`rdns` may be null (no
+/// collateral accounting then).
+BlocklistCurve evaluate_blocklist(const telescope::EventDataset& dataset,
+                                  const detect::IpSet& ah,
+                                  const std::vector<std::size_t>& list_sizes,
+                                  const intel::AckedScannerList* acked,
+                                  const asdb::ReverseDns* rdns);
+
+}  // namespace orion::impact

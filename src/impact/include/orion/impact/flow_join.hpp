@@ -1,0 +1,75 @@
+// Network-impact analysis: joining AH lists against border flow data
+// (Section 4 — Tables 2, 3, 4, 8 and Figure 5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "orion/detect/detector.hpp"
+#include "orion/flowsim/flows.hpp"
+#include "orion/stats/topk.hpp"
+
+namespace orion::impact {
+
+/// One router-day of joined impact numbers.
+struct RouterDayImpact {
+  std::size_t router = 0;
+  std::int64_t day = 0;
+  /// NetFlow estimate of packets from matched sources (sampled * rate).
+  std::uint64_t matched_packets = 0;
+  /// All packets the router processed that day (ground truth).
+  std::uint64_t total_packets = 0;
+  /// Matched sources with at least one sampled flow.
+  std::size_t matched_sources = 0;
+
+  double percentage() const {
+    return total_packets == 0 ? 0.0
+                              : 100.0 * static_cast<double>(matched_packets) /
+                                    static_cast<double>(total_packets);
+  }
+};
+
+/// Per-traffic-type packet estimates for a set of sources at a router-day
+/// (the flow side of Table 3); indices follow pkt::TrafficType.
+using ProtocolMix = std::array<std::uint64_t, 3>;
+
+class FlowImpactAnalyzer {
+ public:
+  explicit FlowImpactAnalyzer(const flowsim::FlowDataset* flows);
+
+  /// Impact of the given source set at one router-day (Table 2/4 cells).
+  RouterDayImpact impact(std::size_t router, std::int64_t day,
+                         const detect::IpSet& sources) const;
+
+  /// All router-days in the dataset window for one source set.
+  std::vector<RouterDayImpact> impact_table(const detect::IpSet& sources) const;
+
+  /// Fraction (0-100) of `sources` that appear (>= 1 sampled flow) at a
+  /// router-day — Table 8's visibility percentages.
+  double visibility_percent(std::size_t router, std::int64_t day,
+                            const std::vector<net::Ipv4Address>& sources) const;
+
+  /// Flow-side protocol mix for matched sources (Table 3).
+  ProtocolMix protocol_mix(std::size_t router, std::int64_t day,
+                           const detect::IpSet& sources) const;
+
+  /// Flow-side per-port packet estimates for matched sources (Figure 5).
+  stats::TopK<std::uint16_t> port_mix(std::size_t router, std::int64_t day,
+                                      const detect::IpSet& sources) const;
+
+ private:
+  const flowsim::FlowDataset* flows_;
+};
+
+/// Darknet-side protocol mix of a set of sources on one day, from events
+/// started that day (the "D" columns of Table 3).
+ProtocolMix darknet_protocol_mix(const telescope::EventDataset& dataset,
+                                 std::int64_t day, const detect::IpSet& sources);
+
+/// Darknet-side per-port packet counts (Figure 5's x-axis).
+stats::TopK<std::uint16_t> darknet_port_mix(const telescope::EventDataset& dataset,
+                                            std::int64_t day,
+                                            const detect::IpSet& sources);
+
+}  // namespace orion::impact

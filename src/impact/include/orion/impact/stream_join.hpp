@@ -1,0 +1,40 @@
+// Packet-stream impact studies (Figures 1 and 2): drive the packet
+// generator over a monitored network for a multi-day window and classify
+// every arriving scanner packet against the AH list at a per-second
+// monitor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "orion/asdb/registry.hpp"
+#include "orion/detect/detector.hpp"
+#include "orion/flowsim/routing.hpp"
+#include "orion/flowsim/stream.hpp"
+#include "orion/scangen/population.hpp"
+
+namespace orion::impact {
+
+struct StreamStudyConfig {
+  net::SimTime start;
+  std::size_t hours = 72;  // the paper's window starting 2022-11-28
+  std::uint64_t seed = 9090;
+  /// When set, only packets entering via this border router are mirrored
+  /// (the Merit station mirrors ONE of the three core routers; the CU
+  /// station sees the whole campus, so leave unset there).
+  std::optional<std::size_t> router_filter;
+};
+
+/// Runs the 72-hour packet study: generates every scanner packet arriving
+/// in `space`, applies the (optional) router filter via the peering
+/// policy, classifies sources against `ah`, and returns the loaded
+/// monitor (finalized, user traffic included).
+flowsim::StreamMonitor run_stream_study(const scangen::Population& population,
+                                        const asdb::Registry& registry,
+                                        const flowsim::PeeringPolicy& policy,
+                                        const net::PrefixSet& space,
+                                        const detect::IpSet& ah,
+                                        const flowsim::UserTrafficModel& user,
+                                        const StreamStudyConfig& config);
+
+}  // namespace orion::impact

@@ -1,0 +1,61 @@
+#include "orion/impact/blocklist.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace orion::impact {
+
+BlocklistCurve evaluate_blocklist(const telescope::EventDataset& dataset,
+                                  const detect::IpSet& ah,
+                                  const std::vector<std::size_t>& list_sizes,
+                                  const intel::AckedScannerList* acked,
+                                  const asdb::ReverseDns* rdns) {
+  BlocklistCurve curve;
+
+  std::unordered_map<net::Ipv4Address, std::uint64_t> per_src;
+  for (const telescope::DarknetEvent& e : dataset.events()) {
+    curve.total_scanning_packets += e.packets;
+    if (ah.contains(e.key.src)) {
+      per_src[e.key.src] += e.packets;
+      curve.total_ah_packets += e.packets;
+    }
+  }
+
+  // Rank AH by contribution, heaviest first (ties by IP for determinism).
+  std::vector<std::pair<net::Ipv4Address, std::uint64_t>> ranked(per_src.begin(),
+                                                                 per_src.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  // Prefix sums of removed traffic and collateral.
+  std::vector<std::uint64_t> removed(ranked.size() + 1, 0);
+  std::vector<std::size_t> collateral(ranked.size() + 1, 0);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    removed[i + 1] = removed[i] + ranked[i].second;
+    const bool is_acked =
+        acked && rdns && static_cast<bool>(acked->match(ranked[i].first, *rdns));
+    collateral[i + 1] = collateral[i] + (is_acked ? 1 : 0);
+  }
+
+  for (const std::size_t size : list_sizes) {
+    BlocklistPoint point;
+    point.blocked_ips = std::min(size, ranked.size());
+    point.scanning_traffic_removed =
+        curve.total_scanning_packets == 0
+            ? 0.0
+            : static_cast<double>(removed[point.blocked_ips]) /
+                  static_cast<double>(curve.total_scanning_packets);
+    point.ah_traffic_removed =
+        curve.total_ah_packets == 0
+            ? 0.0
+            : static_cast<double>(removed[point.blocked_ips]) /
+                  static_cast<double>(curve.total_ah_packets);
+    point.acked_blocked = collateral[point.blocked_ips];
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace orion::impact

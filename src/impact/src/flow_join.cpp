@@ -1,0 +1,114 @@
+#include "orion/impact/flow_join.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace orion::impact {
+
+FlowImpactAnalyzer::FlowImpactAnalyzer(const flowsim::FlowDataset* flows)
+    : flows_(flows) {}
+
+RouterDayImpact FlowImpactAnalyzer::impact(std::size_t router, std::int64_t day,
+                                           const detect::IpSet& sources) const {
+  const flowsim::RouterDay& rd = flows_->at(router, day);
+  RouterDayImpact out;
+  out.router = router;
+  out.day = day;
+  out.total_packets = rd.total_packets;
+
+  std::unordered_set<net::Ipv4Address> seen;
+  std::uint64_t sampled = 0;
+  for (const auto& [key, count] : rd.sampled) {
+    if (!sources.contains(key.src)) continue;
+    sampled += count;
+    seen.insert(key.src);
+  }
+  out.matched_packets = sampled * flows_->sampling_rate();
+  out.matched_sources = seen.size();
+  return out;
+}
+
+std::vector<RouterDayImpact> FlowImpactAnalyzer::impact_table(
+    const detect::IpSet& sources) const {
+  std::vector<RouterDayImpact> out;
+  for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
+    for (std::int64_t day = flows_->start_day(); day < flows_->end_day(); ++day) {
+      out.push_back(impact(router, day, sources));
+    }
+  }
+  return out;
+}
+
+double FlowImpactAnalyzer::visibility_percent(
+    std::size_t router, std::int64_t day,
+    const std::vector<net::Ipv4Address>& sources) const {
+  if (sources.empty()) return 0.0;
+  const flowsim::RouterDay& rd = flows_->at(router, day);
+  std::unordered_set<net::Ipv4Address> seen;
+  for (const auto& [key, count] : rd.sampled) seen.insert(key.src);
+  std::size_t matched = 0;
+  for (const net::Ipv4Address ip : sources) {
+    if (seen.contains(ip)) ++matched;
+  }
+  return 100.0 * static_cast<double>(matched) /
+         static_cast<double>(sources.size());
+}
+
+namespace {
+
+std::size_t type_index(pkt::TrafficType t) {
+  switch (t) {
+    case pkt::TrafficType::TcpSyn: return 0;
+    case pkt::TrafficType::Udp: return 1;
+    case pkt::TrafficType::IcmpEchoReq: return 2;
+    case pkt::TrafficType::Other: break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ProtocolMix FlowImpactAnalyzer::protocol_mix(std::size_t router, std::int64_t day,
+                                             const detect::IpSet& sources) const {
+  const flowsim::RouterDay& rd = flows_->at(router, day);
+  ProtocolMix mix{};
+  for (const auto& [key, count] : rd.sampled) {
+    if (!sources.contains(key.src)) continue;
+    mix[type_index(key.type)] += count * flows_->sampling_rate();
+  }
+  return mix;
+}
+
+stats::TopK<std::uint16_t> FlowImpactAnalyzer::port_mix(
+    std::size_t router, std::int64_t day, const detect::IpSet& sources) const {
+  const flowsim::RouterDay& rd = flows_->at(router, day);
+  stats::TopK<std::uint16_t> ports;
+  for (const auto& [key, count] : rd.sampled) {
+    if (!sources.contains(key.src)) continue;
+    ports.add(key.dst_port, count * flows_->sampling_rate());
+  }
+  return ports;
+}
+
+ProtocolMix darknet_protocol_mix(const telescope::EventDataset& dataset,
+                                 std::int64_t day, const detect::IpSet& sources) {
+  ProtocolMix mix{};
+  for (const telescope::DarknetEvent& e : dataset.events()) {
+    if (e.day() != day || !sources.contains(e.key.src)) continue;
+    mix[type_index(e.key.type)] += e.packets;
+  }
+  return mix;
+}
+
+stats::TopK<std::uint16_t> darknet_port_mix(const telescope::EventDataset& dataset,
+                                            std::int64_t day,
+                                            const detect::IpSet& sources) {
+  stats::TopK<std::uint16_t> ports;
+  for (const telescope::DarknetEvent& e : dataset.events()) {
+    if (e.day() != day || !sources.contains(e.key.src)) continue;
+    ports.add(e.key.dst_port, e.packets);
+  }
+  return ports;
+}
+
+}  // namespace orion::impact

@@ -1,0 +1,58 @@
+#include "orion/impact/stream_join.hpp"
+
+#include <unordered_map>
+
+#include "orion/scangen/packet_gen.hpp"
+
+namespace orion::impact {
+
+flowsim::StreamMonitor run_stream_study(const scangen::Population& population,
+                                        const asdb::Registry& registry,
+                                        const flowsim::PeeringPolicy& policy,
+                                        const net::PrefixSet& space,
+                                        const detect::IpSet& ah,
+                                        const flowsim::UserTrafficModel& user,
+                                        const StreamStudyConfig& config) {
+  flowsim::StreamMonitorConfig monitor_config;
+  monitor_config.start = config.start;
+  monitor_config.bin_width = net::Duration::seconds(1);
+  monitor_config.bin_count = config.hours * 3600;
+  monitor_config.seed = config.seed ^ 0x5EEDull;
+  flowsim::StreamMonitor monitor(monitor_config, user);
+
+  const net::SimTime window_end =
+      config.start + net::Duration::hours(static_cast<std::int64_t>(config.hours));
+
+  scangen::PacketGenConfig gen_config;
+  gen_config.seed = config.seed;
+  // ISP-side streams only count packets; distinct-destination bookkeeping
+  // is darknet business.
+  gen_config.exact_targets = false;
+  scangen::PacketStreamGenerator generator(population.scanners, space,
+                                           config.start, window_end, gen_config);
+
+  // Stable per-source caches: region and AH membership. Routing is per
+  // packet (destination-dependent paths).
+  std::unordered_map<net::Ipv4Address, std::pair<asdb::Region, bool>> cache;
+  while (auto packet = generator.next()) {
+    const net::Ipv4Address src = packet->tuple.src;
+    auto it = cache.find(src);
+    if (it == cache.end()) {
+      const asdb::AsRecord* as = registry.lookup(src);
+      const asdb::Region region = as ? as->region : asdb::Region::Other;
+      it = cache.emplace(src, std::pair{region, ah.contains(src)}).first;
+    }
+    const auto [region, is_ah] = it->second;
+    if (config.router_filter &&
+        policy.route_packet(src, packet->tuple.dst, region) !=
+            *config.router_filter) {
+      continue;
+    }
+    monitor.observe_scanner_packet(packet->timestamp, is_ah);
+  }
+
+  monitor.finalize();
+  return monitor;
+}
+
+}  // namespace orion::impact

@@ -1,0 +1,61 @@
+// The "Acknowledged Scanners" list [9 in the paper]: organizations that
+// disclose their scanning intentions, published as per-org IP lists. The
+// published list is DELIBERATELY PARTIAL — the paper found ~7,600 IPs of
+// acknowledged orgs that the list misses, recovered via reverse-DNS
+// keyword matching. This module models both the list and the two-stage
+// matcher (exact IP, then rDNS keyword).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "orion/asdb/rdns.hpp"
+#include "orion/netbase/ipv4.hpp"
+#include "orion/scangen/population.hpp"
+
+namespace orion::intel {
+
+struct AckedConfig {
+  /// Fraction of each org's real IPs that made it into the published list.
+  double ip_listing_completeness = 0.18;
+  /// Fraction of research IPs that carry a keyword-bearing PTR record.
+  double ptr_coverage = 0.92;
+  std::uint64_t seed = 401;
+};
+
+enum class MatchKind : std::uint8_t { None, Ip, Domain };
+
+struct AckedMatch {
+  MatchKind kind = MatchKind::None;
+  std::string org;  // empty when kind == None
+  explicit operator bool() const { return kind != MatchKind::None; }
+};
+
+class AckedScannerList {
+ public:
+  /// Builds the published list from the ground-truth research orgs and
+  /// installs the PTR records the matcher will later consult.
+  static AckedScannerList from_orgs(const std::vector<scangen::ResearchOrg>& orgs,
+                                    asdb::ReverseDns& rdns, AckedConfig config);
+
+  /// Stage 1: exact IP membership in the published list.
+  bool contains_ip(net::Ipv4Address ip) const { return listed_.contains(ip); }
+
+  /// Full matcher: exact IP, else rDNS keyword scan of the PTR record.
+  AckedMatch match(net::Ipv4Address ip, const asdb::ReverseDns& rdns) const;
+
+  std::size_t org_count() const { return keywords_.size(); }
+  std::size_t listed_ip_count() const { return listed_.size(); }
+  const std::vector<std::string>& keywords() const { return keyword_list_; }
+
+ private:
+  std::unordered_map<net::Ipv4Address, std::string> listed_;  // ip -> org
+  std::unordered_map<std::string, std::string> keywords_;     // keyword -> org
+  std::vector<std::string> keyword_list_;
+};
+
+}  // namespace orion::intel

@@ -1,0 +1,65 @@
+// GreyNoise-like distributed honeypot network: scattered sensor prefixes
+// observe the same scanner population; observed IPs are classified
+// (benign / malicious / unknown) and tagged by behavioural rules keyed on
+// tool fingerprints, categories and targeted ports (Table 9, Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "orion/asdb/registry.hpp"
+#include "orion/netbase/prefix.hpp"
+#include "orion/scangen/population.hpp"
+
+namespace orion::intel {
+
+enum class GnClass : std::uint8_t { Benign, Malicious, Unknown };
+
+constexpr const char* to_string(GnClass c) {
+  switch (c) {
+    case GnClass::Benign: return "benign";
+    case GnClass::Malicious: return "malicious";
+    case GnClass::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+struct GnRecord {
+  GnClass classification = GnClass::Unknown;
+  std::vector<std::string> tags;
+};
+
+struct HoneypotConfig {
+  std::uint64_t seed = 601;
+  std::int64_t window_start_day = 0;  // observation window, inclusive
+  std::int64_t window_end_day = 0;    // exclusive
+};
+
+class HoneypotNetwork {
+ public:
+  HoneypotNetwork(net::PrefixSet sensors, HoneypotConfig config);
+
+  /// Observes one population over the configured window: every scanner
+  /// whose sessions (binomially thinned onto the sensor space) deliver at
+  /// least one packet is recorded and tagged.
+  void observe(const scangen::Population& population);
+
+  bool contains(net::Ipv4Address ip) const { return records_.contains(ip); }
+  const GnRecord* record(net::Ipv4Address ip) const;
+  std::size_t size() const { return records_.size(); }
+  const std::unordered_map<net::Ipv4Address, GnRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  GnRecord classify(const scangen::ScannerProfile& scanner,
+                    net::Rng& rng) const;
+
+  net::PrefixSet sensors_;
+  HoneypotConfig config_;
+  std::unordered_map<net::Ipv4Address, GnRecord> records_;
+};
+
+}  // namespace orion::intel

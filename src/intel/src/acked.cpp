@@ -1,0 +1,45 @@
+#include "orion/intel/acked.hpp"
+
+#include <algorithm>
+
+namespace orion::intel {
+
+AckedScannerList AckedScannerList::from_orgs(
+    const std::vector<scangen::ResearchOrg>& orgs, asdb::ReverseDns& rdns,
+    AckedConfig config) {
+  AckedScannerList list;
+  net::Rng rng(config.seed);
+  std::size_t host_counter = 0;
+  for (const scangen::ResearchOrg& org : orgs) {
+    list.keywords_[org.keyword] = org.name;
+    list.keyword_list_.push_back(org.keyword);
+    for (const net::Ipv4Address ip : org.ips) {
+      // Every org gets at least one listed IP; the rest are listed with
+      // the configured (in)completeness.
+      const bool is_first = !org.ips.empty() && ip == org.ips.front();
+      if (is_first || rng.chance(config.ip_listing_completeness)) {
+        list.listed_.emplace(ip, org.name);
+      }
+      if (rng.chance(config.ptr_coverage)) {
+        rdns.register_ptr(ip, "probe-" + std::to_string(host_counter++) + "." +
+                                  org.domain);
+      }
+    }
+  }
+  return list;
+}
+
+AckedMatch AckedScannerList::match(net::Ipv4Address ip,
+                                   const asdb::ReverseDns& rdns) const {
+  const auto listed = listed_.find(ip);
+  if (listed != listed_.end()) return {MatchKind::Ip, listed->second};
+
+  const auto ptr = rdns.lookup(ip);
+  if (!ptr) return {};
+  for (const auto& [keyword, org] : keywords_) {
+    if (ptr->find(keyword) != std::string::npos) return {MatchKind::Domain, org};
+  }
+  return {};
+}
+
+}  // namespace orion::intel

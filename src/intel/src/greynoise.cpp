@@ -1,0 +1,157 @@
+#include "orion/intel/greynoise.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "orion/scangen/arrivals.hpp"
+
+namespace orion::intel {
+
+namespace {
+
+/// Port-keyed tag rules (first match per port appends its tag).
+struct PortTag {
+  std::uint16_t port;
+  const char* tag;
+};
+
+constexpr PortTag kPortTags[] = {
+    {80, "Web Crawler"},
+    {8080, "Web Crawler"},
+    {81, "Web Crawler"},
+    {443, "TLS/SSL Crawler"},
+    {8443, "TLS/SSL Crawler"},
+    {2375, "Docker Scanner"},
+    {10250, "Kubernetes Crawler"},
+    {6379, "Redis Scanner"},
+    {5060, "Sipvicious"},
+    {445, "SMBv1 Crawler"},
+    {60001, "JAWS Webserver RCE"},
+    {37215, "Miniigd UPnP Worm CVE-2014-8361"},
+    {9200, "Elasticsearch Scanner"},
+    {7547, "TR-064 Scanner"},
+    {1433, "MSSQL Bruteforcer"},
+    {3306, "MySQL Scanner"},
+};
+
+}  // namespace
+
+HoneypotNetwork::HoneypotNetwork(net::PrefixSet sensors, HoneypotConfig config)
+    : sensors_(std::move(sensors)), config_(config) {}
+
+const GnRecord* HoneypotNetwork::record(net::Ipv4Address ip) const {
+  const auto it = records_.find(ip);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+GnRecord HoneypotNetwork::classify(const scangen::ScannerProfile& scanner,
+                                   net::Rng& rng) const {
+  GnRecord record;
+
+  // Classification by ground-truth category, with the tagging noise a real
+  // threat-intel pipeline exhibits (most undisclosed bulk scanning stays
+  // "unknown" — Figure 6 left).
+  switch (scanner.category) {
+    case scangen::Category::AckedResearch:
+      record.classification = GnClass::Benign;
+      break;
+    case scangen::Category::Botnet:
+      record.classification = rng.chance(0.68) ? GnClass::Malicious
+                                               : GnClass::Unknown;
+      break;
+    case scangen::Category::Bruteforcer:
+      record.classification = rng.chance(0.75) ? GnClass::Malicious
+                                               : GnClass::Unknown;
+      break;
+    case scangen::Category::CloudScanner:
+      // Undisclosed bulk scanning mostly stays unattributed — the paper's
+      // Fig 6 majority-unknown slice.
+      record.classification = rng.chance(0.12) ? GnClass::Malicious
+                                               : GnClass::Unknown;
+      break;
+    case scangen::Category::PortSweeper:
+    case scangen::Category::SmallScanner:
+      record.classification = rng.chance(0.15) ? GnClass::Malicious
+                                               : GnClass::Unknown;
+      break;
+  }
+
+  // Tool tags.
+  switch (scanner.tool) {
+    case pkt::ScanTool::ZMap: record.tags.emplace_back("ZMap Client"); break;
+    case pkt::ScanTool::Mirai: record.tags.emplace_back("Mirai"); break;
+    case pkt::ScanTool::Masscan: record.tags.emplace_back("Masscan Client"); break;
+    case pkt::ScanTool::Other: break;
+  }
+  if (scanner.category == scangen::Category::PortSweeper) {
+    record.tags.emplace_back("Port Sweeper");
+  }
+
+  // Port-behaviour tags from the scanner's PRIMARY services (its first
+  // session's ports) — GN tags characterize dominant behaviour, not every
+  // port a source ever touched.
+  std::unordered_set<std::uint16_t> ports;
+  bool icmp = false;
+  if (!scanner.sessions.empty()) {
+    for (const scangen::PortSpec& port : scanner.sessions.front().ports) {
+      ports.insert(port.port);
+      icmp |= port.type == pkt::TrafficType::IcmpEchoReq;
+    }
+  }
+  if (scanner.category == scangen::Category::Bruteforcer) {
+    // Bruteforce tags consider the whole repertoire (they rotate targets).
+    for (const scangen::SessionSpec& session : scanner.sessions) {
+      for (const scangen::PortSpec& port : session.ports) ports.insert(port.port);
+    }
+  }
+  if (icmp) record.tags.emplace_back("Ping Scanner");
+  if (scanner.category == scangen::Category::Bruteforcer) {
+    if (ports.contains(22)) record.tags.emplace_back("SSH Bruteforcer");
+    if (ports.contains(3389)) record.tags.emplace_back("RDP Bruteforcer");
+    if (ports.contains(23)) record.tags.emplace_back("Telnet Bruteforcer");
+  }
+  if (scanner.category == scangen::Category::Botnet &&
+      (ports.contains(23) || ports.contains(2323))) {
+    if (std::find(record.tags.begin(), record.tags.end(), "Mirai") ==
+        record.tags.end()) {
+      record.tags.emplace_back("Telnet Worm");
+    }
+  }
+  for (const PortTag& rule : kPortTags) {
+    if (ports.contains(rule.port)) record.tags.emplace_back(rule.tag);
+  }
+  if (record.tags.empty()) record.tags.emplace_back("Unidentified Scanner");
+  return record;
+}
+
+void HoneypotNetwork::observe(const scangen::Population& population) {
+  const std::uint64_t sensor_size = sensors_.total_addresses();
+  const net::SimTime window_start =
+      net::SimTime::at(net::Duration::days(config_.window_start_day));
+  const net::SimTime window_end =
+      net::SimTime::at(net::Duration::days(config_.window_end_day));
+  net::Rng base(config_.seed);
+
+  for (const scangen::ScannerProfile& scanner : population.scanners) {
+    if (records_.contains(scanner.source)) continue;
+    net::Rng rng = base.fork(scanner.rng_stream ^ 0x6E01ull);
+    bool observed = false;
+    for (const scangen::SessionSpec& session : scanner.sessions) {
+      if (session.end() <= window_start || session.start >= window_end) continue;
+      const std::size_t port_count = session.sweep_port_count > 0
+                                         ? session.sweep_port_count
+                                         : session.ports.size();
+      for (std::size_t i = 0; i < port_count && !observed; ++i) {
+        observed =
+            scangen::sample_unique_targets(sensor_size, session.coverage, rng) > 0;
+      }
+      if (observed) break;
+    }
+    if (observed) {
+      net::Rng tag_rng = base.fork(scanner.rng_stream ^ 0x7A65ull);
+      records_.emplace(scanner.source, classify(scanner, tag_rng));
+    }
+  }
+}
+
+}  // namespace orion::intel

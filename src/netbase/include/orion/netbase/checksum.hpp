@@ -1,0 +1,27 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace orion::net {
+
+/// One's-complement sum accumulator used by IPv4/TCP/UDP/ICMP checksums.
+/// Feed byte ranges (and 16-bit words for pseudo-headers), then finalize().
+class InternetChecksum {
+ public:
+  void add_bytes(std::span<const std::uint8_t> data);
+  void add_word(std::uint16_t host_order_word) { sum_ += host_order_word; }
+
+  /// Final folded, complemented checksum in host order.
+  std::uint16_t finalize() const;
+
+  /// Convenience one-shot checksum over a buffer.
+  static std::uint16_t of(std::span<const std::uint8_t> data);
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace orion::net

@@ -1,0 +1,47 @@
+// Transport five-tuple used as flow and event keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "orion/netbase/ipv4.hpp"
+
+namespace orion::net {
+
+/// IP protocol numbers used throughout the system.
+enum class IpProto : std::uint8_t { Icmp = 1, Tcp = 6, Udp = 17 };
+
+constexpr const char* to_string(IpProto proto) {
+  switch (proto) {
+    case IpProto::Icmp: return "ICMP";
+    case IpProto::Tcp: return "TCP";
+    case IpProto::Udp: return "UDP";
+  }
+  return "?";
+}
+
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;  // ICMP: 0
+  IpProto proto = IpProto::Tcp;
+
+  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept {
+    std::uint64_t h = t.src.value();
+    h = h * 0x9E3779B97F4A7C15ull + t.dst.value();
+    h = h * 0x9E3779B97F4A7C15ull +
+        ((std::uint64_t{t.src_port} << 24) | (std::uint64_t{t.dst_port} << 8) |
+         static_cast<std::uint64_t>(t.proto));
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace orion::net

@@ -1,0 +1,71 @@
+// IPv4 address strong type: value semantics over a host-order uint32_t.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace orion::net {
+
+/// An IPv4 address. Stored in host byte order; conversion to/from wire
+/// (network) order is explicit via to_network()/from_network().
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+
+  /// Builds from the four dotted-quad octets, most significant first.
+  constexpr static Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Returns nullopt on any
+  /// malformed input (empty octet, value > 255, trailing junk, ...).
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  /// Wire (big-endian) representation.
+  constexpr std::uint32_t to_network() const {
+    return ((value_ & 0x000000FFu) << 24) | ((value_ & 0x0000FF00u) << 8) |
+           ((value_ & 0x00FF0000u) >> 8) | ((value_ & 0xFF000000u) >> 24);
+  }
+  constexpr static Ipv4Address from_network(std::uint32_t wire) {
+    return Ipv4Address(((wire & 0x000000FFu) << 24) | ((wire & 0x0000FF00u) << 8) |
+                       ((wire & 0x00FF0000u) >> 8) | ((wire & 0xFF000000u) >> 24));
+  }
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// The enclosing /24 network address (host bits zeroed).
+  constexpr Ipv4Address slash24() const { return Ipv4Address(value_ & 0xFFFFFF00u); }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct Ipv4AddressHash {
+  std::size_t operator()(Ipv4Address a) const noexcept {
+    // Fibonacci hash; addresses are often sequential, so mix the bits.
+    return static_cast<std::size_t>(a.value() * 0x9E3779B97F4A7C15ull >> 16);
+  }
+};
+
+}  // namespace orion::net
+
+template <>
+struct std::hash<orion::net::Ipv4Address> {
+  std::size_t operator()(orion::net::Ipv4Address a) const noexcept {
+    return orion::net::Ipv4AddressHash{}(a);
+  }
+};

@@ -1,0 +1,97 @@
+// IPv6 address and prefix types (RFC 4291 text forms, RFC 5952 output).
+// Substrate for the paper's stated future work on heavy IPv6 scanners.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace orion::net {
+
+class Ipv6Address {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Ipv6Address() : bytes_{} {}
+  constexpr explicit Ipv6Address(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Builds from eight 16-bit groups (host order, most significant first).
+  static Ipv6Address from_groups(const std::array<std::uint16_t, 8>& groups);
+
+  /// Parses full and ::-compressed textual forms ("2001:db8::1").
+  /// Returns nullopt on malformed input (double "::", >8 groups, bad hex).
+  static std::optional<Ipv6Address> parse(std::string_view text);
+
+  const Bytes& bytes() const { return bytes_; }
+  std::uint16_t group(int i) const {
+    return static_cast<std::uint16_t>((bytes_[static_cast<std::size_t>(2 * i)] << 8) |
+                                      bytes_[static_cast<std::size_t>(2 * i + 1)]);
+  }
+
+  /// RFC 5952 canonical form: lowercase hex, longest zero run compressed
+  /// (leftmost on ties, never a single group).
+  std::string to_string() const;
+
+  /// The low 64 bits (interface identifier) — the part hitlist patterns
+  /// structure.
+  std::uint64_t interface_id() const;
+  /// The high 64 bits (routing prefix + subnet).
+  std::uint64_t network_id() const;
+
+  /// True for EUI-64-derived interface IDs (0xfffe in the middle bytes).
+  bool looks_eui64() const {
+    return bytes_[11] == 0xff && bytes_[12] == 0xfe;
+  }
+  /// True when the interface ID is a small integer (::1, ::2, ... ::ffff),
+  /// the "low-byte" addressing pattern of servers.
+  bool is_low_byte() const {
+    return bytes_[8] == 0 && bytes_[9] == 0 && bytes_[10] == 0 &&
+           bytes_[11] == 0 && bytes_[12] == 0 && bytes_[13] == 0;
+  }
+
+  friend constexpr auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  Bytes bytes_;
+};
+
+struct Ipv6AddressHash {
+  std::size_t operator()(const Ipv6Address& a) const noexcept;
+};
+
+/// An IPv6 CIDR prefix; host bits kept zeroed.
+class Ipv6Prefix {
+ public:
+  Ipv6Prefix() = default;
+  Ipv6Prefix(Ipv6Address base, int length);
+
+  static std::optional<Ipv6Prefix> parse(std::string_view text);
+
+  const Ipv6Address& base() const { return base_; }
+  int length() const { return length_; }
+  bool contains(const Ipv6Address& a) const;
+
+  /// Address with the given interface-id within this prefix (length <= 64).
+  Ipv6Address at_interface(std::uint64_t interface_id) const;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Ipv6Prefix&, const Ipv6Prefix&) = default;
+
+ private:
+  Ipv6Address base_;
+  int length_ = 128;
+};
+
+}  // namespace orion::net
+
+template <>
+struct std::hash<orion::net::Ipv6Address> {
+  std::size_t operator()(const orion::net::Ipv6Address& a) const noexcept {
+    return orion::net::Ipv6AddressHash{}(a);
+  }
+};

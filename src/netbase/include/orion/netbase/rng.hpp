@@ -1,0 +1,63 @@
+// Deterministic PRNG for reproducible simulations.
+//
+// std::mt19937 + std::*_distribution are not guaranteed to produce identical
+// streams across standard-library implementations; all simulation code uses
+// this self-contained xoshiro256** generator with explicit distributions so
+// scenario seeds reproduce bit-identically everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace orion::net {
+
+/// SplitMix64 — used to seed xoshiro and to derive independent child seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next();
+
+  /// Derives an independent generator; `stream` distinguishes children of
+  /// the same parent (per-scanner, per-day, ... substreams).
+  Rng fork(std::uint64_t stream);
+
+  /// Unbiased uniform integer in [0, bound) via Lemire rejection.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Standard exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal(double mean, double stddev);
+
+  /// Poisson sample; uses inversion for small means, normal approximation
+  /// (rounded, clamped at 0) for large ones.
+  std::uint64_t poisson(double mean);
+
+  /// Binomial(n, p) sample; exact inversion for small n*p, normal
+  /// approximation for large. Used by the traffic thinning machinery.
+  std::uint64_t binomial(std::uint64_t n, double p);
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace orion::net

@@ -1,0 +1,96 @@
+// Simulation time: a strong type over nanoseconds-since-epoch plus the day
+// bucketing used throughout the longitudinal analyses.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace orion::net {
+
+/// A duration in the simulation, nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration nanos(std::int64_t n) { return Duration(n); }
+  constexpr static Duration micros(std::int64_t n) { return Duration(n * 1000); }
+  constexpr static Duration millis(std::int64_t n) { return Duration(n * 1000000); }
+  constexpr static Duration seconds(std::int64_t n) { return Duration(n * 1000000000); }
+  constexpr static Duration minutes(std::int64_t n) { return seconds(n * 60); }
+  constexpr static Duration hours(std::int64_t n) { return seconds(n * 3600); }
+  constexpr static Duration days(std::int64_t n) { return seconds(n * 86400); }
+  constexpr static Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  constexpr std::int64_t total_nanos() const { return nanos_; }
+  constexpr double total_seconds() const { return static_cast<double>(nanos_) / 1e9; }
+  constexpr std::int64_t total_whole_seconds() const { return nanos_ / 1000000000; }
+  constexpr std::int64_t total_whole_days() const { return nanos_ / 86400000000000LL; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.nanos_ + b.nanos_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.nanos_ - b.nanos_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.nanos_ * k);
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.nanos_ / k);
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : nanos_(n) {}
+  std::int64_t nanos_ = 0;
+};
+
+/// An instant in the simulation. Day 0 second 0 is the scenario epoch
+/// (2021-01-01 00:00 in the paper-calibrated scenarios).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr static SimTime epoch() { return SimTime(); }
+  constexpr static SimTime at(Duration since_epoch) { return SimTime(since_epoch); }
+
+  constexpr Duration since_epoch() const { return since_epoch_; }
+  /// Zero-based day index (the longitudinal bucketing unit).
+  constexpr std::int64_t day() const { return since_epoch_.total_whole_days(); }
+  /// Zero-based whole second (the Figure-1 instantaneous-bin unit).
+  constexpr std::int64_t second() const { return since_epoch_.total_whole_seconds(); }
+
+  /// "dNNN hh:mm:ss" rendering for logs and reports.
+  std::string to_string() const;
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime(t.since_epoch_ + d);
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime(t.since_epoch_ - d);
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return a.since_epoch_ - b.since_epoch_;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  constexpr explicit SimTime(Duration d) : since_epoch_(d) {}
+  Duration since_epoch_;
+};
+
+/// Day-of-week for the scenario calendar. Day 0 (2021-01-01) was a Friday.
+enum class Weekday { Mon, Tue, Wed, Thu, Fri, Sat, Sun };
+
+Weekday weekday_of(std::int64_t day_index);
+bool is_weekend(std::int64_t day_index);
+const char* to_string(Weekday w);
+
+/// Converts a scenario day index to a "YYYY-MM-DD" label (2021-01-01 epoch,
+/// Gregorian rules); keeps reports aligned with the paper's dates.
+std::string day_label(std::int64_t day_index);
+/// Inverse of day_label for the dates used in the paper's tables.
+std::int64_t day_index_of(int year, int month, int day);
+
+}  // namespace orion::net

@@ -1,0 +1,25 @@
+#include "orion/netbase/checksum.hpp"
+
+namespace orion::net {
+
+void InternetChecksum::add_bytes(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (std::uint16_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum_ += std::uint16_t{data[i]} << 8;  // odd trailing byte
+}
+
+std::uint16_t InternetChecksum::finalize() const {
+  std::uint64_t folded = sum_;
+  while (folded >> 16) folded = (folded & 0xFFFF) + (folded >> 16);
+  return static_cast<std::uint16_t>(~folded & 0xFFFF);
+}
+
+std::uint16_t InternetChecksum::of(std::span<const std::uint8_t> data) {
+  InternetChecksum c;
+  c.add_bytes(data);
+  return c.finalize();
+}
+
+}  // namespace orion::net

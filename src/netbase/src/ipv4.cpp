@@ -1,0 +1,37 @@
+#include "orion/netbase/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace orion::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  const char* cur = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned value = 0;
+    auto [ptr, ec] = std::from_chars(cur, end, value);
+    if (ec != std::errc{} || ptr == cur || value > 255) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    cur = ptr;
+    if (i < 3) {
+      if (cur == end || *cur != '.') return std::nullopt;
+      ++cur;
+    }
+  }
+  if (cur != end) return std::nullopt;
+  return from_octets(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+}  // namespace orion::net

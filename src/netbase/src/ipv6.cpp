@@ -1,0 +1,181 @@
+#include "orion/netbase/ipv6.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace orion::net {
+
+Ipv6Address Ipv6Address::from_groups(const std::array<std::uint16_t, 8>& groups) {
+  Bytes bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(2 * i)] =
+        static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)] >> 8);
+    bytes[static_cast<std::size_t>(2 * i + 1)] =
+        static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)]);
+  }
+  return Ipv6Address(bytes);
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+
+  // Split on "::" (at most one occurrence).
+  const std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos &&
+      text.find("::", gap + 1) != std::string_view::npos) {
+    return std::nullopt;
+  }
+
+  const auto parse_groups =
+      [](std::string_view part) -> std::optional<std::vector<std::uint16_t>> {
+    std::vector<std::uint16_t> groups;
+    if (part.empty()) return groups;
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t colon = part.find(':', begin);
+      const std::string_view token =
+          part.substr(begin, colon == std::string_view::npos ? std::string_view::npos
+                                                             : colon - begin);
+      if (token.empty() || token.size() > 4) return std::nullopt;
+      unsigned value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value, 16);
+      if (ec != std::errc{} || ptr != token.data() + token.size()) {
+        return std::nullopt;
+      }
+      groups.push_back(static_cast<std::uint16_t>(value));
+      if (colon == std::string_view::npos) break;
+      begin = colon + 1;
+      if (begin >= part.size()) return std::nullopt;  // trailing single ':'
+    }
+    return groups;
+  };
+
+  std::array<std::uint16_t, 8> groups{};
+  if (gap == std::string_view::npos) {
+    const auto parsed = parse_groups(text);
+    if (!parsed || parsed->size() != 8) return std::nullopt;
+    for (int i = 0; i < 8; ++i) groups[static_cast<std::size_t>(i)] = (*parsed)[static_cast<std::size_t>(i)];
+  } else {
+    const auto head = parse_groups(text.substr(0, gap));
+    const auto tail = parse_groups(text.substr(gap + 2));
+    if (!head || !tail) return std::nullopt;
+    if (head->size() + tail->size() >= 8) return std::nullopt;  // "::" must elide >= 1
+    for (std::size_t i = 0; i < head->size(); ++i) groups[i] = (*head)[i];
+    for (std::size_t i = 0; i < tail->size(); ++i) {
+      groups[8 - tail->size() + i] = (*tail)[i];
+    }
+  }
+  return from_groups(groups);
+}
+
+std::string Ipv6Address::to_string() const {
+  // Find the longest run of zero groups (length >= 2, leftmost on ties).
+  int best_start = -1, best_length = 0;
+  for (int i = 0; i < 8;) {
+    if (group(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && group(j) == 0) ++j;
+    if (j - i > best_length) {
+      best_start = i;
+      best_length = j - i;
+    }
+    i = j;
+  }
+  if (best_length < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_length;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", group(i));
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::uint64_t Ipv6Address::interface_id() const {
+  std::uint64_t v = 0;
+  for (int i = 8; i < 16; ++i) v = (v << 8) | bytes_[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t Ipv6Address::network_id() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes_[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::size_t Ipv6AddressHash::operator()(const Ipv6Address& a) const noexcept {
+  // SplitMix-style mix of the two halves.
+  std::uint64_t h = a.network_id() * 0x9E3779B97F4A7C15ull;
+  h ^= a.interface_id() + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return static_cast<std::size_t>(h ^ (h >> 31));
+}
+
+Ipv6Prefix::Ipv6Prefix(Ipv6Address base, int length) : length_(length) {
+  Ipv6Address::Bytes bytes = base.bytes();
+  for (int bit = length; bit < 128; ++bit) {
+    bytes[static_cast<std::size_t>(bit / 8)] &=
+        static_cast<std::uint8_t>(~(0x80u >> (bit % 8)));
+  }
+  base_ = Ipv6Address(bytes);
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) {
+    return std::nullopt;
+  }
+  if (length < 0 || length > 128) return std::nullopt;
+  return Ipv6Prefix(*addr, length);
+}
+
+bool Ipv6Prefix::contains(const Ipv6Address& a) const {
+  const auto& x = a.bytes();
+  const auto& b = base_.bytes();
+  int remaining = length_;
+  for (std::size_t i = 0; i < 16 && remaining > 0; ++i, remaining -= 8) {
+    if (remaining >= 8) {
+      if (x[i] != b[i]) return false;
+    } else {
+      const auto mask = static_cast<std::uint8_t>(0xFF << (8 - remaining));
+      if ((x[i] & mask) != (b[i] & mask)) return false;
+    }
+  }
+  return true;
+}
+
+Ipv6Address Ipv6Prefix::at_interface(std::uint64_t interface_id) const {
+  Ipv6Address::Bytes bytes = base_.bytes();
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(15 - i)] =
+        static_cast<std::uint8_t>(interface_id >> (8 * i));
+  }
+  return Ipv6Address(bytes);
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace orion::net

@@ -1,0 +1,106 @@
+#include "orion/netbase/rng.hpp"
+
+#include <cmath>
+
+namespace orion::net {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  // Mix the child stream id through SplitMix64 so that fork(0) and fork(1)
+  // are statistically independent of each other and of the parent.
+  std::uint64_t sm = next() ^ (stream * 0xD1342543DE82EF95ull + 0x2545F4914F6CDD1Dull);
+  return Rng(splitmix64(sm));
+}
+
+std::uint64_t Rng::bounded(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    const unsigned __int128 m = static_cast<unsigned __int128>(r) * bound;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double rate) {
+  // 1 - uniform() is in (0, 1], so the log argument is never zero.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion in the log domain to avoid underflow.
+    const double limit = -mean;
+    double log_prod = 0.0;
+    std::uint64_t k = 0;
+    for (;;) {
+      log_prod += std::log(1.0 - uniform());
+      if (log_prod < limit) return k;
+      ++k;
+    }
+  }
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(sample));
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0) return 0;
+  if (p >= 1) return n;
+  const double mean = static_cast<double>(n) * p;
+  if (mean < 30.0 && n < 100000) {
+    if (n <= 64) {
+      // Direct Bernoulli trials for tiny n.
+      std::uint64_t k = 0;
+      for (std::uint64_t i = 0; i < n; ++i) k += chance(p) ? 1 : 0;
+      return k;
+    }
+    // Count exponential inter-arrival skips: geometric thinning, O(k).
+    const double log_q = std::log(1.0 - p);
+    std::uint64_t k = 0;
+    double skipped = 0;
+    for (;;) {
+      skipped += std::floor(std::log(1.0 - uniform()) / log_q) + 1;
+      if (skipped > static_cast<double>(n)) return k;
+      ++k;
+    }
+  }
+  const double stddev = std::sqrt(mean * (1.0 - p));
+  const double sample = normal(mean, stddev);
+  if (sample <= 0) return 0;
+  const auto rounded = static_cast<std::uint64_t>(std::llround(sample));
+  return rounded > n ? n : rounded;
+}
+
+}  // namespace orion::net

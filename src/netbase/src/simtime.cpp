@@ -1,0 +1,73 @@
+#include "orion/netbase/simtime.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace orion::net {
+
+std::string SimTime::to_string() const {
+  const std::int64_t total_secs = since_epoch_.total_whole_seconds();
+  const std::int64_t d = total_secs / 86400;
+  const std::int64_t rem = total_secs % 86400;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "d%03lld %02lld:%02lld:%02lld",
+                static_cast<long long>(d), static_cast<long long>(rem / 3600),
+                static_cast<long long>((rem / 60) % 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+Weekday weekday_of(std::int64_t day_index) {
+  // Day 0 == 2021-01-01 == Friday.
+  const std::int64_t w = ((day_index % 7) + 7 + 4) % 7;  // Mon=0
+  return static_cast<Weekday>(w);
+}
+
+bool is_weekend(std::int64_t day_index) {
+  const Weekday w = weekday_of(day_index);
+  return w == Weekday::Sat || w == Weekday::Sun;
+}
+
+const char* to_string(Weekday w) {
+  constexpr std::array<const char*, 7> names = {"Mon", "Tue", "Wed", "Thu",
+                                                "Fri", "Sat", "Sun"};
+  return names[static_cast<std::size_t>(w)];
+}
+
+namespace {
+constexpr bool is_leap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+constexpr int days_in_month(int year, int month) {
+  constexpr std::array<int, 12> lengths = {31, 28, 31, 30, 31, 30,
+                                           31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return lengths[static_cast<std::size_t>(month - 1)];
+}
+}  // namespace
+
+std::string day_label(std::int64_t day_index) {
+  int year = 2021, month = 1;
+  std::int64_t remaining = day_index;
+  while (remaining >= (is_leap(year) ? 366 : 365)) {
+    remaining -= is_leap(year) ? 366 : 365;
+    ++year;
+  }
+  while (remaining >= days_in_month(year, month)) {
+    remaining -= days_in_month(year, month);
+    ++month;
+  }
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month,
+                static_cast<int>(remaining) + 1);
+  return buf;
+}
+
+std::int64_t day_index_of(int year, int month, int day) {
+  std::int64_t index = 0;
+  for (int y = 2021; y < year; ++y) index += is_leap(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) index += days_in_month(year, m);
+  return index + day - 1;
+}
+
+}  // namespace orion::net

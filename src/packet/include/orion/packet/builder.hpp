@@ -1,0 +1,37 @@
+// Probe construction: builds the scanning packets the generator emits.
+#pragma once
+
+#include "orion/netbase/rng.hpp"
+#include "orion/packet/fingerprint.hpp"
+#include "orion/packet/packet.hpp"
+
+namespace orion::pkt {
+
+/// Builds probe packets for one scanning source. Ephemeral source ports,
+/// sequence numbers and IP-IDs are drawn from the provided RNG unless the
+/// tool fingerprint dictates them.
+class ProbeBuilder {
+ public:
+  ProbeBuilder(net::Ipv4Address source, ScanTool tool, net::Rng rng)
+      : source_(source), tool_(tool), rng_(rng) {}
+
+  Packet tcp_syn(net::SimTime when, net::Ipv4Address dst, std::uint16_t dst_port);
+  Packet udp_probe(net::SimTime when, net::Ipv4Address dst, std::uint16_t dst_port,
+                   std::uint16_t payload_bytes = 8);
+  Packet icmp_echo(net::SimTime when, net::Ipv4Address dst);
+
+  /// Builds the probe kind matching a darknet traffic type.
+  Packet probe(net::SimTime when, net::Ipv4Address dst, std::uint16_t dst_port,
+               TrafficType type);
+
+  ScanTool tool() const { return tool_; }
+
+ private:
+  std::uint16_t ephemeral_port();
+
+  net::Ipv4Address source_;
+  ScanTool tool_;
+  net::Rng rng_;
+};
+
+}  // namespace orion::pkt

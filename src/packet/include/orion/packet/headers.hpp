@@ -1,0 +1,95 @@
+// IPv4 / TCP / UDP / ICMP header structs with explicit wire-format
+// serialization and parsing. These are value types in host byte order;
+// nothing here aliases raw buffers, so there are no alignment or
+// strict-aliasing hazards.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "orion/netbase/five_tuple.hpp"
+#include "orion/netbase/ipv4.hpp"
+
+namespace orion::pkt {
+
+/// TCP flag bits (wire positions).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // we never emit IP options
+
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = kSize;
+  std::uint16_t identification = 0;
+  bool dont_fragment = true;
+  std::uint8_t ttl = 64;
+  net::IpProto protocol = net::IpProto::Tcp;
+  net::Ipv4Address src;
+  net::Ipv4Address dst;
+
+  /// Appends the 20-byte header (with correct checksum) to `out`.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  /// Parses and validates (version, IHL, checksum). Returns nullopt on any
+  /// malformed field.
+  static std::optional<Ipv4Header> parse(std::span<const std::uint8_t> data);
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  // no TCP options
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = TcpFlags::kSyn;
+  std::uint16_t window = 65535;
+
+  /// Appends the header with a checksum over the IPv4 pseudo-header.
+  void serialize(std::vector<std::uint8_t>& out, net::Ipv4Address src_ip,
+                 net::Ipv4Address dst_ip,
+                 std::span<const std::uint8_t> payload) const;
+  static std::optional<TcpHeader> parse(std::span<const std::uint8_t> data);
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  void serialize(std::vector<std::uint8_t>& out, net::Ipv4Address src_ip,
+                 net::Ipv4Address dst_ip,
+                 std::span<const std::uint8_t> payload) const;
+  static std::optional<UdpHeader> parse(std::span<const std::uint8_t> data);
+};
+
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+  static constexpr std::uint8_t kEchoRequest = 8;
+  static constexpr std::uint8_t kEchoReply = 0;
+
+  std::uint8_t type = kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  void serialize(std::vector<std::uint8_t>& out,
+                 std::span<const std::uint8_t> payload) const;
+  static std::optional<IcmpHeader> parse(std::span<const std::uint8_t> data);
+};
+
+// Byte-level helpers shared by the header codecs.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+std::uint16_t get_u16(std::span<const std::uint8_t> data, std::size_t offset);
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t offset);
+
+}  // namespace orion::pkt

@@ -1,0 +1,57 @@
+// The in-memory packet record used throughout the simulation pipeline, plus
+// the scanning-traffic classifier from Section 2.A of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "orion/netbase/five_tuple.hpp"
+#include "orion/netbase/simtime.hpp"
+#include "orion/packet/headers.hpp"
+
+namespace orion::pkt {
+
+/// The three darknet "scanning packet" categories (plus Other for traffic
+/// the telescope records but the event pipeline ignores, e.g. backscatter
+/// SYN-ACKs and non-echo ICMP).
+enum class TrafficType : std::uint8_t { TcpSyn, Udp, IcmpEchoReq, Other };
+
+constexpr const char* to_string(TrafficType t) {
+  switch (t) {
+    case TrafficType::TcpSyn: return "TCP-SYN";
+    case TrafficType::Udp: return "UDP";
+    case TrafficType::IcmpEchoReq: return "ICMP-EchoReq";
+    case TrafficType::Other: return "Other";
+  }
+  return "?";
+}
+
+/// One captured packet. This is a parsed, header-level view — the pipeline
+/// never needs payload bytes (mirroring the paper's ethics constraint of
+/// header-only processing); serialize()/parse() round-trip the wire format
+/// for the pcap path.
+struct Packet {
+  net::SimTime timestamp;
+  net::FiveTuple tuple;
+  std::uint16_t ip_id = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t tcp_flags = 0;    // TCP only
+  std::uint32_t tcp_seq = 0;     // TCP only
+  std::uint16_t tcp_window = 0;  // TCP only
+  std::uint8_t icmp_type = 0;    // ICMP only
+  std::uint16_t wire_length = 40;
+
+  TrafficType traffic_type() const;
+  bool is_scanning_packet() const { return traffic_type() != TrafficType::Other; }
+
+  /// Serializes IPv4 + L4 headers (payload is synthesized as zeros to reach
+  /// wire_length) for pcap output.
+  std::vector<std::uint8_t> serialize() const;
+  /// Parses a raw IPv4 packet (linktype RAW); nullopt on malformed input.
+  static std::optional<Packet> parse(net::SimTime timestamp,
+                                     std::span<const std::uint8_t> data);
+};
+
+}  // namespace orion::pkt

@@ -1,0 +1,58 @@
+// Classic libpcap file format (magic 0xA1B2C3D4, microsecond timestamps,
+// linktype RAW = 101, i.e. packets begin at the IPv4 header). Self-contained
+// so captures interoperate with tcpdump/wireshark without linking libpcap.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orion/packet/packet.hpp"
+
+namespace orion::pkt {
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) the file and writes the global header.
+  /// Throws std::runtime_error if the file cannot be created.
+  explicit PcapWriter(const std::string& path, std::uint32_t snaplen = 65535);
+
+  /// Serializes and appends one packet record.
+  void write(const Packet& packet);
+  /// Appends a pre-serialized raw IPv4 frame.
+  void write_raw(net::SimTime timestamp, std::span<const std::uint8_t> frame);
+
+  std::uint64_t packets_written() const { return packets_written_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t packets_written_ = 0;
+};
+
+class PcapReader {
+ public:
+  /// Opens the file and validates the global header (both byte orders of
+  /// the classic magic are accepted). Throws std::runtime_error on a
+  /// missing file or unsupported format/linktype.
+  explicit PcapReader(const std::string& path);
+
+  /// Reads and parses the next packet; nullopt at end of file.
+  /// Malformed packet payloads (that parse as pcap records but not as
+  /// IPv4) are skipped and counted in skipped().
+  std::optional<Packet> next();
+
+  std::uint64_t packets_read() const { return packets_read_; }
+  std::uint64_t skipped() const { return skipped_; }
+
+ private:
+  std::optional<std::vector<std::uint8_t>> next_record(net::SimTime& timestamp);
+
+  std::ifstream in_;
+  bool swap_ = false;  // file written in opposite byte order
+  std::uint64_t packets_read_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace orion::pkt

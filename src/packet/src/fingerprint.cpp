@@ -1,0 +1,43 @@
+#include "orion/packet/fingerprint.hpp"
+
+namespace orion::pkt {
+
+ScanTool fingerprint_of(const Packet& p) {
+  if (p.tuple.proto == net::IpProto::Tcp && p.tcp_seq == p.tuple.dst.value()) {
+    return ScanTool::Mirai;
+  }
+  if (p.ip_id == kZmapIpId) return ScanTool::ZMap;
+  if (p.tuple.proto == net::IpProto::Tcp &&
+      p.ip_id == masscan_ip_id(p.tuple.dst, p.tuple.dst_port, p.tcp_seq)) {
+    return ScanTool::Masscan;
+  }
+  return ScanTool::Other;
+}
+
+void apply_fingerprint(Packet& p, ScanTool tool) {
+  switch (tool) {
+    case ScanTool::ZMap:
+      p.ip_id = kZmapIpId;
+      break;
+    case ScanTool::Masscan:
+      p.ip_id = masscan_ip_id(p.tuple.dst, p.tuple.dst_port, p.tcp_seq);
+      break;
+    case ScanTool::Mirai:
+      p.tcp_seq = p.tuple.dst.value();
+      break;
+    case ScanTool::Other:
+      // Make sure an "Other" probe does not accidentally carry a ZMap or
+      // Masscan artifact (the Mirai relation can't hold once we bump seq).
+      if (p.ip_id == kZmapIpId) p.ip_id ^= 1;
+      if (p.tuple.proto == net::IpProto::Tcp) {
+        if (p.tcp_seq == p.tuple.dst.value()) p.tcp_seq += 1;
+        if (p.ip_id == masscan_ip_id(p.tuple.dst, p.tuple.dst_port, p.tcp_seq)) {
+          p.ip_id = static_cast<std::uint16_t>(p.ip_id + 1);
+          if (p.ip_id == kZmapIpId) ++p.ip_id;
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace orion::pkt

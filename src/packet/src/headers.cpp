@@ -1,0 +1,176 @@
+#include "orion/packet/headers.hpp"
+
+#include "orion/netbase/checksum.hpp"
+
+namespace orion::pkt {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> data, std::size_t offset) {
+  return static_cast<std::uint16_t>((std::uint16_t{data[offset]} << 8) |
+                                    data[offset + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t offset) {
+  return (std::uint32_t{get_u16(data, offset)} << 16) | get_u16(data, offset + 2);
+}
+
+namespace {
+
+// TCP/UDP checksums cover a pseudo-header of src, dst, protocol, L4 length.
+void add_pseudo_header(net::InternetChecksum& sum, net::Ipv4Address src,
+                       net::Ipv4Address dst, net::IpProto proto,
+                       std::uint16_t l4_length) {
+  sum.add_word(static_cast<std::uint16_t>(src.value() >> 16));
+  sum.add_word(static_cast<std::uint16_t>(src.value()));
+  sum.add_word(static_cast<std::uint16_t>(dst.value() >> 16));
+  sum.add_word(static_cast<std::uint16_t>(dst.value()));
+  sum.add_word(static_cast<std::uint16_t>(proto));
+  sum.add_word(l4_length);
+}
+
+}  // namespace
+
+void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(tos);
+  put_u16(out, total_length);
+  put_u16(out, identification);
+  put_u16(out, dont_fragment ? 0x4000 : 0x0000);  // flags + fragment offset
+  out.push_back(ttl);
+  out.push_back(static_cast<std::uint8_t>(protocol));
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, src.value());
+  put_u32(out, dst.value());
+  const std::uint16_t csum =
+      net::InternetChecksum::of({out.data() + start, kSize});
+  out[start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(csum);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  if ((data[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(data[0] & 0x0F) * 4;
+  if (ihl < kSize || data.size() < ihl) return std::nullopt;
+  if (net::InternetChecksum::of(data.subspan(0, ihl)) != 0) return std::nullopt;
+  Ipv4Header h;
+  h.tos = data[1];
+  h.total_length = get_u16(data, 2);
+  h.identification = get_u16(data, 4);
+  h.dont_fragment = (data[6] & 0x40) != 0;
+  h.ttl = data[8];
+  switch (data[9]) {
+    case 1: h.protocol = net::IpProto::Icmp; break;
+    case 6: h.protocol = net::IpProto::Tcp; break;
+    case 17: h.protocol = net::IpProto::Udp; break;
+    default: return std::nullopt;  // protocols outside the study's scope
+  }
+  h.src = net::Ipv4Address(get_u32(data, 12));
+  h.dst = net::Ipv4Address(get_u32(data, 16));
+  if (h.total_length < ihl) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::serialize(std::vector<std::uint8_t>& out, net::Ipv4Address src_ip,
+                          net::Ipv4Address dst_ip,
+                          std::span<const std::uint8_t> payload) const {
+  const std::size_t start = out.size();
+  put_u16(out, src_port);
+  put_u16(out, dst_port);
+  put_u32(out, seq);
+  put_u32(out, ack);
+  out.push_back(0x50);  // data offset 5 words
+  out.push_back(flags);
+  put_u16(out, window);
+  put_u16(out, 0);  // checksum placeholder
+  put_u16(out, 0);  // urgent pointer
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  net::InternetChecksum sum;
+  add_pseudo_header(sum, src_ip, dst_ip, net::IpProto::Tcp,
+                    static_cast<std::uint16_t>(kSize + payload.size()));
+  sum.add_bytes({out.data() + start, kSize + payload.size()});
+  const std::uint16_t csum = sum.finalize();
+  out[start + 16] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 17] = static_cast<std::uint8_t>(csum);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  const std::size_t offset = static_cast<std::size_t>(data[12] >> 4) * 4;
+  if (offset < kSize || data.size() < offset) return std::nullopt;
+  TcpHeader h;
+  h.src_port = get_u16(data, 0);
+  h.dst_port = get_u16(data, 2);
+  h.seq = get_u32(data, 4);
+  h.ack = get_u32(data, 8);
+  h.flags = data[13];
+  h.window = get_u16(data, 14);
+  return h;
+}
+
+void UdpHeader::serialize(std::vector<std::uint8_t>& out, net::Ipv4Address src_ip,
+                          net::Ipv4Address dst_ip,
+                          std::span<const std::uint8_t> payload) const {
+  const std::size_t start = out.size();
+  const auto length = static_cast<std::uint16_t>(kSize + payload.size());
+  put_u16(out, src_port);
+  put_u16(out, dst_port);
+  put_u16(out, length);
+  put_u16(out, 0);  // checksum placeholder
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  net::InternetChecksum sum;
+  add_pseudo_header(sum, src_ip, dst_ip, net::IpProto::Udp, length);
+  sum.add_bytes({out.data() + start, length});
+  std::uint16_t csum = sum.finalize();
+  if (csum == 0) csum = 0xFFFF;  // RFC 768: zero is "no checksum"
+  out[start + 6] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 7] = static_cast<std::uint8_t>(csum);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = get_u16(data, 0);
+  h.dst_port = get_u16(data, 2);
+  if (get_u16(data, 4) < kSize) return std::nullopt;
+  return h;
+}
+
+void IcmpHeader::serialize(std::vector<std::uint8_t>& out,
+                           std::span<const std::uint8_t> payload) const {
+  const std::size_t start = out.size();
+  out.push_back(type);
+  out.push_back(code);
+  put_u16(out, 0);  // checksum placeholder
+  put_u16(out, identifier);
+  put_u16(out, sequence);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint16_t csum =
+      net::InternetChecksum::of({out.data() + start, kSize + payload.size()});
+  out[start + 2] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 3] = static_cast<std::uint8_t>(csum);
+}
+
+std::optional<IcmpHeader> IcmpHeader::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  IcmpHeader h;
+  h.type = data[0];
+  h.code = data[1];
+  h.identifier = get_u16(data, 4);
+  h.sequence = get_u16(data, 6);
+  return h;
+}
+
+}  // namespace orion::pkt

@@ -1,0 +1,119 @@
+#include "orion/packet/packet.hpp"
+
+namespace orion::pkt {
+
+TrafficType Packet::traffic_type() const {
+  switch (tuple.proto) {
+    case net::IpProto::Tcp:
+      // A scanning SYN has SYN set and ACK clear; SYN-ACK is backscatter.
+      return (tcp_flags & TcpFlags::kSyn) != 0 && (tcp_flags & TcpFlags::kAck) == 0
+                 ? TrafficType::TcpSyn
+                 : TrafficType::Other;
+    case net::IpProto::Udp:
+      return TrafficType::Udp;
+    case net::IpProto::Icmp:
+      return icmp_type == IcmpHeader::kEchoRequest ? TrafficType::IcmpEchoReq
+                                                   : TrafficType::Other;
+  }
+  return TrafficType::Other;
+}
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_length);
+
+  const std::size_t l4_size = tuple.proto == net::IpProto::Tcp   ? TcpHeader::kSize
+                              : tuple.proto == net::IpProto::Udp ? UdpHeader::kSize
+                                                                 : IcmpHeader::kSize;
+  const std::size_t header_total = Ipv4Header::kSize + l4_size;
+  const std::size_t payload_size =
+      wire_length > header_total ? wire_length - header_total : 0;
+  const std::vector<std::uint8_t> payload(payload_size, 0);
+
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(header_total + payload_size);
+  ip.identification = ip_id;
+  ip.ttl = ttl;
+  ip.protocol = tuple.proto;
+  ip.src = tuple.src;
+  ip.dst = tuple.dst;
+  ip.serialize(out);
+
+  switch (tuple.proto) {
+    case net::IpProto::Tcp: {
+      TcpHeader tcp;
+      tcp.src_port = tuple.src_port;
+      tcp.dst_port = tuple.dst_port;
+      tcp.seq = tcp_seq;
+      tcp.flags = tcp_flags;
+      tcp.window = tcp_window;
+      tcp.serialize(out, tuple.src, tuple.dst, payload);
+      break;
+    }
+    case net::IpProto::Udp: {
+      UdpHeader udp;
+      udp.src_port = tuple.src_port;
+      udp.dst_port = tuple.dst_port;
+      udp.serialize(out, tuple.src, tuple.dst, payload);
+      break;
+    }
+    case net::IpProto::Icmp: {
+      IcmpHeader icmp;
+      icmp.type = icmp_type;
+      icmp.identifier = tuple.src_port;  // echo id carried in the tuple slot
+      icmp.sequence = static_cast<std::uint16_t>(tcp_seq);
+      icmp.serialize(out, payload);
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<Packet> Packet::parse(net::SimTime timestamp,
+                                    std::span<const std::uint8_t> data) {
+  const auto ip = Ipv4Header::parse(data);
+  if (!ip) return std::nullopt;
+  const std::size_t ihl = Ipv4Header::kSize;  // we never emit options
+  if (data.size() < ip->total_length) return std::nullopt;
+  const auto l4 = data.subspan(ihl, ip->total_length - ihl);
+
+  Packet p;
+  p.timestamp = timestamp;
+  p.tuple.src = ip->src;
+  p.tuple.dst = ip->dst;
+  p.tuple.proto = ip->protocol;
+  p.ip_id = ip->identification;
+  p.ttl = ip->ttl;
+  p.wire_length = ip->total_length;
+
+  switch (ip->protocol) {
+    case net::IpProto::Tcp: {
+      const auto tcp = TcpHeader::parse(l4);
+      if (!tcp) return std::nullopt;
+      p.tuple.src_port = tcp->src_port;
+      p.tuple.dst_port = tcp->dst_port;
+      p.tcp_seq = tcp->seq;
+      p.tcp_flags = tcp->flags;
+      p.tcp_window = tcp->window;
+      break;
+    }
+    case net::IpProto::Udp: {
+      const auto udp = UdpHeader::parse(l4);
+      if (!udp) return std::nullopt;
+      p.tuple.src_port = udp->src_port;
+      p.tuple.dst_port = udp->dst_port;
+      break;
+    }
+    case net::IpProto::Icmp: {
+      const auto icmp = IcmpHeader::parse(l4);
+      if (!icmp) return std::nullopt;
+      p.icmp_type = icmp->type;
+      p.tuple.src_port = icmp->identifier;
+      p.tcp_seq = icmp->sequence;
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace orion::pkt

@@ -1,0 +1,127 @@
+#include "orion/packet/pcap.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace orion::pkt {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicSwapped = 0xD4C3B2A1;
+constexpr std::uint32_t kLinktypeRaw = 101;
+
+// pcap headers are little-endian on every platform we target; write fields
+// byte-by-byte so the code is endian-agnostic.
+void put_le32(std::ofstream& out, std::uint32_t v) {
+  const std::array<char, 4> bytes = {
+      static_cast<char>(v), static_cast<char>(v >> 8), static_cast<char>(v >> 16),
+      static_cast<char>(v >> 24)};
+  out.write(bytes.data(), 4);
+}
+
+void put_le16(std::ofstream& out, std::uint16_t v) {
+  const std::array<char, 2> bytes = {static_cast<char>(v),
+                                     static_cast<char>(v >> 8)};
+  out.write(bytes.data(), 2);
+}
+
+std::uint32_t get_le32(const unsigned char* p, bool swap) {
+  std::uint32_t v = std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+                    (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+  if (swap) {
+    v = ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+        ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+  }
+  return v;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  put_le32(out_, kMagic);
+  put_le16(out_, 2);  // version major
+  put_le16(out_, 4);  // version minor
+  put_le32(out_, 0);  // thiszone
+  put_le32(out_, 0);  // sigfigs
+  put_le32(out_, snaplen);
+  put_le32(out_, kLinktypeRaw);
+}
+
+void PcapWriter::write(const Packet& packet) {
+  write_raw(packet.timestamp, packet.serialize());
+}
+
+void PcapWriter::write_raw(net::SimTime timestamp,
+                           std::span<const std::uint8_t> frame) {
+  const std::int64_t nanos = timestamp.since_epoch().total_nanos();
+  put_le32(out_, static_cast<std::uint32_t>(nanos / 1000000000));
+  put_le32(out_, static_cast<std::uint32_t>((nanos % 1000000000) / 1000));
+  put_le32(out_, static_cast<std::uint32_t>(frame.size()));  // incl_len
+  put_le32(out_, static_cast<std::uint32_t>(frame.size()));  // orig_len
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  ++packets_written_;
+}
+
+PcapReader::PcapReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("PcapReader: cannot open " + path);
+  unsigned char header[24];
+  in_.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (in_.gcount() != sizeof(header)) {
+    throw std::runtime_error("PcapReader: truncated global header");
+  }
+  const std::uint32_t magic = get_le32(header, /*swap=*/false);
+  if (magic == kMagic) {
+    swap_ = false;
+  } else if (magic == kMagicSwapped) {
+    swap_ = true;
+  } else {
+    throw std::runtime_error("PcapReader: not a classic pcap file");
+  }
+  if (get_le32(header + 20, swap_) != kLinktypeRaw) {
+    throw std::runtime_error("PcapReader: unsupported linktype (want RAW/101)");
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> PcapReader::next_record(
+    net::SimTime& timestamp) {
+  unsigned char record[16];
+  in_.read(reinterpret_cast<char*>(record), sizeof(record));
+  if (in_.gcount() == 0) return std::nullopt;  // clean EOF
+  if (in_.gcount() != sizeof(record)) {
+    throw std::runtime_error("PcapReader: truncated record header");
+  }
+  const std::uint32_t secs = get_le32(record, swap_);
+  const std::uint32_t usecs = get_le32(record + 4, swap_);
+  const std::uint32_t incl_len = get_le32(record + 8, swap_);
+  if (incl_len > 1 << 20) throw std::runtime_error("PcapReader: absurd record size");
+  timestamp = net::SimTime::at(net::Duration::seconds(secs) +
+                               net::Duration::micros(usecs));
+  std::vector<std::uint8_t> data(incl_len);
+  in_.read(reinterpret_cast<char*>(data.data()), incl_len);
+  if (in_.gcount() != static_cast<std::streamsize>(incl_len)) {
+    throw std::runtime_error("PcapReader: truncated packet data");
+  }
+  return data;
+}
+
+std::optional<Packet> PcapReader::next() {
+  for (;;) {
+    net::SimTime timestamp;
+    const auto data = next_record(timestamp);
+    if (!data) return std::nullopt;
+    const auto packet = Packet::parse(timestamp, *data);
+    if (packet) {
+      ++packets_read_;
+      return packet;
+    }
+    ++skipped_;
+  }
+}
+
+}  // namespace orion::pkt

@@ -1,0 +1,44 @@
+// Fixed-width ASCII / Markdown / CSV table rendering for the bench
+// binaries (every table in the paper is printed through this).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace orion::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Space-padded columns with a header rule.
+  std::string to_ascii() const;
+  /// GitHub-flavoured Markdown.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// --- cell formatting helpers ----------------------------------------------
+
+/// 1234567 -> "1,234,567".
+std::string fmt_count(std::uint64_t value);
+/// Fixed-precision double.
+std::string fmt_double(double value, int precision = 2);
+/// "12.34%".
+std::string fmt_percent(double fraction_0_to_1, int precision = 2);
+/// "15.2 (5.82%)" — the Table 2 cell style.
+std::string fmt_count_percent(std::uint64_t count, double percent,
+                              int precision = 2);
+
+}  // namespace orion::report

@@ -1,0 +1,39 @@
+// Binomial-thinning arithmetic: how much of a scanner's Internet-wide
+// probing lands inside a monitored address space.
+//
+// A session probes a uniformly random subset S of IPv4 with |S| = c * 2^32
+// (c = coverage), `repeats` probes per (address, port). For a monitored
+// space M of size m:
+//   * distinct targets inside M:   U ~ Binomial(m, c)
+//   * packets per port inside M:   repeats * U   (one probe per target)
+// Materializing only these arrivals keeps full-IPv4 semantics at
+// O(arrivals) cost instead of O(2^32) — the naive alternative is ablated in
+// bench_micro_generator.
+#pragma once
+
+#include <cstdint>
+
+#include "orion/netbase/rng.hpp"
+#include "orion/scangen/profile.hpp"
+
+namespace orion::scangen {
+
+constexpr double kIpv4Space = 4294967296.0;
+
+/// Expected distinct monitored addresses covered by a session.
+double expected_unique_targets(std::uint64_t space_size, double coverage);
+
+/// Samples the number of distinct monitored addresses a session covers.
+std::uint64_t sample_unique_targets(std::uint64_t space_size, double coverage,
+                                    net::Rng& rng);
+
+/// Packets a session delivers to the monitored space on one port, given
+/// the sampled distinct-target count.
+std::uint64_t session_packets_for_port(std::uint64_t unique_targets, int repeats);
+
+/// Expected coupon-collector uniques: k uniform draws (with replacement)
+/// over n bins touch n*(1-(1-1/n)^k) distinct bins. Used by property tests
+/// to pin the aggregator against the synthesizer.
+double expected_coupon_uniques(std::uint64_t n, std::uint64_t k);
+
+}  // namespace orion::scangen

@@ -1,0 +1,36 @@
+// Non-scanning darknet noise at event granularity: spoofed-source probe
+// bursts and misconfigured hosts. These are the false-positive sources the
+// paper's "quality lists" must exclude (Conclusions); they feed
+// detect::SpoofFilter tests and the list-hygiene bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/netbase/rng.hpp"
+#include "orion/telescope/event.hpp"
+
+namespace orion::scangen {
+
+struct NoiseEventsConfig {
+  std::uint64_t seed = 5150;
+  std::int64_t window_start_day = 0;
+  std::int64_t window_end_day = 28;
+
+  /// Spoofed-source bursts: an attacker SYN-floods with random forged
+  /// sources; the darknet sees hundreds of one-packet "events" from
+  /// unrelated (sometimes unroutable) addresses to one port, in minutes.
+  std::size_t spoofed_bursts = 10;
+  std::size_t sources_per_burst = 300;
+  double bogon_source_fraction = 0.15;
+
+  /// Misconfigured hosts: retransmitting to one or two dark IPs for days.
+  std::size_t misconfigured_hosts = 40;
+};
+
+/// Synthesizes the noise events (unsorted; callers merge with scan events
+/// and re-sort, as EventDataset does).
+std::vector<telescope::DarknetEvent> synthesize_noise_events(
+    const NoiseEventsConfig& config);
+
+}  // namespace orion::scangen

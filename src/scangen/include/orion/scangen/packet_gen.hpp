@@ -1,0 +1,82 @@
+// Packet-fidelity traffic generation: a time-ordered stream of the probe
+// packets a scanner population delivers into one monitored address space
+// over a time window. Uses the same binomial-thinning model as the event
+// synthesizer, but materializes every arrival as a crafted packet
+// (fingerprints included), via a lazy per-session order-statistics
+// iterator and a k-way merge — memory stays O(active sessions), not
+// O(packets).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "orion/netbase/prefix.hpp"
+#include "orion/packet/builder.hpp"
+#include "orion/scangen/population.hpp"
+
+namespace orion::scangen {
+
+struct PacketGenConfig {
+  std::uint64_t seed = 11;
+  /// Exact mode samples each session's distinct targets up front so
+  /// unique-destination semantics match the event synthesizer (needed when
+  /// the stream feeds the darknet aggregator). Non-exact mode draws
+  /// destinations uniformly per packet — cheaper, used for ISP spaces
+  /// where only packet counts matter.
+  bool exact_targets = true;
+};
+
+class PacketStreamGenerator {
+ public:
+  PacketStreamGenerator(const std::vector<ScannerProfile>& scanners,
+                        net::PrefixSet space, net::SimTime window_start,
+                        net::SimTime window_end, PacketGenConfig config);
+
+  /// Next packet in timestamp order; nullopt when the stream is drained.
+  std::optional<pkt::Packet> next();
+
+  /// Drains the stream into a sink; returns the packet count.
+  std::uint64_t run(const std::function<void(const pkt::Packet&)>& sink);
+
+  std::uint64_t packets_emitted() const { return packets_emitted_; }
+
+ private:
+  struct SubStream {
+    const ScannerProfile* scanner = nullptr;
+    pkt::ProbeBuilder builder;
+    net::Rng rng;
+    PortSpec port;
+    int repeats = 1;
+    std::vector<std::uint64_t> targets;  // exact mode only
+    std::uint64_t emitted = 0;
+    std::uint64_t remaining = 0;
+    double window_end_s = 0;  // overlap end, seconds since epoch
+    double current_s = 0;     // last emitted arrival time
+
+    SubStream(const ScannerProfile* s, net::Rng stream_rng, net::Rng builder_rng)
+        : scanner(s),
+          builder(s->source, s->tool, builder_rng),
+          rng(stream_rng) {}
+  };
+
+  void add_session_streams(const ScannerProfile& scanner,
+                           const SessionSpec& session, net::Rng& scanner_rng);
+  void push_stream(std::size_t index);
+  pkt::Packet make_packet(SubStream& stream, net::SimTime when);
+
+  net::PrefixSet space_;
+  net::SimTime window_start_;
+  net::SimTime window_end_;
+  PacketGenConfig config_;
+
+  std::vector<SubStream> streams_;
+  // Min-heap of (next arrival time in ns, stream index).
+  using HeapEntry = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::uint64_t packets_emitted_ = 0;
+};
+
+}  // namespace orion::scangen

@@ -1,0 +1,43 @@
+// Port-popularity catalogs per scanner category and year.
+//
+// Calibrated so the AH top-25 of Figure 4 emerges: Redis/6379 and Telnet/23
+// at the top, SSH/22 third, 20-of-25 ports shared between 2021 and 2022,
+// only ~4 UDP services in the top 25, ICMP echo completing the set, and
+// TCP/445 confined to small (sub-threshold) scans as in Durumeric et al.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/netbase/rng.hpp"
+#include "orion/scangen/profile.hpp"
+
+namespace orion::scangen {
+
+struct WeightedPort {
+  std::uint16_t port = 0;
+  pkt::TrafficType type = pkt::TrafficType::TcpSyn;
+  double weight = 1.0;
+};
+
+/// ICMP echo "port": events/ports use 0 for ICMP.
+constexpr std::uint16_t kIcmpPort = 0;
+
+/// Broad service catalog used by cloud scanners and research orgs.
+const std::vector<WeightedPort>& service_catalog(int year);
+/// IoT/propagation ports used by botnets (Telnet-centric).
+const std::vector<WeightedPort>& botnet_catalog();
+/// Remote-access ports targeted by credential bruteforcers.
+const std::vector<WeightedPort>& bruteforce_catalog();
+/// Ports favoured by sub-threshold background scanning (445-heavy).
+const std::vector<WeightedPort>& small_scan_catalog();
+
+/// Samples one port ∝ weight.
+WeightedPort pick_port(const std::vector<WeightedPort>& catalog, net::Rng& rng);
+
+/// Samples `count` DISTINCT ports ∝ weight (count may exceed the catalog
+/// size, in which case the whole catalog is returned).
+std::vector<PortSpec> pick_distinct_ports(const std::vector<WeightedPort>& catalog,
+                                          std::size_t count, net::Rng& rng);
+
+}  // namespace orion::scangen

@@ -1,0 +1,76 @@
+// Scanner behaviour profiles: who scans, from where, what, how hard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orion/netbase/ipv4.hpp"
+#include "orion/netbase/simtime.hpp"
+#include "orion/packet/fingerprint.hpp"
+#include "orion/packet/packet.hpp"
+
+namespace orion::scangen {
+
+/// Scanner behavioural archetypes; the population builder mixes these to
+/// match the paper's observed composition.
+enum class Category : std::uint8_t {
+  AckedResearch,  // disclosed research scanners (the "ACKed" population)
+  CloudScanner,   // undisclosed bulk scanners hosted in clouds
+  Botnet,         // Mirai-style propagation (Telnet/IoT ports)
+  Bruteforcer,    // credential stuffing (SSH/RDP/Telnet)
+  PortSweeper,    // few sources, thousands of ports/day (Definition 3)
+  SmallScanner,   // sub-threshold background scanning (the non-AH mass)
+};
+
+constexpr std::size_t kCategoryCount = 6;
+
+constexpr const char* to_string(Category c) {
+  switch (c) {
+    case Category::AckedResearch: return "acked-research";
+    case Category::CloudScanner: return "cloud-scanner";
+    case Category::Botnet: return "botnet";
+    case Category::Bruteforcer: return "bruteforcer";
+    case Category::PortSweeper: return "port-sweeper";
+    case Category::SmallScanner: return "small-scanner";
+  }
+  return "?";
+}
+
+/// One (port, traffic type) pair a scanning campaign probes.
+struct PortSpec {
+  std::uint16_t port = 0;
+  pkt::TrafficType type = pkt::TrafficType::TcpSyn;
+
+  friend constexpr auto operator<=>(const PortSpec&, const PortSpec&) = default;
+};
+
+/// One scanning campaign. During [start, start+duration) the scanner
+/// probes, for EACH listed port, a uniformly random subset of IPv4 of size
+/// coverage * 2^32 (independently per port, as ZMap/Masscan campaigns do),
+/// sending `repeats` probes per (address, port).
+///
+/// PortSweeper sessions leave `ports` empty and instead probe
+/// `sweep_port_count` distinct random ports, each over the (tiny) coverage
+/// subset — producing the many-small-events signature of Definition 3.
+struct SessionSpec {
+  net::SimTime start;
+  net::Duration duration;
+  double coverage = 1.0;
+  int repeats = 1;
+  std::vector<PortSpec> ports;
+  std::uint32_t sweep_port_count = 0;
+
+  net::SimTime end() const { return start + duration; }
+};
+
+struct ScannerProfile {
+  net::Ipv4Address source;
+  Category category = Category::SmallScanner;
+  pkt::ScanTool tool = pkt::ScanTool::Other;
+  std::vector<SessionSpec> sessions;  // sorted by start
+  std::string org;                    // research org name ("" otherwise)
+  std::uint64_t rng_stream = 0;       // per-scanner deterministic substream
+};
+
+}  // namespace orion::scangen

@@ -1,0 +1,19 @@
+// Sampling k distinct offsets from [0, n) — the per-session target subset
+// inside a monitored space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/netbase/rng.hpp"
+
+namespace orion::scangen {
+
+/// Returns k distinct uniform offsets in [0, n), unsorted (generation
+/// order is the probe order). Uses Floyd's algorithm for sparse draws and
+/// a partial Fisher–Yates shuffle when k is a large fraction of n.
+std::vector<std::uint64_t> sample_distinct_offsets(std::uint64_t n,
+                                                   std::uint64_t k,
+                                                   net::Rng& rng);
+
+}  // namespace orion::scangen

@@ -1,0 +1,29 @@
+#include "orion/scangen/arrivals.hpp"
+
+#include <cmath>
+
+namespace orion::scangen {
+
+double expected_unique_targets(std::uint64_t space_size, double coverage) {
+  return static_cast<double>(space_size) * coverage;
+}
+
+std::uint64_t sample_unique_targets(std::uint64_t space_size, double coverage,
+                                    net::Rng& rng) {
+  if (coverage >= 1.0) return space_size;
+  return rng.binomial(space_size, coverage);
+}
+
+std::uint64_t session_packets_for_port(std::uint64_t unique_targets, int repeats) {
+  return unique_targets * static_cast<std::uint64_t>(repeats < 1 ? 1 : repeats);
+}
+
+double expected_coupon_uniques(std::uint64_t n, std::uint64_t k) {
+  if (n == 0) return 0.0;
+  const double nd = static_cast<double>(n);
+  // n * (1 - (1 - 1/n)^k), computed in the log domain for large k.
+  const double log_term = static_cast<double>(k) * std::log1p(-1.0 / nd);
+  return nd * -std::expm1(log_term);
+}
+
+}  // namespace orion::scangen

@@ -1,0 +1,91 @@
+#include "orion/scangen/event_synth.hpp"
+
+#include <algorithm>
+
+#include "orion/scangen/arrivals.hpp"
+#include "orion/scangen/target_sampler.hpp"
+
+namespace orion::scangen {
+
+namespace {
+
+/// Event start/end: with U arrivals uniform over the session, the first
+/// lands ~ duration/(U+1) after session start and the last the same margin
+/// before session end (expectation of uniform order statistics).
+void place_event(const SessionSpec& session, std::uint64_t arrivals,
+                 net::Rng& rng, telescope::DarknetEvent& event) {
+  const double span = session.duration.total_seconds();
+  const double margin = span / static_cast<double>(arrivals + 1);
+  const double lead = rng.exponential(1.0 / margin);
+  const double tail = rng.exponential(1.0 / margin);
+  double start_off = std::min(lead, span * 0.5);
+  double end_off = std::min(tail, span * 0.5);
+  event.start = session.start + net::Duration::from_seconds(start_off);
+  event.end = session.end() - net::Duration::from_seconds(end_off);
+  if (event.end < event.start) event.end = event.start;
+}
+
+void emit_event(const ScannerProfile& scanner, const SessionSpec& session,
+                const PortSpec& port, std::uint64_t uniques, net::Rng& rng,
+                std::vector<telescope::DarknetEvent>& out) {
+  if (uniques == 0) return;
+  telescope::DarknetEvent event;
+  event.key.src = scanner.source;
+  event.key.dst_port =
+      port.type == pkt::TrafficType::IcmpEchoReq ? std::uint16_t{0} : port.port;
+  event.key.type = port.type;
+  event.unique_dests = uniques;
+  event.packets = session_packets_for_port(uniques, session.repeats);
+  event.packets_by_tool[telescope::tool_index(scanner.tool)] = event.packets;
+  place_event(session, event.packets, rng, event);
+  out.push_back(event);
+}
+
+}  // namespace
+
+void synthesize_scanner_events(const ScannerProfile& scanner,
+                               const EventSynthConfig& config,
+                               std::vector<telescope::DarknetEvent>& out) {
+  // Per-scanner substream: results do not depend on scanner iteration order.
+  net::Rng base(config.seed);
+  net::Rng rng = base.fork(scanner.rng_stream);
+
+  for (const SessionSpec& session : scanner.sessions) {
+    if (session.sweep_port_count > 0) {
+      // Port sweep: distinct random ports, each covering the (tiny)
+      // address subset. Ports 1..65535; ICMP is not part of sweeps.
+      const std::uint64_t port_count =
+          std::min<std::uint64_t>(session.sweep_port_count, 65535);
+      const auto ports = sample_distinct_offsets(65535, port_count, rng);
+      for (const std::uint64_t p : ports) {
+        const std::uint64_t uniques =
+            sample_unique_targets(config.darknet_size, session.coverage, rng);
+        emit_event(scanner, session,
+                   {static_cast<std::uint16_t>(p + 1), pkt::TrafficType::TcpSyn},
+                   uniques, rng, out);
+      }
+      continue;
+    }
+    for (const PortSpec& port : session.ports) {
+      const std::uint64_t uniques =
+          sample_unique_targets(config.darknet_size, session.coverage, rng);
+      emit_event(scanner, session, port, uniques, rng, out);
+    }
+  }
+}
+
+std::vector<telescope::DarknetEvent> synthesize_events(
+    const Population& population, const EventSynthConfig& config) {
+  std::vector<telescope::DarknetEvent> out;
+  out.reserve(population.scanners.size() * 2);
+  for (const ScannerProfile& scanner : population.scanners) {
+    synthesize_scanner_events(scanner, config, out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const telescope::DarknetEvent& a, const telescope::DarknetEvent& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+}  // namespace orion::scangen

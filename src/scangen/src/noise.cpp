@@ -1,0 +1,91 @@
+#include "orion/scangen/noise.hpp"
+
+namespace orion::scangen {
+
+namespace {
+
+net::SimTime random_instant(net::Rng& rng, std::int64_t start_day,
+                            std::int64_t end_day) {
+  const std::int64_t day =
+      start_day + static_cast<std::int64_t>(
+                      rng.bounded(static_cast<std::uint64_t>(end_day - start_day)));
+  return net::SimTime::at(net::Duration::days(day) +
+                          net::Duration::seconds(
+                              static_cast<std::int64_t>(rng.bounded(86400))));
+}
+
+net::Ipv4Address random_public_source(net::Rng& rng) {
+  // Anywhere in 11.0.0.0 .. 223.255.255.255 (unicast-looking).
+  return net::Ipv4Address(
+      0x0B000000u + static_cast<std::uint32_t>(rng.bounded(0xDF000000u - 0x0B000000u)));
+}
+
+net::Ipv4Address random_bogon_source(net::Rng& rng) {
+  switch (rng.bounded(4)) {
+    case 0:
+      return net::Ipv4Address(0x0A000000u |
+                              static_cast<std::uint32_t>(rng.bounded(1u << 24)));
+    case 1:
+      return net::Ipv4Address(0xC0A80000u |
+                              static_cast<std::uint32_t>(rng.bounded(1u << 16)));
+    case 2:
+      return net::Ipv4Address(0x7F000000u |
+                              static_cast<std::uint32_t>(rng.bounded(1u << 24)));
+    default:
+      return net::Ipv4Address(0xE0000000u |
+                              static_cast<std::uint32_t>(rng.bounded(1u << 24)));
+  }
+}
+
+}  // namespace
+
+std::vector<telescope::DarknetEvent> synthesize_noise_events(
+    const NoiseEventsConfig& config) {
+  net::Rng rng(config.seed);
+  std::vector<telescope::DarknetEvent> events;
+  events.reserve(config.spoofed_bursts * config.sources_per_burst +
+                 config.misconfigured_hosts);
+
+  // --- spoofed-source bursts
+  for (std::size_t b = 0; b < config.spoofed_bursts; ++b) {
+    const net::SimTime burst_start =
+        random_instant(rng, config.window_start_day, config.window_end_day);
+    const auto port = static_cast<std::uint16_t>(1 + rng.bounded(65000));
+    for (std::size_t s = 0; s < config.sources_per_burst; ++s) {
+      telescope::DarknetEvent e;
+      e.key.src = rng.chance(config.bogon_source_fraction)
+                      ? random_bogon_source(rng)
+                      : random_public_source(rng);
+      e.key.dst_port = port;
+      e.key.type = pkt::TrafficType::TcpSyn;
+      e.start = burst_start + net::Duration::seconds(
+                                  static_cast<std::int64_t>(rng.bounded(240)));
+      e.end = e.start;
+      e.packets = 1;
+      e.unique_dests = 1;
+      e.packets_by_tool[telescope::tool_index(pkt::ScanTool::Other)] = 1;
+      events.push_back(e);
+    }
+  }
+
+  // --- misconfigured hosts
+  for (std::size_t m = 0; m < config.misconfigured_hosts; ++m) {
+    telescope::DarknetEvent e;
+    e.key.src = random_public_source(rng);
+    e.key.dst_port = rng.chance(0.5) ? 443 : 123;
+    e.key.type = rng.chance(0.5) ? pkt::TrafficType::TcpSyn : pkt::TrafficType::Udp;
+    e.start = random_instant(rng, config.window_start_day,
+                             config.window_end_day > config.window_start_day + 3
+                                 ? config.window_end_day - 3
+                                 : config.window_end_day);
+    e.end = e.start + net::Duration::hours(
+                          12 + static_cast<std::int64_t>(rng.bounded(60)));
+    e.packets = 100 + rng.bounded(5000);
+    e.unique_dests = 1 + rng.bounded(2);
+    e.packets_by_tool[telescope::tool_index(pkt::ScanTool::Other)] = e.packets;
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace orion::scangen

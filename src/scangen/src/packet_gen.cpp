@@ -1,0 +1,125 @@
+#include "orion/scangen/packet_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "orion/scangen/arrivals.hpp"
+#include "orion/scangen/target_sampler.hpp"
+
+namespace orion::scangen {
+
+PacketStreamGenerator::PacketStreamGenerator(
+    const std::vector<ScannerProfile>& scanners, net::PrefixSet space,
+    net::SimTime window_start, net::SimTime window_end, PacketGenConfig config)
+    : space_(std::move(space)),
+      window_start_(window_start),
+      window_end_(window_end),
+      config_(config) {
+  for (const ScannerProfile& scanner : scanners) {
+    net::Rng scanner_rng = net::Rng(config.seed).fork(scanner.rng_stream);
+    for (const SessionSpec& session : scanner.sessions) {
+      if (session.end() <= window_start_ || session.start >= window_end_) continue;
+      add_session_streams(scanner, session, scanner_rng);
+    }
+  }
+  for (std::size_t i = 0; i < streams_.size(); ++i) push_stream(i);
+}
+
+void PacketStreamGenerator::add_session_streams(const ScannerProfile& scanner,
+                                                const SessionSpec& session,
+                                                net::Rng& scanner_rng) {
+  const std::uint64_t space_size = space_.total_addresses();
+
+  // Overlap of the session with the generation window.
+  const net::SimTime a = std::max(session.start, window_start_);
+  const net::SimTime b = std::min(session.end(), window_end_);
+  const double overlap_s = (b - a).total_seconds();
+  const double session_s = session.duration.total_seconds();
+  if (overlap_s <= 0 || session_s <= 0) return;
+  const double frac = std::min(1.0, overlap_s / session_s);
+
+  // Materialize the session's port list (explicit ports, or the sweep).
+  std::vector<PortSpec> ports = session.ports;
+  if (session.sweep_port_count > 0) {
+    const std::uint64_t count =
+        std::min<std::uint64_t>(session.sweep_port_count, 65535);
+    for (const std::uint64_t p :
+         sample_distinct_offsets(65535, count, scanner_rng)) {
+      ports.push_back({static_cast<std::uint16_t>(p + 1), pkt::TrafficType::TcpSyn});
+    }
+  }
+
+  for (const PortSpec& port : ports) {
+    const std::uint64_t uniques =
+        sample_unique_targets(space_size, session.coverage, scanner_rng);
+    if (uniques == 0) continue;
+    const std::uint64_t session_total =
+        session_packets_for_port(uniques, session.repeats);
+    const std::uint64_t in_window =
+        frac >= 1.0 ? session_total : scanner_rng.binomial(session_total, frac);
+    if (in_window == 0) continue;
+
+    SubStream stream(&scanner, scanner_rng.fork(streams_.size() + 1),
+                     scanner_rng.fork(streams_.size() + 0x10000));
+    stream.port = port;
+    stream.repeats = std::max(1, session.repeats);
+    stream.remaining = in_window;
+    stream.current_s = (a - net::SimTime::epoch()).total_seconds();
+    stream.window_end_s = (b - net::SimTime::epoch()).total_seconds();
+    if (config_.exact_targets) {
+      stream.targets = sample_distinct_offsets(space_size, uniques, stream.rng);
+    }
+    streams_.push_back(std::move(stream));
+  }
+}
+
+void PacketStreamGenerator::push_stream(std::size_t index) {
+  SubStream& stream = streams_[index];
+  if (stream.remaining == 0) return;
+  // Conditional uniform order statistic: with k arrivals left, uniform in
+  // (t, end), the minimum is t + (end - t) * (1 - U^(1/k)).
+  const double span = stream.window_end_s - stream.current_s;
+  const double u = stream.rng.uniform();
+  const double step =
+      span * (1.0 - std::pow(u, 1.0 / static_cast<double>(stream.remaining)));
+  stream.current_s += std::max(step, 0.0);
+  --stream.remaining;
+  heap_.emplace(static_cast<std::int64_t>(stream.current_s * 1e9), index);
+}
+
+pkt::Packet PacketStreamGenerator::make_packet(SubStream& stream,
+                                               net::SimTime when) {
+  net::Ipv4Address dst;
+  if (!stream.targets.empty()) {
+    dst = space_.address_at(
+        stream.targets[stream.emitted % stream.targets.size()]);
+  } else {
+    dst = space_.address_at(stream.rng.bounded(space_.total_addresses()));
+  }
+  ++stream.emitted;
+  return stream.builder.probe(when, dst, stream.port.port, stream.port.type);
+}
+
+std::optional<pkt::Packet> PacketStreamGenerator::next() {
+  if (heap_.empty()) return std::nullopt;
+  const auto [nanos, index] = heap_.top();
+  heap_.pop();
+  SubStream& stream = streams_[index];
+  const net::SimTime when = net::SimTime::at(net::Duration::nanos(nanos));
+  pkt::Packet packet = make_packet(stream, when);
+  push_stream(index);
+  ++packets_emitted_;
+  return packet;
+}
+
+std::uint64_t PacketStreamGenerator::run(
+    const std::function<void(const pkt::Packet&)>& sink) {
+  std::uint64_t count = 0;
+  while (auto packet = next()) {
+    sink(*packet);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace orion::scangen

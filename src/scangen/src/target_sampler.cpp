@@ -1,0 +1,49 @@
+#include "orion/scangen/target_sampler.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace orion::scangen {
+
+std::vector<std::uint64_t> sample_distinct_offsets(std::uint64_t n,
+                                                   std::uint64_t k,
+                                                   net::Rng& rng) {
+  if (k > n) throw std::invalid_argument("sample_distinct_offsets: k > n");
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+
+  if (k * 4 >= n) {
+    // Dense draw: partial Fisher–Yates over the full index range.
+    std::vector<std::uint64_t> pool(n);
+    std::iota(pool.begin(), pool.end(), 0);
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + rng.bounded(n - i);
+      std::swap(pool[i], pool[j]);
+      out.push_back(pool[i]);
+    }
+    return out;
+  }
+
+  // Sparse draw: Floyd's algorithm — k iterations, no O(n) setup.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t candidate = rng.bounded(j + 1);
+    if (chosen.insert(candidate).second) {
+      out.push_back(candidate);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  // Floyd's output has positional bias (later slots skew high); shuffle so
+  // probe order is uniform.
+  for (std::uint64_t i = out.size() - 1; i > 0; --i) {
+    std::swap(out[i], out[rng.bounded(i + 1)]);
+  }
+  return out;
+}
+
+}  // namespace orion::scangen

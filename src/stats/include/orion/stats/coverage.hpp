@@ -1,0 +1,36 @@
+// Exact coverage tracking over a fixed, known address universe (the dark
+// IP space): one bit per address. Definition 1 needs an exact ">= 10% of
+// dark IPs" test, for which a bitset over the (bounded) darknet is both
+// exact and compact — 32k dark IPs is 4 KiB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace orion::stats {
+
+class CoverageBitset {
+ public:
+  explicit CoverageBitset(std::uint64_t universe_size);
+
+  /// Marks an element; returns true if it was newly set.
+  bool set(std::uint64_t index);
+  bool test(std::uint64_t index) const;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t universe_size() const { return universe_size_; }
+  double fraction() const {
+    return universe_size_ == 0
+               ? 0.0
+               : static_cast<double>(count_) / static_cast<double>(universe_size_);
+  }
+
+  void clear();
+
+ private:
+  std::uint64_t universe_size_;
+  std::uint64_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace orion::stats

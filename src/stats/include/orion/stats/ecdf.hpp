@@ -1,0 +1,66 @@
+// Empirical CDF and the top-α threshold rule used by AH definitions 2 & 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace orion::stats {
+
+/// Empirical cumulative distribution function over integer-valued samples
+/// (per-event packet counts, daily distinct-port counts).
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<std::uint64_t> samples);
+
+  void add(std::uint64_t sample);
+
+  std::size_t sample_count() const { return samples_.size(); }
+
+  /// F(x) = P(X <= x). 0 for an empty distribution.
+  double at(std::uint64_t x) const;
+
+  /// The q-quantile (0 <= q <= 1) using the inverse-ECDF convention:
+  /// smallest sample s with F(s) >= q. Throws std::logic_error when empty.
+  std::uint64_t quantile(double q) const;
+
+  /// The paper's "critical threshold": the (1 - alpha) quantile, so that a
+  /// value strictly above it lies in the top-alpha tail. With
+  /// alpha = 1e-4 this is the top-0.01% rule of Definitions 2 and 3.
+  std::uint64_t top_alpha_threshold(double alpha) const { return quantile(1.0 - alpha); }
+
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+  double mean() const;
+
+  /// The sorted sample array (lazily sorted on access).
+  const std::vector<std::uint64_t>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<std::uint64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Two-sample Kolmogorov–Smirnov distance sup_x |F_a(x) - F_b(x)|.
+/// Used to quantify distribution drift (e.g. the 2021 vs 2022 per-event
+/// packet distributions behind the Definition-2 threshold shift).
+double ks_distance(const Ecdf& a, const Ecdf& b);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| between two sets; the paper uses it
+/// to compare the Definition-1 and Definition-2 AH populations (score 0.8).
+template <typename Set>
+double jaccard(const Set& a, const Set& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  const Set& small = a.size() <= b.size() ? a : b;
+  const Set& large = a.size() <= b.size() ? b : a;
+  for (const auto& element : small) {
+    if (large.contains(element)) ++intersection;
+  }
+  const std::size_t union_size = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace orion::stats

@@ -1,0 +1,54 @@
+// HyperLogLog cardinality sketch and the hybrid exact/HLL estimator the
+// event aggregator uses for unique-destination counting.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace orion::stats {
+
+/// Standard HyperLogLog (Flajolet et al. 2007) with the small-range
+/// linear-counting correction. Precision p gives 2^p registers and a
+/// relative error of roughly 1.04 / sqrt(2^p).
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(int precision = 12);
+
+  void add(std::uint64_t hash);
+  double estimate() const;
+  void merge(const HyperLogLog& other);
+  int precision() const { return precision_; }
+  std::size_t memory_bytes() const { return registers_.size(); }
+
+ private:
+  int precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+/// Mixes an arbitrary 64-bit key into a well-distributed hash for HLL.
+std::uint64_t hll_hash(std::uint64_t key);
+
+/// Counts distinct 64-bit keys exactly up to `exact_limit`, then converts
+/// to an HLL sketch. Per-event unique-destination tracking needs exactness
+/// for small events (most events touch a handful of dark IPs) but bounded
+/// memory for Internet-wide sweeps, which is exactly this trade-off.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(std::size_t exact_limit = 4096,
+                                int hll_precision = 12);
+
+  void add(std::uint64_t key);
+  /// Exact count while below the limit; HLL estimate afterwards.
+  std::uint64_t estimate() const;
+  bool is_exact() const { return !promoted_; }
+
+ private:
+  std::size_t exact_limit_;
+  int hll_precision_;
+  bool promoted_ = false;
+  std::unordered_set<std::uint64_t> exact_;
+  HyperLogLog sketch_;
+};
+
+}  // namespace orion::stats

@@ -1,0 +1,32 @@
+// P² (piecewise-parabolic) streaming quantile estimator (Jain & Chlamtac
+// 1985): tracks one quantile in O(1) memory without storing samples — the
+// constant-memory alternative to the reservoir ECDF in the streaming
+// detector (ablated in bench_micro_core / stats tests).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace orion::stats {
+
+class P2Quantile {
+ public:
+  /// q in (0, 1): the quantile to track (e.g. 0.9999 for a top-1e-4 tail).
+  explicit P2Quantile(double q);
+
+  void add(double sample);
+
+  /// Current estimate; exact while fewer than 5 samples were seen.
+  double estimate() const;
+  std::uint64_t count() const { return count_; }
+
+ private:
+  double quantile_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace orion::stats

@@ -1,0 +1,45 @@
+// Reservoir sampling (Vitter's Algorithm R): a fixed-size uniform sample
+// of an unbounded stream. Backs the streaming detector's rolling ECDFs,
+// which must bound memory over months of events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/netbase/rng.hpp"
+
+namespace orion::stats {
+
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(std::size_t capacity, std::uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    sample_.reserve(capacity);
+  }
+
+  void add(const T& value) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      return;
+    }
+    // Keep each stream element with probability capacity/seen.
+    const std::uint64_t slot = rng_.bounded(seen_);
+    if (slot < capacity_) sample_[static_cast<std::size_t>(slot)] = value;
+  }
+
+  /// Elements seen so far (not the sample size).
+  std::uint64_t seen() const { return seen_; }
+  const std::vector<T>& sample() const { return sample_; }
+  std::size_t capacity() const { return capacity_; }
+  bool saturated() const { return sample_.size() == capacity_; }
+
+ private:
+  std::size_t capacity_;
+  net::Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace orion::stats

@@ -1,0 +1,56 @@
+// Fixed-width time-bucketed counters for the Figure 1/2/3 series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orion/netbase/simtime.hpp"
+
+namespace orion::stats {
+
+/// Accumulates counts into fixed-width time bins over a window
+/// [start, start + bin * bin_count). Out-of-window samples are dropped and
+/// counted separately so tests can assert none were lost unintentionally.
+class BinnedSeries {
+ public:
+  BinnedSeries(net::SimTime start, net::Duration bin_width, std::size_t bin_count);
+
+  void add(net::SimTime when, std::uint64_t weight = 1);
+
+  std::size_t bin_count() const { return bins_.size(); }
+  net::Duration bin_width() const { return bin_width_; }
+  net::SimTime bin_start(std::size_t index) const {
+    return start_ + bin_width_ * static_cast<std::int64_t>(index);
+  }
+  std::uint64_t bin(std::size_t index) const { return bins_.at(index); }
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total() const;
+
+  /// Per-bin rate in events per second.
+  std::vector<double> rates() const;
+  /// Running total after each bin.
+  std::vector<std::uint64_t> cumulative() const;
+
+ private:
+  net::SimTime start_;
+  net::Duration bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Elementwise ratio of two aligned series (numerator/denominator per bin),
+/// with empty-denominator bins yielding 0. This is the "instantaneous
+/// impact" series of Figure 1 (middle row).
+std::vector<double> ratio_series(const BinnedSeries& numerator,
+                                 const BinnedSeries& denominator);
+
+/// Running ratio of cumulative sums — Figure 1 (top row).
+std::vector<double> cumulative_ratio_series(const BinnedSeries& numerator,
+                                            const BinnedSeries& denominator);
+
+/// Compact fixed-width ASCII sparkline of a series (for bench output).
+std::string sparkline(const std::vector<double>& values, std::size_t width = 60);
+
+}  // namespace orion::stats

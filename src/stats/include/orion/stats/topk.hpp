@@ -1,0 +1,51 @@
+// Exact top-K counting over hashable keys (ports, ASes, tags, sources).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace orion::stats {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class TopK {
+ public:
+  void add(const Key& key, std::uint64_t weight = 1) { counts_[key] += weight; }
+
+  std::uint64_t count(const Key& key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [key, count] : counts_) t += count;
+    return t;
+  }
+
+  std::size_t distinct() const { return counts_.size(); }
+
+  /// The k heaviest keys, descending by count (ties broken by key for
+  /// deterministic report output).
+  std::vector<std::pair<Key, std::uint64_t>> top(std::size_t k) const {
+    std::vector<std::pair<Key, std::uint64_t>> entries(counts_.begin(),
+                                                       counts_.end());
+    std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (entries.size() > k) entries.resize(k);
+    return entries;
+  }
+
+  const std::unordered_map<Key, std::uint64_t, Hash>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<Key, std::uint64_t, Hash> counts_;
+};
+
+}  // namespace orion::stats

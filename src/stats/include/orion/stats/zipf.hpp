@@ -1,0 +1,38 @@
+// Zipf utilities: a bounded Zipf sampler for workload generation and the
+// cumulative-contribution curve behind Figure 6 (right).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/netbase/rng.hpp"
+
+namespace orion::stats {
+
+/// Samples ranks 1..n with P(rank = k) proportional to k^-s, via the
+/// precomputed inverse CDF. Used to give scanner populations a realistic
+/// heavy-tailed packet-contribution profile.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Zero-based rank sample.
+  std::size_t sample(net::Rng& rng) const;
+  /// Probability mass of a zero-based rank.
+  double pmf(std::size_t rank) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Given per-entity weights (e.g. packets per AH), returns the cumulative
+/// share contributed by the heaviest 1..n entities as fractions in (0, 1].
+/// curve[i] = share of the total owed to the top (i+1) contributors.
+std::vector<double> cumulative_contribution_curve(std::vector<std::uint64_t> weights);
+
+/// Least-squares fit of log(weight) ~ -s * log(rank) over the sorted
+/// weights; returns the Zipf exponent estimate (0 on degenerate input).
+double fit_zipf_exponent(std::vector<std::uint64_t> weights);
+
+}  // namespace orion::stats

@@ -1,0 +1,34 @@
+#include "orion/stats/coverage.hpp"
+
+#include <stdexcept>
+
+namespace orion::stats {
+
+CoverageBitset::CoverageBitset(std::uint64_t universe_size)
+    : universe_size_(universe_size), words_((universe_size + 63) / 64, 0) {}
+
+bool CoverageBitset::set(std::uint64_t index) {
+  if (index >= universe_size_) {
+    throw std::out_of_range("CoverageBitset::set: index beyond universe");
+  }
+  std::uint64_t& word = words_[index >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (index & 63);
+  if (word & bit) return false;
+  word |= bit;
+  ++count_;
+  return true;
+}
+
+bool CoverageBitset::test(std::uint64_t index) const {
+  if (index >= universe_size_) {
+    throw std::out_of_range("CoverageBitset::test: index beyond universe");
+  }
+  return (words_[index >> 6] >> (index & 63)) & 1;
+}
+
+void CoverageBitset::clear() {
+  words_.assign(words_.size(), 0);
+  count_ = 0;
+}
+
+}  // namespace orion::stats

@@ -1,0 +1,88 @@
+#include "orion/stats/hyperloglog.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace orion::stats {
+
+std::uint64_t hll_hash(std::uint64_t key) {
+  // SplitMix64 finalizer: full-avalanche 64-bit mix.
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  if (precision < 4 || precision > 18) {
+    throw std::invalid_argument("HyperLogLog: precision must be in [4, 18]");
+  }
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::add(std::uint64_t hash) {
+  const std::size_t index = hash >> (64 - precision_);
+  const std::uint64_t rest = hash << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits, 1-based;
+  // all-zero remainder gets the maximum rank.
+  const int rank =
+      rest == 0 ? 64 - precision_ + 1 : std::countl_zero(rest) + 1;
+  if (registers_[index] < rank) registers_[index] = static_cast<std::uint8_t>(rank);
+}
+
+double HyperLogLog::estimate() const {
+  const auto m = static_cast<double>(registers_.size());
+  double inverse_sum = 0.0;
+  std::size_t zero_registers = 0;
+  for (const std::uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -reg);
+    if (reg == 0) ++zero_registers;
+  }
+  const double alpha =
+      registers_.size() == 16 ? 0.673
+      : registers_.size() == 32 ? 0.697
+      : registers_.size() == 64 ? 0.709
+                                : 0.7213 / (1.0 + 1.079 / m);
+  const double raw = alpha * m * m / inverse_sum;
+  if (raw <= 2.5 * m && zero_registers > 0) {
+    // Small-range correction: linear counting on empty registers.
+    return m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    throw std::invalid_argument("HyperLogLog::merge: precision mismatch");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
+  }
+}
+
+CardinalityEstimator::CardinalityEstimator(std::size_t exact_limit,
+                                           int hll_precision)
+    : exact_limit_(exact_limit),
+      hll_precision_(hll_precision),
+      sketch_(hll_precision) {}
+
+void CardinalityEstimator::add(std::uint64_t key) {
+  if (promoted_) {
+    sketch_.add(hll_hash(key));
+    return;
+  }
+  exact_.insert(key);
+  if (exact_.size() > exact_limit_) {
+    for (const std::uint64_t k : exact_) sketch_.add(hll_hash(k));
+    exact_.clear();
+    promoted_ = true;
+  }
+}
+
+std::uint64_t CardinalityEstimator::estimate() const {
+  if (!promoted_) return exact_.size();
+  return static_cast<std::uint64_t>(std::llround(sketch_.estimate()));
+}
+
+}  // namespace orion::stats

@@ -1,0 +1,86 @@
+#include "orion/stats/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace orion::stats {
+
+P2Quantile::P2Quantile(double q) : quantile_(q) {
+  if (q <= 0.0 || q >= 1.0) {
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+  }
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+void P2Quantile::add(double sample) {
+  ++count_;
+  if (count_ <= 5) {
+    heights_[count_ - 1] = sample;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      positions_ = {1, 2, 3, 4, 5};
+    }
+    return;
+  }
+
+  // Locate the cell containing the sample and clamp the extremes.
+  std::size_t k;
+  if (sample < heights_[0]) {
+    heights_[0] = sample;
+    k = 0;
+  } else if (sample >= heights_[4]) {
+    heights_[4] = sample;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && sample >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers with parabolic interpolation,
+  // falling back to linear when the parabola would break monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - positions_[i];
+    if ((gap >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (gap <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double direction = gap >= 1 ? 1.0 : -1.0;
+      const double parabolic =
+          heights_[i] +
+          direction / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + direction) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - direction) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        // Linear fallback toward the neighbor in `direction`.
+        const std::size_t j = direction > 0 ? i + 1 : i - 1;
+        heights_[i] += direction * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += direction;
+    }
+  }
+}
+
+double P2Quantile::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile over the seen values.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const auto index = static_cast<std::size_t>(
+        std::ceil(quantile_ * static_cast<double>(count_)));
+    return sorted[index == 0 ? 0 : index - 1];
+  }
+  return heights_[2];
+}
+
+}  // namespace orion::stats

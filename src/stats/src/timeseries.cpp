@@ -1,0 +1,104 @@
+#include "orion/stats/timeseries.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace orion::stats {
+
+BinnedSeries::BinnedSeries(net::SimTime start, net::Duration bin_width,
+                           std::size_t bin_count)
+    : start_(start), bin_width_(bin_width), bins_(bin_count, 0) {
+  if (bin_width.total_nanos() <= 0) {
+    throw std::invalid_argument("BinnedSeries: non-positive bin width");
+  }
+}
+
+void BinnedSeries::add(net::SimTime when, std::uint64_t weight) {
+  const std::int64_t offset = (when - start_).total_nanos();
+  if (offset < 0) {
+    dropped_ += weight;
+    return;
+  }
+  const auto index =
+      static_cast<std::uint64_t>(offset / bin_width_.total_nanos());
+  if (index >= bins_.size()) {
+    dropped_ += weight;
+    return;
+  }
+  bins_[index] += weight;
+}
+
+std::uint64_t BinnedSeries::total() const {
+  return std::accumulate(bins_.begin(), bins_.end(), std::uint64_t{0});
+}
+
+std::vector<double> BinnedSeries::rates() const {
+  const double width_seconds = bin_width_.total_seconds();
+  std::vector<double> out(bins_.size());
+  std::transform(bins_.begin(), bins_.end(), out.begin(), [&](std::uint64_t v) {
+    return static_cast<double>(v) / width_seconds;
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> BinnedSeries::cumulative() const {
+  std::vector<std::uint64_t> out(bins_.size());
+  std::partial_sum(bins_.begin(), bins_.end(), out.begin());
+  return out;
+}
+
+std::vector<double> ratio_series(const BinnedSeries& numerator,
+                                 const BinnedSeries& denominator) {
+  if (numerator.bin_count() != denominator.bin_count()) {
+    throw std::invalid_argument("ratio_series: bin count mismatch");
+  }
+  std::vector<double> out(numerator.bin_count());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t d = denominator.bin(i);
+    out[i] = d == 0 ? 0.0
+                    : static_cast<double>(numerator.bin(i)) / static_cast<double>(d);
+  }
+  return out;
+}
+
+std::vector<double> cumulative_ratio_series(const BinnedSeries& numerator,
+                                            const BinnedSeries& denominator) {
+  if (numerator.bin_count() != denominator.bin_count()) {
+    throw std::invalid_argument("cumulative_ratio_series: bin count mismatch");
+  }
+  const auto num = numerator.cumulative();
+  const auto den = denominator.cumulative();
+  std::vector<double> out(num.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = den[i] == 0
+                 ? 0.0
+                 : static_cast<double>(num[i]) / static_cast<double>(den[i]);
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static constexpr const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (values.empty() || width == 0) return "";
+  const double max_value = *std::max_element(values.begin(), values.end());
+  std::string out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    // Down-sample by taking the max within each output column so short
+    // spikes stay visible.
+    const std::size_t begin = i * values.size() / width;
+    std::size_t end = (i + 1) * values.size() / width;
+    if (end <= begin) end = begin + 1;
+    double column = 0;
+    for (std::size_t j = begin; j < end && j < values.size(); ++j) {
+      column = std::max(column, values[j]);
+    }
+    const int level =
+        max_value <= 0 ? 0 : static_cast<int>(column / max_value * 7.0 + 0.5);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace orion::stats

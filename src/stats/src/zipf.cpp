@@ -1,0 +1,69 @@
+#include "orion/stats/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace orion::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty support");
+  cdf_.resize(n);
+  double running = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    running += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[k] = running;
+  }
+  for (double& v : cdf_) v /= running;
+}
+
+std::size_t ZipfSampler::sample(net::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfSampler::pmf: bad rank");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+std::vector<double> cumulative_contribution_curve(
+    std::vector<std::uint64_t> weights) {
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  long double total = 0;
+  for (const std::uint64_t w : weights) total += w;
+  std::vector<double> curve(weights.size());
+  long double running = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    running += weights[i];
+    curve[i] = total == 0 ? 0.0 : static_cast<double>(running / total);
+  }
+  return curve;
+}
+
+double fit_zipf_exponent(std::vector<std::uint64_t> weights) {
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  // Drop zero weights: log of zero is undefined and zero contributors carry
+  // no rank information.
+  while (!weights.empty() && weights.back() == 0) weights.pop_back();
+  if (weights.size() < 2) return 0.0;
+
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  const auto n = static_cast<double>(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(static_cast<double>(weights[i]));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  if (denom == 0) return 0.0;
+  const double slope = (n * sum_xy - sum_x * sum_y) / denom;
+  return -slope;
+}
+
+}  // namespace orion::stats

@@ -1,0 +1,30 @@
+// Darknet-event persistence: a compact binary format (magic + version +
+// darknet size + fixed-width records) and a CSV export, so longitudinal
+// event datasets can be archived and reloaded without re-simulation or
+// re-aggregation — the role of the ORION "darknet events" files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "orion/telescope/capture.hpp"
+#include "orion/telescope/event.hpp"
+
+namespace orion::telescope {
+
+/// Writes a dataset; returns bytes written. The format is little-endian,
+/// fixed-width, versioned ("ODE1").
+std::uint64_t write_events_binary(const EventDataset& dataset, std::ostream& out);
+
+/// Reads a dataset written by write_events_binary. Throws
+/// std::runtime_error (with context) on bad magic, version, truncation or
+/// a record count mismatch.
+EventDataset read_events_binary(std::istream& in);
+
+/// Human-readable CSV: one row per event with start/end timestamps (ns),
+/// key, packets, unique destinations and per-tool packet counts.
+void write_events_csv(const EventDataset& dataset, std::ostream& out);
+
+}  // namespace orion::telescope

@@ -1,0 +1,25 @@
+// Event inactivity-timeout derivation (the paper's footnote 1, after Moore
+// et al.'s "flow timeout problem").
+#pragma once
+
+#include <cstdint>
+
+#include "orion/netbase/simtime.hpp"
+
+namespace orion::telescope {
+
+/// Derives the event-expiration timeout for a darknet of `darknet_size`
+/// addresses, assuming a "long scan" probing all of IPv4 uniformly at
+/// `rate_pps` for `scan_duration`.
+///
+/// Such a scan hits the darknet as a Poisson process with mean gap
+///   g = 2^32 / (rate * darknet_size)
+/// and lands h = rate * duration * darknet_size / 2^32 probes in total.
+/// The expected maximum of h exponential(1/g) gaps is about g * ln(h), so a
+/// timeout of that magnitude keeps a long scan in one event with high
+/// probability. With the paper's parameters (475k dark IPs, 100 pps,
+/// 2 days) this yields ≈ 11 minutes — the paper's "around 10 minutes".
+net::Duration derive_timeout(std::uint64_t darknet_size, double rate_pps,
+                             net::Duration scan_duration);
+
+}  // namespace orion::telescope

@@ -1,0 +1,108 @@
+#include "orion/telescope/aggregator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace orion::telescope {
+
+EventAggregator::EventAggregator(net::PrefixSet dark_space,
+                                 AggregatorConfig config, EventSink sink)
+    : dark_space_(std::move(dark_space)),
+      config_(config),
+      sink_(std::move(sink)) {
+  if (config_.timeout.total_nanos() <= 0) {
+    throw std::invalid_argument("EventAggregator: non-positive timeout");
+  }
+}
+
+void EventAggregator::observe(const pkt::Packet& packet) {
+  if (saw_packet_ && packet.timestamp < last_timestamp_) {
+    throw std::invalid_argument(
+        "EventAggregator::observe: timestamps must be non-decreasing");
+  }
+  if (!saw_packet_) {
+    next_sweep_ = packet.timestamp + config_.sweep_interval;
+    saw_packet_ = true;
+  }
+  last_timestamp_ = packet.timestamp;
+  ++packets_seen_;
+
+  if (packet.timestamp >= next_sweep_) sweep(packet.timestamp);
+
+  if (!dark_space_.contains(packet.tuple.dst)) {
+    ++ignored_out_of_space_;
+    return;
+  }
+  const pkt::TrafficType type = packet.traffic_type();
+  if (type == pkt::TrafficType::Other) {
+    ++ignored_non_scanning_;
+    return;
+  }
+  ++scanning_packets_;
+
+  const EventKey key{packet.tuple.src,
+                     type == pkt::TrafficType::IcmpEchoReq ? std::uint16_t{0}
+                                                           : packet.tuple.dst_port,
+                     type};
+  auto it = live_.find(key);
+  if (it != live_.end() &&
+      packet.timestamp - it->second.last_seen > config_.timeout) {
+    // The previous event for this key already expired; emit it and start a
+    // fresh one. (The sweep usually does this, but a key can stay idle
+    // across a sweep boundary when sweeps are coarse.)
+    emit(key, it->second);
+    live_.erase(it);
+    it = live_.end();
+  }
+  if (it == live_.end()) {
+    it = live_
+             .emplace(key, LiveEvent(config_.exact_dest_limit,
+                                     config_.hll_precision))
+             .first;
+    it->second.start = packet.timestamp;
+  }
+  LiveEvent& live = it->second;
+  live.last_seen = packet.timestamp;
+  ++live.packets;
+  ++live.packets_by_tool[tool_index(pkt::fingerprint_of(packet))];
+  live.dests.add(dark_space_.offset_of(packet.tuple.dst));
+}
+
+void EventAggregator::advance_to(net::SimTime now) {
+  if (saw_packet_ && now < last_timestamp_) {
+    throw std::invalid_argument("EventAggregator::advance_to: time regression");
+  }
+  last_timestamp_ = now;
+  sweep(now);
+}
+
+void EventAggregator::finish() {
+  for (const auto& [key, live] : live_) emit(key, live);
+  live_.clear();
+}
+
+void EventAggregator::emit(const EventKey& key, const LiveEvent& live) {
+  DarknetEvent event;
+  event.key = key;
+  event.start = live.start;
+  event.end = live.last_seen;
+  event.packets = live.packets;
+  event.packets_by_tool = live.packets_by_tool;
+  event.unique_dests = live.dests.estimate();
+  ++events_emitted_;
+  if (sink_) sink_(event);
+}
+
+void EventAggregator::sweep(net::SimTime now) {
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (now - it->second.last_seen > config_.timeout) {
+      emit(it->first, it->second);
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  next_sweep_ = now + config_.sweep_interval;
+}
+
+}  // namespace orion::telescope

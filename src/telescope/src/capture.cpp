@@ -1,0 +1,45 @@
+#include "orion/telescope/capture.hpp"
+
+#include <algorithm>
+
+namespace orion::telescope {
+
+EventDataset::EventDataset(std::vector<DarknetEvent> events,
+                           std::uint64_t darknet_size)
+    : events_(std::move(events)), darknet_size_(darknet_size) {
+  std::sort(events_.begin(), events_.end(),
+            [](const DarknetEvent& a, const DarknetEvent& b) {
+              return a.start < b.start;
+            });
+  std::unordered_set<net::Ipv4Address> sources;
+  for (const DarknetEvent& e : events_) {
+    total_packets_ += e.packets;
+    sources.insert(e.key.src);
+  }
+  unique_sources_ = sources.size();
+  if (!events_.empty()) {
+    first_day_ = events_.front().day();
+    last_day_ = 0;
+    for (const DarknetEvent& e : events_) {
+      last_day_ = std::max(last_day_, e.day());
+    }
+  }
+}
+
+TelescopeCapture::TelescopeCapture(net::PrefixSet dark_space,
+                                   AggregatorConfig config)
+    : aggregator_(dark_space, config, collector_.sink()),
+      darknet_size_(dark_space.total_addresses()) {}
+
+void TelescopeCapture::observe(const pkt::Packet& packet) {
+  ++packets_captured_;
+  sources_.insert(packet.tuple.src);
+  aggregator_.observe(packet);
+}
+
+EventDataset TelescopeCapture::finish() {
+  aggregator_.finish();
+  return EventDataset(collector_.take(), darknet_size_);
+}
+
+}  // namespace orion::telescope

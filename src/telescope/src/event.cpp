@@ -1,0 +1,12 @@
+#include "orion/telescope/event.hpp"
+
+#include <algorithm>
+
+namespace orion::telescope {
+
+pkt::ScanTool DarknetEvent::dominant_tool() const {
+  const auto it = std::max_element(packets_by_tool.begin(), packets_by_tool.end());
+  return static_cast<pkt::ScanTool>(it - packets_by_tool.begin());
+}
+
+}  // namespace orion::telescope

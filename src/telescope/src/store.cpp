@@ -1,0 +1,100 @@
+#include "orion/telescope/store.hpp"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace orion::telescope {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'D', 'E', '1'};
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  std::array<char, 8> bytes;
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out.write(bytes.data(), 8);
+}
+
+std::uint64_t get_u64(std::istream& in, const char* what) {
+  std::array<unsigned char, 8> bytes;
+  in.read(reinterpret_cast<char*>(bytes.data()), 8);
+  if (in.gcount() != 8) {
+    throw std::runtime_error(std::string("event store: truncated ") + what);
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t write_events_binary(const EventDataset& dataset, std::ostream& out) {
+  out.write(kMagic, 4);
+  put_u64(out, dataset.darknet_size());
+  put_u64(out, dataset.events().size());
+  for (const DarknetEvent& e : dataset.events()) {
+    put_u64(out, e.key.src.value());
+    put_u64(out, (std::uint64_t{e.key.dst_port} << 8) |
+                     static_cast<std::uint64_t>(e.key.type));
+    put_u64(out, static_cast<std::uint64_t>(e.start.since_epoch().total_nanos()));
+    put_u64(out, static_cast<std::uint64_t>(e.end.since_epoch().total_nanos()));
+    put_u64(out, e.packets);
+    put_u64(out, e.unique_dests);
+    for (const std::uint64_t t : e.packets_by_tool) put_u64(out, t);
+  }
+  return 4 + 16 + dataset.events().size() * 8 * 10;
+}
+
+EventDataset read_events_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (in.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("event store: bad magic (not an ODE1 file)");
+  }
+  const std::uint64_t darknet_size = get_u64(in, "darknet size");
+  const std::uint64_t count = get_u64(in, "event count");
+  // Arbitrary sanity cap: ~6 GiB of records.
+  if (count > (std::uint64_t{1} << 27)) {
+    throw std::runtime_error("event store: absurd event count");
+  }
+  std::vector<DarknetEvent> events;
+  events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DarknetEvent e;
+    e.key.src = net::Ipv4Address(static_cast<std::uint32_t>(get_u64(in, "src")));
+    const std::uint64_t key_word = get_u64(in, "key");
+    e.key.dst_port = static_cast<std::uint16_t>(key_word >> 8);
+    const auto type_raw = static_cast<std::uint8_t>(key_word & 0xFF);
+    if (type_raw > static_cast<std::uint8_t>(pkt::TrafficType::Other)) {
+      throw std::runtime_error("event store: bad traffic type");
+    }
+    e.key.type = static_cast<pkt::TrafficType>(type_raw);
+    e.start = net::SimTime::at(
+        net::Duration::nanos(static_cast<std::int64_t>(get_u64(in, "start"))));
+    e.end = net::SimTime::at(
+        net::Duration::nanos(static_cast<std::int64_t>(get_u64(in, "end"))));
+    e.packets = get_u64(in, "packets");
+    e.unique_dests = get_u64(in, "dests");
+    for (std::uint64_t& t : e.packets_by_tool) t = get_u64(in, "tool packets");
+    events.push_back(e);
+  }
+  return EventDataset(std::move(events), darknet_size);
+}
+
+void write_events_csv(const EventDataset& dataset, std::ostream& out) {
+  out << "src,dst_port,type,start_ns,end_ns,packets,unique_dests,"
+         "zmap_pkts,masscan_pkts,mirai_pkts,other_pkts\n";
+  for (const DarknetEvent& e : dataset.events()) {
+    out << e.key.src.to_string() << ',' << e.key.dst_port << ','
+        << to_string(e.key.type) << ',' << e.start.since_epoch().total_nanos()
+        << ',' << e.end.since_epoch().total_nanos() << ',' << e.packets << ','
+        << e.unique_dests;
+    for (const std::uint64_t t : e.packets_by_tool) out << ',' << t;
+    out << '\n';
+  }
+}
+
+}  // namespace orion::telescope

@@ -1,0 +1,23 @@
+#include "orion/telescope/timeout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace orion::telescope {
+
+net::Duration derive_timeout(std::uint64_t darknet_size, double rate_pps,
+                             net::Duration scan_duration) {
+  if (darknet_size == 0 || rate_pps <= 0 || scan_duration.total_nanos() <= 0) {
+    throw std::invalid_argument("derive_timeout: non-positive parameter");
+  }
+  const double ipv4 = 4294967296.0;
+  const double mean_gap = ipv4 / (rate_pps * static_cast<double>(darknet_size));
+  const double hits = rate_pps * scan_duration.total_seconds() *
+                      static_cast<double>(darknet_size) / ipv4;
+  // Fewer than e expected hits cannot justify stretching the timeout.
+  const double factor = std::max(1.0, std::log(hits));
+  return net::Duration::from_seconds(mean_gap * factor);
+}
+
+}  // namespace orion::telescope

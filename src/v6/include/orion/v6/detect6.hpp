@@ -1,0 +1,47 @@
+// Aggressive-hitter detection for IPv6 (the paper's future work).
+//
+// Definition 1's "10% of the dark space" is meaningless in 2^128; the
+// transferable definitions are the relative ones. We adapt:
+//   * hitlist dispersion — a source covering more than a configured share
+//     of the KNOWN hitlist in one day (the v6 analogue of address
+//     dispersion, with the hitlist as the de-facto universe);
+//   * packet volume      — top-α tail of the per-(src, port, day) packet
+//     ECDF, exactly definition 2;
+//   * distinct ports     — top-α tail of daily distinct-port counts,
+//     exactly definition 3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+
+#include "orion/v6/scanner6.hpp"
+
+namespace orion::v6 {
+
+struct V6DetectorConfig {
+  double hitlist_dispersion_threshold = 0.10;
+  double packet_volume_alpha = 0.01;
+  double port_count_alpha = 0.01;
+};
+
+using V6IpSet = std::unordered_set<net::Ipv6Address>;
+
+struct V6DetectionResult {
+  V6IpSet dispersion_ah;
+  V6IpSet volume_ah;
+  V6IpSet port_ah;
+  std::uint64_t volume_threshold = 0;
+  std::uint64_t port_threshold = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_packets = 0;
+
+  /// All AH under any definition.
+  V6IpSet all() const;
+};
+
+V6DetectionResult detect_v6(const std::vector<V6Event>& events,
+                            std::size_t hitlist_size,
+                            const V6DetectorConfig& config = {});
+
+}  // namespace orion::v6

@@ -1,0 +1,54 @@
+// IPv6 hitlists. A 2^128 space cannot be swept, so real IPv6 scanners
+// (Richter et al. 2022) work from hitlists of addresses learned elsewhere
+// — DNS, CDN logs, address-pattern generation. This module synthesizes a
+// hitlist with the well-known interface-ID patterns and classifies
+// addresses back into them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/netbase/ipv6.hpp"
+#include "orion/netbase/rng.hpp"
+
+namespace orion::v6 {
+
+enum class AddressPattern : std::uint8_t {
+  LowByte,     // ::1, ::2, ... (servers with hand-assigned addresses)
+  Eui64,       // SLAAC ff:fe-in-the-middle interface IDs
+  Structured,  // service-tagged words in the IID (e.g. ...:443:1)
+  Random,      // privacy addresses / fully random IIDs
+};
+
+constexpr const char* to_string(AddressPattern p) {
+  switch (p) {
+    case AddressPattern::LowByte: return "low-byte";
+    case AddressPattern::Eui64: return "eui-64";
+    case AddressPattern::Structured: return "structured";
+    case AddressPattern::Random: return "random";
+  }
+  return "?";
+}
+
+struct HitlistConfig {
+  std::uint64_t seed = 66;
+  std::size_t prefix_count = 200;      // routed /48s the hitlist spans
+  std::size_t addresses_per_prefix = 40;
+  double low_byte_share = 0.45;
+  double eui64_share = 0.25;
+  double structured_share = 0.15;  // remainder is Random
+};
+
+struct HitlistEntry {
+  net::Ipv6Address address;
+  AddressPattern pattern;
+};
+
+/// Deterministic synthetic hitlist over documentation-space /48s.
+std::vector<HitlistEntry> generate_hitlist(const HitlistConfig& config);
+
+/// Pattern heuristic applied to an arbitrary address (the classifier the
+/// telescope side would run on observed targets).
+AddressPattern classify_pattern(const net::Ipv6Address& address);
+
+}  // namespace orion::v6

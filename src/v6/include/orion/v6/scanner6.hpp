@@ -1,0 +1,56 @@
+// IPv6 scanner behaviour models and event synthesis. IPv6 scanning is
+// hitlist-driven, so "coverage" means a share of the hitlist, and the
+// observable unit is a per-(source, port, day) target count at an IPv6
+// telescope (a set of monitored prefixes whose unused space receives the
+// probes aimed at hitlist neighborhoods).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orion/netbase/ipv6.hpp"
+#include "orion/netbase/simtime.hpp"
+#include "orion/v6/hitlist.hpp"
+
+namespace orion::v6 {
+
+struct V6ScannerProfile {
+  net::Ipv6Address source;
+  /// Share of the hitlist targeted per session.
+  double hitlist_share = 0.1;
+  /// Probes per covered target (address-pattern expansion around hits).
+  int expansion = 1;
+  std::vector<std::uint16_t> ports = {443};
+  std::int64_t start_day = 0;
+  std::int64_t end_day = 1;           // exclusive
+  double sessions_per_day = 0.2;
+  std::uint64_t rng_stream = 0;
+};
+
+/// One observed (source, port, day) aggregate at the IPv6 telescope.
+struct V6Event {
+  net::Ipv6Address src;
+  std::uint16_t dst_port = 0;
+  std::int64_t day = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t unique_targets = 0;
+  /// Pattern mix of the targets (indexed by AddressPattern).
+  std::array<std::uint64_t, 4> targets_by_pattern{};
+};
+
+struct V6SynthConfig {
+  std::uint64_t seed = 67;
+};
+
+/// Synthesizes the telescope's event view of a scanner population probing
+/// the given hitlist.
+std::vector<V6Event> synthesize_v6_events(
+    const std::vector<V6ScannerProfile>& scanners,
+    const std::vector<HitlistEntry>& hitlist, const V6SynthConfig& config);
+
+/// A paper-flavoured demo population: a few heavy hitlist sweepers, a
+/// mid-tier, and a low-rate background.
+std::vector<V6ScannerProfile> demo_v6_population(std::int64_t days,
+                                                 std::uint64_t seed);
+
+}  // namespace orion::v6

@@ -1,0 +1,65 @@
+#include "orion/v6/detect6.hpp"
+
+#include <unordered_map>
+
+#include "orion/stats/ecdf.hpp"
+
+namespace orion::v6 {
+
+V6IpSet V6DetectionResult::all() const {
+  V6IpSet out = dispersion_ah;
+  out.insert(volume_ah.begin(), volume_ah.end());
+  out.insert(port_ah.begin(), port_ah.end());
+  return out;
+}
+
+V6DetectionResult detect_v6(const std::vector<V6Event>& events,
+                            std::size_t hitlist_size,
+                            const V6DetectorConfig& config) {
+  V6DetectionResult result;
+  result.total_events = events.size();
+  if (events.empty() || hitlist_size == 0) return result;
+
+  stats::Ecdf packet_ecdf;
+  // (src, day) -> {aggregate targets, distinct ports}
+  struct DayAgg {
+    std::uint64_t targets = 0;
+    std::unordered_set<std::uint16_t> ports;
+  };
+  std::unordered_map<net::Ipv6Address,
+                     std::unordered_map<std::int64_t, DayAgg>>
+      per_src_day;
+  for (const V6Event& e : events) {
+    result.total_packets += e.packets;
+    packet_ecdf.add(e.packets);
+    DayAgg& agg = per_src_day[e.src][e.day];
+    agg.targets += e.unique_targets;  // per-port sweeps accumulate
+    agg.ports.insert(e.dst_port);
+  }
+
+  result.volume_threshold =
+      packet_ecdf.top_alpha_threshold(config.packet_volume_alpha);
+  stats::Ecdf port_ecdf;
+  for (const auto& [src, days] : per_src_day) {
+    for (const auto& [day, agg] : days) port_ecdf.add(agg.ports.size());
+  }
+  result.port_threshold = port_ecdf.top_alpha_threshold(config.port_count_alpha);
+
+  for (const V6Event& e : events) {
+    if (e.packets > result.volume_threshold) result.volume_ah.insert(e.src);
+    if (static_cast<double>(e.unique_targets) >=
+        config.hitlist_dispersion_threshold * static_cast<double>(hitlist_size)) {
+      result.dispersion_ah.insert(e.src);
+    }
+  }
+  for (const auto& [src, days] : per_src_day) {
+    for (const auto& [day, agg] : days) {
+      if (agg.ports.size() >= result.port_threshold && result.port_threshold > 1) {
+        result.port_ah.insert(src);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace orion::v6

@@ -1,0 +1,76 @@
+#include "orion/v6/hitlist.hpp"
+
+namespace orion::v6 {
+
+namespace {
+
+net::Ipv6Prefix slash48(std::uint64_t index) {
+  // 2001:db8:xxxx::/48 — documentation space, one /48 per index.
+  net::Ipv6Address::Bytes bytes{};
+  bytes[0] = 0x20;
+  bytes[1] = 0x01;
+  bytes[2] = 0x0d;
+  bytes[3] = 0xb8;
+  bytes[4] = static_cast<std::uint8_t>(index >> 8);
+  bytes[5] = static_cast<std::uint8_t>(index);
+  return net::Ipv6Prefix(net::Ipv6Address(bytes), 48);
+}
+
+std::uint64_t eui64_iid(net::Rng& rng) {
+  // MAC-derived: xxxx:xxff:fexx:xxxx with the universal/local bit set.
+  const std::uint64_t mac_hi = rng.bounded(1 << 24);
+  const std::uint64_t mac_lo = rng.bounded(1 << 24);
+  return ((mac_hi | 0x020000) << 40) | (0xfffeull << 24) | mac_lo;
+}
+
+std::uint64_t structured_iid(net::Rng& rng) {
+  // Service-tagged interface IDs like ::80:1, ::443:2, ::25:1.
+  constexpr std::uint64_t services[] = {0x80, 0x443, 0x25, 0x53, 0x8080};
+  const std::uint64_t service = services[rng.bounded(5)];
+  return (service << 16) | (1 + rng.bounded(9));
+}
+
+}  // namespace
+
+std::vector<HitlistEntry> generate_hitlist(const HitlistConfig& config) {
+  net::Rng rng(config.seed);
+  std::vector<HitlistEntry> hitlist;
+  hitlist.reserve(config.prefix_count * config.addresses_per_prefix);
+  for (std::size_t p = 0; p < config.prefix_count; ++p) {
+    const net::Ipv6Prefix prefix = slash48(p);
+    for (std::size_t a = 0; a < config.addresses_per_prefix; ++a) {
+      const double u = rng.uniform();
+      HitlistEntry entry;
+      if (u < config.low_byte_share) {
+        entry.pattern = AddressPattern::LowByte;
+        entry.address = prefix.at_interface(1 + rng.bounded(250));
+      } else if (u < config.low_byte_share + config.eui64_share) {
+        entry.pattern = AddressPattern::Eui64;
+        entry.address = prefix.at_interface(eui64_iid(rng));
+      } else if (u < config.low_byte_share + config.eui64_share +
+                         config.structured_share) {
+        entry.pattern = AddressPattern::Structured;
+        entry.address = prefix.at_interface(structured_iid(rng));
+      } else {
+        entry.pattern = AddressPattern::Random;
+        // Ensure a random IID never collides with the other patterns'
+        // shapes (top byte nonzero).
+        entry.address = prefix.at_interface(rng.next() | (0x45ull << 56));
+      }
+      hitlist.push_back(entry);
+    }
+  }
+  return hitlist;
+}
+
+AddressPattern classify_pattern(const net::Ipv6Address& address) {
+  if (address.is_low_byte()) return AddressPattern::LowByte;
+  if (address.looks_eui64()) return AddressPattern::Eui64;
+  // Structured: the IID fits in 32 bits but is too large for the low-byte
+  // pattern (a short service-tagged suffix such as ::443:2).
+  const std::uint64_t iid = address.interface_id();
+  if ((iid >> 32) == 0 && iid != 0) return AddressPattern::Structured;
+  return AddressPattern::Random;
+}
+
+}  // namespace orion::v6

@@ -1,0 +1,100 @@
+#include "orion/v6/scanner6.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace orion::v6 {
+
+std::vector<V6Event> synthesize_v6_events(
+    const std::vector<V6ScannerProfile>& scanners,
+    const std::vector<HitlistEntry>& hitlist, const V6SynthConfig& config) {
+  std::vector<V6Event> events;
+  net::Rng base(config.seed);
+  for (const V6ScannerProfile& scanner : scanners) {
+    net::Rng rng = base.fork(scanner.rng_stream);
+    for (std::int64_t day = scanner.start_day; day < scanner.end_day; ++day) {
+      const std::uint64_t sessions = rng.poisson(scanner.sessions_per_day);
+      for (std::uint64_t s = 0; s < sessions; ++s) {
+        const std::uint64_t targets =
+            rng.binomial(hitlist.size(), scanner.hitlist_share);
+        if (targets == 0) continue;
+        for (const std::uint16_t port : scanner.ports) {
+          V6Event event;
+          event.src = scanner.source;
+          event.dst_port = port;
+          event.day = day;
+          event.unique_targets = targets;
+          event.packets =
+              targets * static_cast<std::uint64_t>(std::max(1, scanner.expansion));
+          // Pattern mix: sample which hitlist entries were covered.
+          for (std::uint64_t t = 0; t < std::min<std::uint64_t>(targets, 512); ++t) {
+            const HitlistEntry& entry = hitlist[rng.bounded(hitlist.size())];
+            ++event.targets_by_pattern[static_cast<std::size_t>(entry.pattern)];
+          }
+          events.push_back(std::move(event));
+        }
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const V6Event& a, const V6Event& b) {
+    return a.day < b.day;
+  });
+  return events;
+}
+
+std::vector<V6ScannerProfile> demo_v6_population(std::int64_t days,
+                                                 std::uint64_t seed) {
+  net::Rng rng(seed);
+  std::vector<V6ScannerProfile> scanners;
+  const auto make_source = [&](std::uint64_t index) {
+    net::Ipv6Address::Bytes bytes{};
+    bytes[0] = 0x2a;  // 2a0e:...-style source space, distinct from targets
+    bytes[1] = 0x0e;
+    bytes[4] = static_cast<std::uint8_t>(index >> 8);
+    bytes[5] = static_cast<std::uint8_t>(index);
+    return net::Ipv6Prefix(net::Ipv6Address(bytes), 48)
+        .at_interface(1 + rng.bounded(0xFFFF));
+  };
+
+  std::uint64_t index = 0;
+  // Heavy hitlist sweepers (the "aggressive" IPv6 population).
+  for (int i = 0; i < 6; ++i) {
+    V6ScannerProfile s;
+    s.source = make_source(index);
+    s.hitlist_share = 0.5 + rng.uniform() * 0.5;
+    s.expansion = 2 + static_cast<int>(rng.bounded(4));
+    s.ports = {443, 80, 22};
+    s.start_day = 0;
+    s.end_day = days;
+    s.sessions_per_day = 0.8;
+    s.rng_stream = ++index;
+    scanners.push_back(std::move(s));
+  }
+  // Mid-tier.
+  for (int i = 0; i < 40; ++i) {
+    V6ScannerProfile s;
+    s.source = make_source(index);
+    s.hitlist_share = 0.05 + rng.uniform() * 0.2;
+    s.ports = {static_cast<std::uint16_t>(rng.chance(0.5) ? 443 : 22)};
+    s.start_day = static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(days)));
+    s.end_day = std::min<std::int64_t>(days, s.start_day + 1 + static_cast<std::int64_t>(rng.bounded(10)));
+    s.sessions_per_day = 0.5;
+    s.rng_stream = ++index;
+    scanners.push_back(std::move(s));
+  }
+  // Background pokers.
+  for (int i = 0; i < 300; ++i) {
+    V6ScannerProfile s;
+    s.source = make_source(index);
+    s.hitlist_share = 0.001 + rng.uniform() * 0.01;
+    s.ports = {static_cast<std::uint16_t>(rng.chance(0.5) ? 80 : 53)};
+    s.start_day = static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(days)));
+    s.end_day = s.start_day + 1;
+    s.sessions_per_day = 1.0;
+    s.rng_stream = ++index;
+    scanners.push_back(std::move(s));
+  }
+  return scanners;
+}
+
+}  // namespace orion::v6

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "orion/asdb/rdns.hpp"
+#include "orion/asdb/registry.hpp"
+
+namespace orion::asdb {
+namespace {
+
+RegistryConfig small_config() {
+  RegistryConfig config;
+  config.seed = 5;
+  config.cloud_count = 10;
+  config.isp_count = 40;
+  config.hosting_count = 15;
+  config.education_count = 10;
+  config.content_count = 5;
+  config.country_count = 30;
+  config.reserved = {*net::Prefix::parse("198.18.0.0/15")};
+  return config;
+}
+
+TEST(Registry, BuildIsDeterministic) {
+  const Registry a = Registry::build(small_config());
+  const Registry b = Registry::build(small_config());
+  ASSERT_EQ(a.as_count(), b.as_count());
+  for (std::size_t i = 0; i < a.as_count(); ++i) {
+    EXPECT_EQ(a.records()[i].asn, b.records()[i].asn);
+    EXPECT_EQ(a.records()[i].org, b.records()[i].org);
+    EXPECT_EQ(a.records()[i].country, b.records()[i].country);
+    EXPECT_EQ(a.records()[i].prefixes, b.records()[i].prefixes);
+  }
+}
+
+TEST(Registry, PopulationMatchesConfig) {
+  const RegistryConfig config = small_config();
+  const Registry registry = Registry::build(config);
+  EXPECT_EQ(registry.as_count(), config.cloud_count + config.isp_count +
+                                     config.hosting_count +
+                                     config.education_count +
+                                     config.content_count);
+  EXPECT_EQ(registry.filter(AsType::Cloud).size(), config.cloud_count);
+  EXPECT_EQ(registry.filter(AsType::Isp).size(), config.isp_count);
+  EXPECT_EQ(registry.countries().size(), config.country_count);
+}
+
+TEST(Registry, LookupFindsEveryAllocatedPrefix) {
+  const Registry registry = Registry::build(small_config());
+  for (const AsRecord& record : registry.records()) {
+    for (const net::Prefix& p : record.prefixes) {
+      const AsRecord* found = registry.lookup(p.base());
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found->asn, record.asn);
+      EXPECT_EQ(registry.lookup(p.last())->asn, record.asn);
+    }
+  }
+}
+
+TEST(Registry, AllocationsAreDisjointAndAvoidReserved) {
+  const RegistryConfig config = small_config();
+  const Registry registry = Registry::build(config);
+  std::vector<net::Prefix> all;
+  for (const AsRecord& record : registry.records()) {
+    for (const net::Prefix& p : record.prefixes) all.push_back(p);
+  }
+  // PrefixSet::add throws on any overlap.
+  net::PrefixSet set;
+  for (const net::Prefix& p : all) ASSERT_NO_THROW(set.add(p)) << p.to_string();
+  for (const net::Prefix& p : all) {
+    for (const net::Prefix& reserved : config.reserved) {
+      EXPECT_FALSE(reserved.contains(p) || p.contains(reserved))
+          << p.to_string() << " overlaps reserved " << reserved.to_string();
+    }
+  }
+}
+
+TEST(Registry, LookupOutsideAllocationsReturnsNull) {
+  const Registry registry = Registry::build(small_config());
+  // 10/8 is below the allocator's start and 198.18/15 is reserved.
+  EXPECT_EQ(registry.lookup(*net::Ipv4Address::parse("10.1.2.3")), nullptr);
+  EXPECT_EQ(registry.lookup(*net::Ipv4Address::parse("198.18.5.5")), nullptr);
+}
+
+TEST(Registry, FindAsnAndRandomAddress) {
+  const Registry registry = Registry::build(small_config());
+  const AsRecord& record = registry.records().front();
+  EXPECT_EQ(registry.find_asn(record.asn), &record);
+  EXPECT_EQ(registry.find_asn(1), nullptr);
+  EXPECT_EQ(registry.find_asn(999999), nullptr);
+
+  net::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const net::Ipv4Address a = registry.random_address_in_as(record, rng);
+    const AsRecord* found = registry.lookup(a);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->asn, record.asn);
+  }
+}
+
+TEST(Registry, FilterByCountry) {
+  const Registry registry = Registry::build(small_config());
+  const auto us_clouds = registry.filter(AsType::Cloud, "US");
+  for (const AsRecord* as : us_clouds) {
+    EXPECT_EQ(as->type, AsType::Cloud);
+    EXPECT_EQ(as->country, "US");
+  }
+}
+
+TEST(Region, CountryMapping) {
+  EXPECT_EQ(region_of_country("US"), Region::NorthAmerica);
+  EXPECT_EQ(region_of_country("CA"), Region::NorthAmerica);
+  EXPECT_EQ(region_of_country("CN"), Region::Asia);
+  EXPECT_EQ(region_of_country("KR"), Region::Asia);
+  EXPECT_EQ(region_of_country("TW"), Region::Asia);
+  EXPECT_EQ(region_of_country("RU"), Region::Europe);
+  EXPECT_EQ(region_of_country("DE"), Region::Europe);
+  EXPECT_EQ(region_of_country("BR"), Region::Other);
+  EXPECT_EQ(region_of_country("ZZ"), Region::Other);
+}
+
+TEST(Registry, RegionsAreConsistentWithCountries) {
+  const Registry registry = Registry::build(small_config());
+  for (const AsRecord& record : registry.records()) {
+    EXPECT_EQ(record.region, region_of_country(record.country));
+  }
+}
+
+// --------------------------------------------------------------- ReverseDns
+
+TEST(ReverseDns, ExplicitRecordsWin) {
+  const Registry registry = Registry::build(small_config());
+  ReverseDns rdns(&registry, 1.0);
+  const net::Ipv4Address ip = registry.records().front().prefixes.front().base();
+  rdns.register_ptr(ip, "probe-1.netcensus.example.org");
+  EXPECT_EQ(rdns.lookup(ip), "probe-1.netcensus.example.org");
+  EXPECT_EQ(rdns.explicit_records(), 1u);
+}
+
+TEST(ReverseDns, GenericHostnamesIncludeOrg) {
+  const Registry registry = Registry::build(small_config());
+  ReverseDns rdns(&registry, 1.0);
+  const AsRecord& as = registry.records().front();
+  const net::Ipv4Address ip = as.prefixes.front().base();
+  const auto name = rdns.lookup(ip);
+  ASSERT_TRUE(name);
+  EXPECT_NE(name->find(as.org), std::string::npos);
+}
+
+TEST(ReverseDns, CoverageIsDeterministicPerIp) {
+  ReverseDns rdns(nullptr, 0.5, 99);
+  int covered = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const net::Ipv4Address ip(i * 7919);
+    const auto first = rdns.lookup(ip);
+    EXPECT_EQ(first.has_value(), rdns.lookup(ip).has_value());
+    covered += first.has_value();
+  }
+  EXPECT_NEAR(covered, 1000, 100);
+}
+
+TEST(ReverseDns, ZeroCoverageMeansNoPtr) {
+  ReverseDns rdns(nullptr, 0.0);
+  EXPECT_FALSE(rdns.lookup(net::Ipv4Address(12345)));
+}
+
+}  // namespace
+}  // namespace orion::asdb

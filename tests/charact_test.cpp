@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "orion/charact/origins.hpp"
+#include "orion/charact/portfig.hpp"
+#include "orion/charact/temporal.hpp"
+#include "orion/charact/validation.hpp"
+#include "orion/detect/detector.hpp"
+#include "orion/scangen/event_synth.hpp"
+#include "orion/scangen/scenario.hpp"
+#include "orion/stats/zipf.hpp"
+
+namespace orion::charact {
+namespace {
+
+// Shared fixture: tiny scenario, synthesized 2021 dataset, detection run.
+class CharactTest : public testing::Test {
+ protected:
+  struct World {
+    scangen::Scenario scenario{scangen::tiny()};
+    telescope::EventDataset dataset;
+    detect::DetectionResult detection;
+
+    World()
+        : dataset(scangen::synthesize_events(
+                      scenario.population_2021(),
+                      {.darknet_size = scenario.darknet().total_addresses(),
+                       .seed = 55}),
+                  scenario.darknet().total_addresses()),
+          detection(detect::AggressiveScannerDetector(
+                        {.dispersion_threshold = 0.10,
+                         .packet_volume_alpha = scenario.config().def2_alpha,
+                         .port_count_alpha = scenario.config().def3_alpha})
+                        .detect(dataset)) {}
+  };
+
+  static const World& world() {
+    static const World w;
+    return w;
+  }
+};
+
+// ------------------------------------------------------------------- origins
+
+TEST_F(CharactTest, OriginTableAggregatesByAs) {
+  const auto& w = world();
+  const detect::IpSet& ah = w.detection.of(detect::Definition::AddressDispersion).ips;
+  ASSERT_GT(ah.size(), 10u);
+  const OriginTable table =
+      origin_table(w.dataset, ah, w.scenario.registry(), nullptr, nullptr, 10);
+  ASSERT_FALSE(table.rows.empty());
+  EXPECT_LE(table.rows.size(), 10u);
+  // Rows are sorted by unique IPs.
+  for (std::size_t i = 0; i + 1 < table.rows.size(); ++i) {
+    EXPECT_GE(table.rows[i].unique_ips, table.rows[i + 1].unique_ips);
+  }
+  // /24s never exceed /32s; totals bound the rows.
+  std::uint64_t row_ips = 0;
+  for (const OriginRow& row : table.rows) {
+    EXPECT_LE(row.unique_slash24s, row.unique_ips);
+    EXPECT_GT(row.unique_ips, 0u);
+    row_ips += row.unique_ips;
+  }
+  EXPECT_EQ(row_ips, table.top_ips);
+  EXPECT_LE(table.top_ips, table.total_ips);
+  EXPECT_LE(table.top_packets, table.total_packets);
+}
+
+TEST_F(CharactTest, OriginTablePacketsMatchAhEvents) {
+  const auto& w = world();
+  const detect::IpSet& ah = w.detection.of(detect::Definition::AddressDispersion).ips;
+  const OriginTable table = origin_table(w.dataset, ah, w.scenario.registry(),
+                                         nullptr, nullptr, 1000000);
+  std::uint64_t expected = 0;
+  for (const auto& e : w.dataset.events()) {
+    if (ah.contains(e.key.src)) expected += e.packets;
+  }
+  EXPECT_EQ(table.total_packets, expected);
+  EXPECT_EQ(table.top_packets, expected);  // top_n covers everything here
+}
+
+// ------------------------------------------------------------------ temporal
+
+TEST_F(CharactTest, TemporalSeriesAreConsistent) {
+  const auto& w = world();
+  const auto trends = temporal_trends(w.dataset, w.detection,
+                                      detect::Definition::AddressDispersion, {});
+  const std::size_t days = trends.daily_ah.size();
+  ASSERT_GT(days, 0u);
+  for (std::size_t i = 0; i < days; ++i) {
+    // Daily AH <= active AH <= all active; daily AH <= all daily.
+    EXPECT_LE(trends.daily_ah[i], trends.active_ah[i]);
+    EXPECT_LE(trends.active_ah[i], trends.all_active[i]);
+    EXPECT_LE(trends.daily_ah[i], trends.all_daily[i]);
+    EXPECT_LE(trends.daily_ah_packets[i], trends.total_packets[i]);
+  }
+  EXPECT_GT(trends.mean(trends.all_daily), 0.0);
+  EXPECT_GT(trends.ah_packet_share(), 0.0);
+  EXPECT_LE(trends.ah_packet_share(), 1.0);
+  EXPECT_GT(trends.ah_ip_share(), 0.0);
+  EXPECT_LT(trends.ah_ip_share(), 1.0);
+}
+
+TEST_F(CharactTest, NoiseInflatesTotalsOnly) {
+  const auto& w = world();
+  const std::size_t days = w.detection.of(detect::Definition::AddressDispersion)
+                               .daily.size();
+  const std::vector<std::uint64_t> noise(days, 1000);
+  const auto quiet = temporal_trends(w.dataset, w.detection,
+                                     detect::Definition::AddressDispersion, {});
+  const auto noisy = temporal_trends(w.dataset, w.detection,
+                                     detect::Definition::AddressDispersion, noise);
+  for (std::size_t i = 0; i < days; ++i) {
+    EXPECT_EQ(noisy.total_packets[i], quiet.total_packets[i] + 1000);
+    EXPECT_EQ(noisy.daily_ah_packets[i], quiet.daily_ah_packets[i]);
+  }
+  EXPECT_LT(noisy.ah_packet_share(), quiet.ah_packet_share());
+}
+
+TEST(Temporal, MismatchedNoiseThrows) {
+  const telescope::EventDataset dataset({}, 100);
+  const detect::DetectionResult detection =
+      detect::AggressiveScannerDetector().detect(dataset);
+  EXPECT_NO_THROW(
+      temporal_trends(dataset, detection, detect::Definition::AddressDispersion, {}));
+}
+
+// ----------------------------------------------------------------- top ports
+
+TEST_F(CharactTest, TopPortsRankedWithToolShares) {
+  const auto& w = world();
+  const detect::IpSet& ah = w.detection.of(detect::Definition::AddressDispersion).ips;
+  const auto rows = top_ports(w.dataset, ah, 25);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_LE(rows.size(), 25u);
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    EXPECT_GE(rows[i].packets, rows[i + 1].packets);
+  }
+  for (const PortRow& row : rows) {
+    std::uint64_t by_tool = 0;
+    double share_sum = 0;
+    for (std::size_t t = 0; t < row.by_tool.size(); ++t) {
+      by_tool += row.by_tool[t];
+      share_sum += row.tool_share(static_cast<pkt::ScanTool>(t));
+    }
+    EXPECT_EQ(by_tool, row.packets);
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- validation
+
+TEST_F(CharactTest, AckedValidationMatchesResearchAh) {
+  const auto& w = world();
+  asdb::ReverseDns rdns(&w.scenario.registry());
+  const auto acked = intel::AckedScannerList::from_orgs(
+      w.scenario.population_2021().orgs, rdns, intel::AckedConfig{});
+  const detect::IpSet& ah = w.detection.of(detect::Definition::AddressDispersion).ips;
+  const AckedValidation validation = validate_acked(w.dataset, ah, acked, rdns);
+  EXPECT_GT(validation.total_ips, 0u);
+  EXPECT_EQ(validation.total_ips, validation.ip_matches + validation.domain_matches);
+  EXPECT_GT(validation.org_count, 0u);
+  EXPECT_LE(validation.org_count, acked.org_count());
+  EXPECT_LE(validation.matched_packets, validation.all_ah_packets);
+  EXPECT_GT(validation.packet_share_percent(), 0.0);
+  EXPECT_LT(validation.packet_share_percent(), 100.0);
+}
+
+TEST_F(CharactTest, IntersectionTableInvariants) {
+  const auto& w = world();
+  const auto rows = intersection_table(w.detection, w.scenario.registry());
+  ASSERT_EQ(rows.size(), 7u);
+  const auto& d1 = rows[0];
+  const auto& d2 = rows[1];
+  const auto& d12 = rows[3];
+  const auto& d123 = rows[6];
+  EXPECT_LE(d12.ips, std::min(d1.ips, d2.ips));
+  EXPECT_LE(d123.ips, d12.ips);
+  for (const IntersectionRow& row : rows) {
+    EXPECT_LE(row.asns, row.ips);
+    EXPECT_LE(row.orgs, row.asns + 1);
+    EXPECT_LE(row.countries, row.asns + 1);
+  }
+}
+
+TEST_F(CharactTest, JaccardD1D2IsHigh) {
+  const auto& w = world();
+  const double j = definition_jaccard(w.detection,
+                                      detect::Definition::AddressDispersion,
+                                      detect::Definition::PacketVolume);
+  EXPECT_GE(j, 0.0);
+  EXPECT_LE(j, 1.0);
+}
+
+TEST_F(CharactTest, GnBreakdownAndTags) {
+  const auto& w = world();
+  asdb::ReverseDns rdns(&w.scenario.registry());
+  const auto acked = intel::AckedScannerList::from_orgs(
+      w.scenario.population_2021().orgs, rdns, intel::AckedConfig{});
+  intel::HoneypotConfig gn_config;
+  gn_config.window_start_day = w.scenario.population_2021().config.window_start_day;
+  gn_config.window_end_day = w.scenario.population_2021().config.window_end_day;
+  intel::HoneypotNetwork gn(w.scenario.honeypots(), gn_config);
+  gn.observe(w.scenario.population_2021());
+
+  const detect::IpSet& ah = w.detection.of(detect::Definition::AddressDispersion).ips;
+  const GnBreakdown breakdown = gn_breakdown(ah, gn, acked, rdns);
+  EXPECT_EQ(breakdown.benign + breakdown.malicious + breakdown.unknown +
+                breakdown.not_in_gn + breakdown.acked_removed,
+            ah.size());
+  // Nearly all non-ACKed AH appear in the honeypots (paper: 99.3%).
+  EXPECT_GT(breakdown.overlap_percent(), 90.0);
+
+  const auto tags = gn_tags(ah, gn, acked, rdns);
+  EXPECT_GT(tags.distinct(), 2u);
+  // The ACKed filter removes research scanners, so no benign-heavy tags top
+  // the list by construction of the tiny scenario's categories.
+}
+
+TEST_F(CharactTest, PacketWeightsFeedZipfCurve) {
+  const auto& w = world();
+  const detect::IpSet& ah = w.detection.of(detect::Definition::AddressDispersion).ips;
+  const auto weights = ah_packet_weights(w.dataset, ah);
+  EXPECT_EQ(weights.size(), ah.size());
+  const auto curve = stats::cumulative_contribution_curve(weights);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_NEAR(curve.back(), 1.0, 1e-9);
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i + 1] + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace orion::charact

@@ -1,0 +1,542 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "orion/detect/detector.hpp"
+#include "orion/detect/lists.hpp"
+
+namespace orion::detect {
+namespace {
+
+constexpr std::uint64_t kDarknetSize = 1000;
+
+telescope::DarknetEvent make_event(const char* src, std::uint16_t port,
+                                   std::int64_t day, std::uint64_t packets,
+                                   std::uint64_t uniques,
+                                   pkt::TrafficType type = pkt::TrafficType::TcpSyn,
+                                   std::int64_t end_day = -1) {
+  telescope::DarknetEvent e;
+  e.key.src = *net::Ipv4Address::parse(src);
+  e.key.dst_port = port;
+  e.key.type = type;
+  e.start = net::SimTime::at(net::Duration::days(day) + net::Duration::hours(6));
+  e.end = end_day < 0 ? e.start + net::Duration::hours(2)
+                      : net::SimTime::at(net::Duration::days(end_day) +
+                                         net::Duration::hours(6));
+  e.packets = packets;
+  e.unique_dests = uniques;
+  e.packets_by_tool[telescope::tool_index(pkt::ScanTool::Other)] = packets;
+  return e;
+}
+
+telescope::EventDataset background_plus(std::vector<telescope::DarknetEvent> extra) {
+  // 200 background sources with 1..5 same-day single-port events each keep
+  // both ECDFs (per-event packets, per-day distinct ports) well-populated
+  // and non-degenerate.
+  std::vector<telescope::DarknetEvent> events;
+  for (int s = 0; s < 200; ++s) {
+    const std::string src =
+        net::Ipv4Address(0x0A000000u + static_cast<std::uint32_t>(s)).to_string();
+    for (int k = 0; k <= s % 5; ++k) {
+      events.push_back(make_event(src.c_str(),
+                                  static_cast<std::uint16_t>(80 + k), s % 5,
+                                  5 + static_cast<std::uint64_t>(s % 7), 5));
+    }
+  }
+  for (auto& e : extra) events.push_back(std::move(e));
+  return telescope::EventDataset(std::move(events), kDarknetSize);
+}
+
+DetectorConfig test_config() {
+  DetectorConfig config;
+  config.packet_volume_alpha = 0.005;  // top ~5 of 1000 background events
+  config.port_count_alpha = 0.005;
+  return config;
+}
+
+// ------------------------------------------------------------- definition 1
+
+TEST(Detector, Definition1FlagsDispersedEvents) {
+  const auto dataset = background_plus({
+      make_event("203.0.113.1", 23, 2, 150, 120),  // 12% >= 10% -> AH
+      make_event("203.0.113.2", 23, 2, 150, 80),   // 8% -> not AH
+  });
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  const DefinitionResult& d1 = result.of(Definition::AddressDispersion);
+  EXPECT_TRUE(d1.ips.contains(*net::Ipv4Address::parse("203.0.113.1")));
+  EXPECT_FALSE(d1.ips.contains(*net::Ipv4Address::parse("203.0.113.2")));
+  EXPECT_EQ(d1.qualifying_events, 1u);
+  EXPECT_EQ(d1.threshold, 0u);
+}
+
+TEST(Detector, Definition1BoundaryIsInclusive) {
+  const auto dataset = background_plus({
+      make_event("203.0.113.1", 23, 2, 100, 100),  // exactly 10%
+  });
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  EXPECT_TRUE(result.of(Definition::AddressDispersion)
+                  .ips.contains(*net::Ipv4Address::parse("203.0.113.1")));
+}
+
+// ------------------------------------------------------------- definition 2
+
+TEST(Detector, Definition2UsesEcdfTail) {
+  const auto dataset = background_plus({
+      make_event("203.0.113.1", 23, 2, 100000, 90),  // giant event
+  });
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  const DefinitionResult& d2 = result.of(Definition::PacketVolume);
+  EXPECT_TRUE(d2.ips.contains(*net::Ipv4Address::parse("203.0.113.1")));
+  EXPECT_GE(d2.threshold, 11u);     // at/above every background event
+  EXPECT_LT(d2.threshold, 100000u); // below the giant
+  // Background sources stay out (qualification is strictly greater).
+  EXPECT_LT(d2.ips.size(), 10u);
+}
+
+// ------------------------------------------------------------- definition 3
+
+TEST(Detector, Definition3CountsDailyDistinctPorts) {
+  std::vector<telescope::DarknetEvent> sweep;
+  for (std::uint16_t p = 1; p <= 60; ++p) {
+    sweep.push_back(make_event("203.0.113.3", p, 2, 2, 2));
+  }
+  const auto dataset = background_plus(std::move(sweep));
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  const DefinitionResult& d3 = result.of(Definition::DistinctPorts);
+  EXPECT_TRUE(d3.ips.contains(*net::Ipv4Address::parse("203.0.113.3")));
+  EXPECT_GT(d3.threshold, 3u);
+  EXPECT_LE(d3.threshold, 60u);
+  // Sources with a single daily port never qualify.
+  EXPECT_FALSE(d3.ips.contains(net::Ipv4Address(0x0A000000u)));
+}
+
+TEST(Detector, Definition3SplitsAcrossDays) {
+  // 30 ports on each of two days — each day's count is 30, not 60.
+  std::vector<telescope::DarknetEvent> sweep;
+  for (std::uint16_t p = 1; p <= 30; ++p) {
+    sweep.push_back(make_event("203.0.113.3", p, 2, 2, 2));
+    sweep.push_back(make_event("203.0.113.3", static_cast<std::uint16_t>(100 + p),
+                               3, 2, 2));
+  }
+  const auto dataset = background_plus(std::move(sweep));
+  DetectorConfig config = test_config();
+  config.port_count_alpha = 0.0005;  // threshold lands above 30
+  const DetectionResult result = AggressiveScannerDetector(config).detect(dataset);
+  const DefinitionResult& d3 = result.of(Definition::DistinctPorts);
+  if (d3.threshold > 30) {
+    EXPECT_FALSE(d3.ips.contains(*net::Ipv4Address::parse("203.0.113.3")));
+  }
+}
+
+TEST(Detector, IcmpEventsDoNotCountAsPorts) {
+  std::vector<telescope::DarknetEvent> events;
+  for (int i = 0; i < 50; ++i) {
+    events.push_back(make_event("203.0.113.4", 0, 2, 3, 3,
+                                pkt::TrafficType::IcmpEchoReq));
+  }
+  const auto dataset = background_plus(std::move(events));
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  EXPECT_FALSE(result.of(Definition::DistinctPorts)
+                   .ips.contains(*net::Ipv4Address::parse("203.0.113.4")));
+}
+
+// ------------------------------------------------------- daily / active sets
+
+TEST(Detector, DailyAndActiveAccounting) {
+  const auto dataset = background_plus({
+      // Qualifying D1 event spanning days 1..3.
+      make_event("203.0.113.1", 23, 1, 400, 400, pkt::TrafficType::TcpSyn, 3),
+  });
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  const DefinitionResult& d1 = result.of(Definition::AddressDispersion);
+  const net::Ipv4Address src = *net::Ipv4Address::parse("203.0.113.1");
+  const auto day_index = [&](std::int64_t day) {
+    return static_cast<std::size_t>(day - result.first_day);
+  };
+  const auto in = [&](const std::vector<net::Ipv4Address>& v) {
+    return std::binary_search(v.begin(), v.end(), src);
+  };
+  EXPECT_TRUE(in(d1.daily[day_index(1)]));
+  EXPECT_FALSE(in(d1.daily[day_index(2)]));
+  EXPECT_TRUE(in(d1.active[day_index(1)]));
+  EXPECT_TRUE(in(d1.active[day_index(2)]));
+  EXPECT_TRUE(in(d1.active[day_index(3)]));
+  EXPECT_FALSE(in(d1.active[day_index(4)]));
+}
+
+TEST(Detector, DailyAhPacketsIncludeAllTheirEvents) {
+  const auto dataset = background_plus({
+      make_event("203.0.113.1", 23, 2, 400, 400),  // qualifying
+      make_event("203.0.113.1", 80, 2, 7, 7),      // small event, same src+day
+  });
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  const DefinitionResult& d1 = result.of(Definition::AddressDispersion);
+  const auto index = static_cast<std::size_t>(2 - result.first_day);
+  EXPECT_EQ(d1.daily_ah_packets[index], 407u);
+}
+
+TEST(Detector, TotalPacketsPerDayCoverEverything) {
+  const auto dataset = background_plus({});
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  std::uint64_t total = 0;
+  for (const std::uint64_t day : result.total_event_packets_per_day) total += day;
+  EXPECT_EQ(total, dataset.total_packets());
+}
+
+TEST(Detector, EmptyDatasetYieldsEmptyResult) {
+  const telescope::EventDataset dataset({}, kDarknetSize);
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  for (const Definition d : kAllDefinitions) {
+    EXPECT_TRUE(result.of(d).ips.empty());
+    EXPECT_TRUE(result.of(d).daily.empty());
+  }
+}
+
+TEST(Detector, ConfigValidation) {
+  DetectorConfig config;
+  config.dispersion_threshold = 0;
+  EXPECT_THROW(AggressiveScannerDetector{config}, std::invalid_argument);
+  config = {};
+  config.packet_volume_alpha = 1.0;
+  EXPECT_THROW(AggressiveScannerDetector{config}, std::invalid_argument);
+  config = {};
+  config.port_count_alpha = 0.0;
+  EXPECT_THROW(AggressiveScannerDetector{config}, std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- lists
+
+TEST(Lists, BuildMergesDefinitions) {
+  const auto dataset = background_plus({
+      make_event("203.0.113.1", 23, 2, 100000, 400),  // D1 + D2
+  });
+  const DetectionResult result = AggressiveScannerDetector(test_config()).detect(dataset);
+  const auto entries = build_daily_lists(result);
+  const net::Ipv4Address src = *net::Ipv4Address::parse("203.0.113.1");
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [&](const DailyListEntry& e) { return e.ip == src; });
+  ASSERT_NE(it, entries.end());
+  EXPECT_TRUE(it->matches(Definition::AddressDispersion));
+  EXPECT_TRUE(it->matches(Definition::PacketVolume));
+  EXPECT_EQ(it->day, 2);
+}
+
+TEST(Lists, CsvRoundTrip) {
+  std::vector<DailyListEntry> entries = {
+      {5, *net::Ipv4Address::parse("203.0.113.1"), 0b011},
+      {6, *net::Ipv4Address::parse("203.0.113.2"), 0b100},
+  };
+  std::stringstream stream;
+  EXPECT_EQ(write_daily_lists_csv(entries, stream), 2u);
+  const auto read = read_daily_lists_csv(stream);
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_EQ(read[0], entries[0]);
+  EXPECT_EQ(read[1], entries[1]);
+}
+
+TEST(Lists, CsvRejectsMalformedInput) {
+  const auto expect_throw = [](const std::string& content) {
+    std::istringstream in(content);
+    EXPECT_THROW(read_daily_lists_csv(in), std::runtime_error) << content;
+  };
+  expect_throw("wrong,header,row\n");
+  expect_throw("date,ip,definitions\nnot-a-date,1.2.3.4,1\n");
+  expect_throw("date,ip,definitions\n2021-01-05,999.2.3.4,1\n");
+  expect_throw("date,ip,definitions\n2021-01-05,1.2.3.4,9\n");
+  expect_throw("date,ip,definitions\n2021-01-05,1.2.3.4,\n");
+  expect_throw("date,ip,definitions\n2021-01-05\n");
+}
+
+TEST(Lists, CsvUsesCalendarDates) {
+  std::vector<DailyListEntry> entries = {
+      {365, *net::Ipv4Address::parse("1.2.3.4"), 1}};
+  std::stringstream stream;
+  write_daily_lists_csv(entries, stream);
+  EXPECT_NE(stream.str().find("2022-01-01"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orion::detect
+
+// NOTE: appended suite — online/streaming detection.
+#include "orion/detect/streaming.hpp"
+
+namespace orion::detect {
+namespace {
+
+StreamingConfig streaming_config() {
+  StreamingConfig config;
+  config.base = test_config();
+  config.warmup_samples = 100;
+  return config;
+}
+
+TEST(StreamingDetector, EmitsDayResultsAtBoundaries) {
+  StreamingDetector detector(streaming_config(), kDarknetSize);
+  // Day 0: background; day 1: one big dispersed event; day 3: trigger.
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(detector.observe(make_event("10.0.0.1", 80, 0, 5, 5)).empty());
+  }
+  const auto none = detector.observe(make_event("203.0.113.1", 23, 1, 400, 400));
+  ASSERT_EQ(none.size(), 1u);  // day 0 closed
+  EXPECT_EQ(none[0].day, 0);
+
+  const auto results = detector.observe(make_event("10.0.0.2", 80, 3, 5, 5));
+  ASSERT_EQ(results.size(), 2u);  // days 1 and 2 closed
+  EXPECT_EQ(results[0].day, 1);
+  EXPECT_TRUE(results[0].calibrated);
+  const auto& d1_list = results[0].daily[0];
+  EXPECT_TRUE(std::binary_search(d1_list.begin(), d1_list.end(),
+                                 *net::Ipv4Address::parse("203.0.113.1")));
+  // Day 2 had no events at all.
+  EXPECT_TRUE(results[1].daily[0].empty());
+
+  const auto last = detector.finish();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->day, 3);
+  EXPECT_FALSE(detector.finish().has_value());
+}
+
+TEST(StreamingDetector, WithholdsListsDuringWarmup) {
+  StreamingConfig config = streaming_config();
+  config.warmup_samples = 1000000;  // never warm
+  StreamingDetector detector(config, kDarknetSize);
+  detector.observe(make_event("203.0.113.1", 23, 0, 400, 400));
+  const auto results = detector.observe(make_event("10.0.0.1", 80, 1, 5, 5));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].calibrated);
+  EXPECT_TRUE(results[0].daily[0].empty());  // even D1 withheld pre-warmup
+}
+
+TEST(StreamingDetector, RejectsOutOfOrderDays) {
+  StreamingDetector detector(streaming_config(), kDarknetSize);
+  detector.observe(make_event("10.0.0.1", 80, 5, 5, 5));
+  EXPECT_THROW(detector.observe(make_event("10.0.0.1", 80, 4, 5, 5)),
+               std::invalid_argument);
+}
+
+TEST(StreamingDetector, AgreesWithBatchOnDefinition1) {
+  // D1 is threshold-free, so streaming and batch must match exactly.
+  std::vector<telescope::DarknetEvent> events;
+  for (int s = 0; s < 200; ++s) {
+    const std::string src =
+        net::Ipv4Address(0x0A000000u + static_cast<std::uint32_t>(s)).to_string();
+    events.push_back(make_event(src.c_str(), 80, s % 5, 5, s % 3 == 0 ? 150 : 5));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+  const telescope::EventDataset dataset(events, kDarknetSize);
+  const DetectionResult batch =
+      AggressiveScannerDetector(test_config()).detect(dataset);
+
+  StreamingConfig config = streaming_config();
+  config.warmup_samples = 0;
+  StreamingDetector streaming(config, kDarknetSize);
+  for (const auto& e : dataset.events()) streaming.observe(e);
+  streaming.finish();
+  EXPECT_EQ(streaming.ips(Definition::AddressDispersion),
+            batch.of(Definition::AddressDispersion).ips);
+}
+
+TEST(StreamingDetector, RejectsZeroDarknet) {
+  EXPECT_THROW(StreamingDetector(streaming_config(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orion::detect
+
+// NOTE: appended suite — spoofing/misconfiguration filter.
+#include "orion/detect/spoof_filter.hpp"
+#include "orion/scangen/noise.hpp"
+
+namespace orion::detect {
+namespace {
+
+net::PrefixSet filter_dark_space() {
+  return net::PrefixSet({*net::Prefix::parse("198.18.0.0/22")});
+}
+
+TEST(SpoofFilter, BogonDetection) {
+  EXPECT_TRUE(SpoofFilter::is_bogon(*net::Ipv4Address::parse("10.1.2.3")));
+  EXPECT_TRUE(SpoofFilter::is_bogon(*net::Ipv4Address::parse("192.168.1.1")));
+  EXPECT_TRUE(SpoofFilter::is_bogon(*net::Ipv4Address::parse("127.0.0.1")));
+  EXPECT_TRUE(SpoofFilter::is_bogon(*net::Ipv4Address::parse("224.0.0.5")));
+  EXPECT_TRUE(SpoofFilter::is_bogon(*net::Ipv4Address::parse("255.255.255.255")));
+  EXPECT_TRUE(SpoofFilter::is_bogon(*net::Ipv4Address::parse("100.64.0.1")));
+  EXPECT_FALSE(SpoofFilter::is_bogon(*net::Ipv4Address::parse("8.8.8.8")));
+  EXPECT_FALSE(SpoofFilter::is_bogon(*net::Ipv4Address::parse("203.0.113.1")));
+}
+
+TEST(SpoofFilter, FlagsBogonAndOwnSpaceSources) {
+  SpoofFilter filter({}, filter_dark_space());
+  SpoofFilterStats stats;
+  const auto clean = filter.run(
+      {
+          make_event("11.1.1.1", 23, 0, 100, 100),     // clean
+          make_event("192.168.0.7", 23, 0, 100, 100),  // bogon
+          make_event("198.18.1.9", 23, 0, 100, 100),   // inside the darknet
+      },
+      stats);
+  EXPECT_EQ(clean.size(), 1u);
+  EXPECT_EQ(stats.clean, 1u);
+  EXPECT_EQ(stats.bogon, 1u);
+  EXPECT_EQ(stats.own_space, 1u);
+  EXPECT_EQ(stats.total(), 3u);
+}
+
+TEST(SpoofFilter, FlagsMisconfiguration) {
+  // Long-lived, chatty, single-destination event.
+  auto misconfig = make_event("11.1.1.1", 443, 0, 2000, 1);
+  misconfig.end = misconfig.start + net::Duration::days(2);
+  // A real (short) small scan with one destination stays clean.
+  const auto small_scan = make_event("11.1.1.2", 443, 0, 3, 1);
+  SpoofFilter filter({}, filter_dark_space());
+  SpoofFilterStats stats;
+  const auto clean = filter.run({misconfig, small_scan}, stats);
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_EQ(clean[0].key.src, small_scan.key.src);
+  EXPECT_EQ(stats.misconfiguration, 1u);
+}
+
+TEST(SpoofFilter, FlagsSpoofedBurstsButNotScatteredSingles) {
+  std::vector<telescope::DarknetEvent> events;
+  // Burst: 100 distinct sources, one packet each, same port, same minute.
+  for (int i = 0; i < 100; ++i) {
+    auto e = make_event(
+        net::Ipv4Address(0x0B000000u + static_cast<std::uint32_t>(i)).to_string().c_str(),
+        8080, 0, 1, 1);
+    events.push_back(e);
+  }
+  // Scattered singles: different ports, spread over days -> clean.
+  for (int i = 0; i < 20; ++i) {
+    events.push_back(make_event(
+        net::Ipv4Address(0x0C000000u + static_cast<std::uint32_t>(i)).to_string().c_str(),
+        static_cast<std::uint16_t>(1000 + i), i % 5, 1, 1));
+  }
+  SpoofFilter filter({}, filter_dark_space());
+  SpoofFilterStats stats;
+  const auto clean = filter.run(events, stats);
+  EXPECT_EQ(stats.backscatter, 100u);
+  EXPECT_EQ(clean.size(), 20u);
+}
+
+TEST(SpoofFilter, CleansSynthesizedNoiseWithoutTouchingScans) {
+  // Inject generator noise into a legitimate-scan background; the filter
+  // must remove nearly all noise while keeping every real scan.
+  scangen::NoiseEventsConfig noise_config;
+  noise_config.window_start_day = 0;
+  noise_config.window_end_day = 14;
+  noise_config.spoofed_bursts = 6;
+  noise_config.sources_per_burst = 200;
+  noise_config.misconfigured_hosts = 25;
+  const auto noise = scangen::synthesize_noise_events(noise_config);
+
+  std::vector<telescope::DarknetEvent> events;
+  std::unordered_set<net::Ipv4Address> scan_sources;
+  for (int s = 0; s < 300; ++s) {
+    auto e = make_event(
+        net::Ipv4Address(0xCB000000u + static_cast<std::uint32_t>(s)).to_string().c_str(),
+        static_cast<std::uint16_t>(20 + s % 40), s % 14, 40 + s % 200,
+        20 + static_cast<std::uint64_t>(s % 100));
+    scan_sources.insert(e.key.src);
+    events.push_back(e);
+  }
+  const std::size_t scan_count = events.size();
+  events.insert(events.end(), noise.begin(), noise.end());
+
+  SpoofFilter filter({}, filter_dark_space());
+  SpoofFilterStats stats;
+  const auto clean = filter.run(events, stats);
+
+  // All legitimate scans survive.
+  std::size_t surviving_scans = 0;
+  for (const auto& e : clean) surviving_scans += scan_sources.contains(e.key.src);
+  EXPECT_EQ(surviving_scans, scan_count);
+  // >90% of noise events are removed.
+  const double noise_removed =
+      static_cast<double>(stats.bogon + stats.misconfiguration + stats.backscatter) /
+      static_cast<double>(noise.size());
+  EXPECT_GT(noise_removed, 0.90);
+}
+
+TEST(SpoofFilter, NoiseSourcesWouldOtherwisePolluteD3) {
+  // Without the filter, a spoofed burst inflates nothing for D1/D2 (one
+  // packet, one dest) but the misconfigured hosts can reach high packet
+  // counts; verify the filter keeps them out of the detector's D2 set.
+  scangen::NoiseEventsConfig noise_config;
+  noise_config.spoofed_bursts = 2;
+  noise_config.misconfigured_hosts = 30;
+  const auto noise = scangen::synthesize_noise_events(noise_config);
+  auto dataset_events = noise;
+  for (int s = 0; s < 500; ++s) {
+    dataset_events.push_back(make_event(
+        net::Ipv4Address(0xCB100000u + static_cast<std::uint32_t>(s)).to_string().c_str(),
+        80, s % 14, 10 + s % 20, 10));
+  }
+
+  SpoofFilter filter({}, filter_dark_space());
+  SpoofFilterStats stats;
+  const auto clean = filter.run(dataset_events, stats);
+  const telescope::EventDataset filtered(clean, 1000);
+  const DetectionResult result =
+      AggressiveScannerDetector(test_config()).detect(filtered);
+  for (const auto& e : noise) {
+    EXPECT_FALSE(result.of(Definition::PacketVolume).ips.contains(e.key.src));
+  }
+}
+
+}  // namespace
+}  // namespace orion::detect
+
+// NOTE: appended suite — daily-list diffing.
+#include "orion/detect/list_diff.hpp"
+
+namespace orion::detect {
+namespace {
+
+DailyListEntry entry(std::int64_t day, const char* ip) {
+  return {day, *net::Ipv4Address::parse(ip), 1};
+}
+
+TEST(ListDiff, AddedRemovedStable) {
+  const std::vector<DailyListEntry> yesterday = {
+      entry(5, "1.1.1.1"), entry(5, "2.2.2.2"), entry(5, "3.3.3.3")};
+  const std::vector<DailyListEntry> today = {
+      entry(6, "2.2.2.2"), entry(6, "3.3.3.3"), entry(6, "4.4.4.4"),
+      entry(6, "5.5.5.5")};
+  const ListDiff diff = diff_daily_lists(yesterday, today);
+  ASSERT_EQ(diff.added.size(), 2u);
+  EXPECT_EQ(diff.added[0], *net::Ipv4Address::parse("4.4.4.4"));
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0], *net::Ipv4Address::parse("1.1.1.1"));
+  EXPECT_EQ(diff.stable, 2u);
+  EXPECT_GT(diff.churn(), 0.0);
+}
+
+TEST(ListDiff, IdenticalListsHaveZeroChurn) {
+  const std::vector<DailyListEntry> list = {entry(1, "1.1.1.1"),
+                                            entry(1, "2.2.2.2")};
+  const ListDiff diff = diff_daily_lists(list, list);
+  EXPECT_TRUE(diff.added.empty());
+  EXPECT_TRUE(diff.removed.empty());
+  EXPECT_DOUBLE_EQ(diff.churn(), 0.0);
+}
+
+TEST(ListDiff, ChurnSeriesWalksConsecutiveDays) {
+  std::vector<DailyListEntry> entries = {
+      entry(1, "1.1.1.1"), entry(1, "2.2.2.2"),
+      entry(2, "2.2.2.2"), entry(2, "3.3.3.3"),
+      entry(4, "3.3.3.3"),  // day 3 missing: diff is day2 -> day4
+  };
+  const auto series = churn_series(entries);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].first, 2);
+  EXPECT_EQ(series[0].second.added.size(), 1u);
+  EXPECT_EQ(series[0].second.removed.size(), 1u);
+  EXPECT_EQ(series[1].first, 4);
+  EXPECT_EQ(series[1].second.stable, 1u);
+}
+
+}  // namespace
+}  // namespace orion::detect

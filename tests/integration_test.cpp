@@ -1,0 +1,184 @@
+// End-to-end integration over the tiny scenario: world construction ->
+// event synthesis -> detection -> every downstream analysis the paper runs,
+// checking cross-module invariants rather than point values.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "orion/charact/origins.hpp"
+#include "orion/charact/portfig.hpp"
+#include "orion/charact/temporal.hpp"
+#include "orion/charact/validation.hpp"
+#include "orion/detect/lists.hpp"
+#include "orion/impact/flow_join.hpp"
+#include "orion/intel/greynoise.hpp"
+#include "orion/report/table.hpp"
+#include "orion/scangen/event_synth.hpp"
+#include "orion/scangen/scenario.hpp"
+
+namespace orion {
+namespace {
+
+class EndToEnd : public testing::Test {
+ protected:
+  struct World {
+    scangen::Scenario scenario{scangen::tiny()};
+    telescope::EventDataset d1;
+    telescope::EventDataset d2;
+    detect::DetectionResult r1;
+    detect::DetectionResult r2;
+
+    static detect::DetectorConfig detector_config(const scangen::Scenario& s) {
+      return {.dispersion_threshold = s.config().def1_dispersion,
+              .packet_volume_alpha = s.config().def2_alpha,
+              .port_count_alpha = s.config().def3_alpha};
+    }
+
+    World()
+        : d1(scangen::synthesize_events(
+                 scenario.population_2021(),
+                 {.darknet_size = scenario.darknet().total_addresses(),
+                  .seed = scenario.config().seed}),
+             scenario.darknet().total_addresses()),
+          d2(scangen::synthesize_events(
+                 scenario.population_2022(),
+                 {.darknet_size = scenario.darknet().total_addresses(),
+                  .seed = scenario.config().seed + 1}),
+             scenario.darknet().total_addresses()),
+          r1(detect::AggressiveScannerDetector(detector_config(scenario))
+                 .detect(d1)),
+          r2(detect::AggressiveScannerDetector(detector_config(scenario))
+                 .detect(d2)) {}
+  };
+
+  static const World& world() {
+    static const World w;
+    return w;
+  }
+};
+
+TEST_F(EndToEnd, DatasetsAreNonTrivial) {
+  const auto& w = world();
+  EXPECT_GT(w.d1.event_count(), 500u);
+  EXPECT_GT(w.d2.event_count(), 500u);
+  EXPECT_GT(w.d1.unique_sources(), 100u);
+  EXPECT_GT(w.d1.total_packets(), 100000u);
+}
+
+TEST_F(EndToEnd, DetectionFindsAggressiveScannersOfEveryKind) {
+  const auto& w = world();
+  for (const auto* result : {&w.r1, &w.r2}) {
+    EXPECT_GT(result->of(detect::Definition::AddressDispersion).ips.size(), 20u);
+    EXPECT_GT(result->of(detect::Definition::PacketVolume).ips.size(), 10u);
+    EXPECT_GT(result->of(detect::Definition::DistinctPorts).ips.size(), 0u);
+  }
+}
+
+TEST_F(EndToEnd, AhAreMinorityOfSourcesButMajorityOfPackets) {
+  const auto& w = world();
+  const detect::IpSet& ah = w.r1.of(detect::Definition::AddressDispersion).ips;
+  EXPECT_LT(ah.size(), w.d1.unique_sources() / 2);
+  std::uint64_t ah_packets = 0;
+  for (const auto& e : w.d1.events()) {
+    if (ah.contains(e.key.src)) ah_packets += e.packets;
+  }
+  EXPECT_GT(static_cast<double>(ah_packets),
+            0.5 * static_cast<double>(w.d1.total_packets()));
+}
+
+TEST_F(EndToEnd, DispersionEventsAllQualify) {
+  const auto& w = world();
+  const auto threshold = w.scenario.config().def1_dispersion;
+  const detect::IpSet& ah = w.r1.of(detect::Definition::AddressDispersion).ips;
+  for (const auto& e : w.d1.events()) {
+    if (e.dispersion(w.d1.darknet_size()) >= threshold) {
+      EXPECT_TRUE(ah.contains(e.key.src));
+    }
+  }
+}
+
+TEST_F(EndToEnd, FullAnalysisChainRuns) {
+  const auto& w = world();
+  asdb::ReverseDns rdns(&w.scenario.registry());
+  const auto acked = intel::AckedScannerList::from_orgs(
+      w.scenario.population_2021().orgs, rdns, intel::AckedConfig{});
+  const detect::IpSet& ah = w.r1.of(detect::Definition::AddressDispersion).ips;
+
+  // Origins (Table 5).
+  const auto origins =
+      charact::origin_table(w.d1, ah, w.scenario.registry(), &acked, &rdns, 10);
+  EXPECT_FALSE(origins.rows.empty());
+
+  // Temporal (Figure 3) with noise.
+  std::vector<std::uint64_t> noise;
+  for (std::int64_t d = w.r1.first_day; d <= w.r1.last_day; ++d) {
+    noise.push_back(w.scenario.noise_packets_on_day(d));
+  }
+  const auto trends = charact::temporal_trends(
+      w.d1, w.r1, detect::Definition::AddressDispersion, noise);
+  EXPECT_GT(trends.ah_packet_share(), 0.3);
+
+  // Ports (Figure 4): the catalogs' heavy hitters dominate.
+  const auto ports = charact::top_ports(w.d1, ah, 25);
+  ASSERT_GE(ports.size(), 5u);
+  std::vector<std::uint16_t> top5;
+  for (std::size_t i = 0; i < 5; ++i) top5.push_back(ports[i].port);
+  EXPECT_TRUE(std::find(top5.begin(), top5.end(), 6379) != top5.end() ||
+              std::find(top5.begin(), top5.end(), 23) != top5.end());
+
+  // Validation (Table 6).
+  const auto validation = charact::validate_acked(w.d1, ah, acked, rdns);
+  EXPECT_GT(validation.total_ips, 0u);
+
+  // Intersections (Table 7).
+  const auto intersections = charact::intersection_table(w.r1, w.scenario.registry());
+  EXPECT_EQ(intersections.size(), 7u);
+
+  // Report rendering holds the rows.
+  report::Table table({"def", "ips"});
+  for (const auto& row : intersections) {
+    table.add_row({row.label, report::fmt_count(row.ips)});
+  }
+  EXPECT_EQ(table.row_count(), 7u);
+}
+
+TEST_F(EndToEnd, DailyListsRoundTripThroughCsv) {
+  const auto& w = world();
+  const auto entries = detect::build_daily_lists(w.r1);
+  ASSERT_FALSE(entries.empty());
+  std::stringstream stream;
+  detect::write_daily_lists_csv(entries, stream);
+  const auto read = detect::read_daily_lists_csv(stream);
+  EXPECT_EQ(read, entries);
+}
+
+TEST_F(EndToEnd, GreyNoiseOverlapIsNearTotal) {
+  const auto& w = world();
+  asdb::ReverseDns rdns(&w.scenario.registry());
+  const auto acked = intel::AckedScannerList::from_orgs(
+      w.scenario.population_2021().orgs, rdns, intel::AckedConfig{});
+  intel::HoneypotConfig config;
+  config.window_start_day = w.scenario.population_2021().config.window_start_day;
+  config.window_end_day = w.scenario.population_2021().config.window_end_day;
+  intel::HoneypotNetwork gn(w.scenario.honeypots(), config);
+  gn.observe(w.scenario.population_2021());
+
+  const detect::IpSet& ah = w.r1.of(detect::Definition::AddressDispersion).ips;
+  const auto breakdown = charact::gn_breakdown(ah, gn, acked, rdns);
+  EXPECT_GT(breakdown.overlap_percent(), 90.0);
+  // The unknown+malicious mass dominates the benign leftovers (Fig 6 left).
+  EXPECT_GT(breakdown.unknown + breakdown.malicious, breakdown.benign);
+}
+
+TEST_F(EndToEnd, Determinism) {
+  // A second, fresh world produces identical detection sets.
+  const World second;
+  const auto& w = world();
+  for (const auto d : detect::kAllDefinitions) {
+    EXPECT_EQ(second.r1.of(d).ips, w.r1.of(d).ips);
+    EXPECT_EQ(second.r1.of(d).threshold, w.r1.of(d).threshold);
+  }
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "orion/intel/acked.hpp"
+#include "orion/intel/greynoise.hpp"
+#include "orion/scangen/scenario.hpp"
+
+namespace orion::intel {
+namespace {
+
+class IntelTest : public testing::Test {
+ protected:
+  static const scangen::Scenario& scenario() {
+    static const scangen::Scenario s{scangen::tiny()};
+    return s;
+  }
+};
+
+// -------------------------------------------------------------------- acked
+
+TEST_F(IntelTest, ListIsPartialButCoversEveryOrg) {
+  asdb::ReverseDns rdns(&scenario().registry());
+  AckedConfig config;
+  config.ip_listing_completeness = 0.3;
+  const AckedScannerList list =
+      AckedScannerList::from_orgs(scenario().population_2021().orgs, rdns, config);
+
+  EXPECT_EQ(list.org_count(), scenario().population_2021().orgs.size());
+  std::size_t total_ips = 0;
+  for (const auto& org : scenario().population_2021().orgs) {
+    total_ips += org.ips.size();
+    // At least the first IP of every org is listed.
+    EXPECT_TRUE(list.contains_ip(org.ips.front()));
+  }
+  EXPECT_LT(list.listed_ip_count(), total_ips);
+  EXPECT_GE(list.listed_ip_count(), list.org_count());
+}
+
+TEST_F(IntelTest, MatchesByIpAndByDomain) {
+  asdb::ReverseDns rdns(&scenario().registry());
+  AckedConfig config;
+  config.ip_listing_completeness = 0.1;
+  config.ptr_coverage = 1.0;  // every research IP has a PTR
+  const AckedScannerList list =
+      AckedScannerList::from_orgs(scenario().population_2021().orgs, rdns, config);
+
+  std::size_t ip_matches = 0, domain_matches = 0;
+  for (const auto& org : scenario().population_2021().orgs) {
+    for (const net::Ipv4Address ip : org.ips) {
+      const AckedMatch match = list.match(ip, rdns);
+      ASSERT_TRUE(match) << ip.to_string();
+      EXPECT_EQ(match.org, org.name);
+      if (match.kind == MatchKind::Ip) {
+        ++ip_matches;
+      } else {
+        ++domain_matches;
+      }
+    }
+  }
+  EXPECT_GT(ip_matches, 0u);
+  EXPECT_GT(domain_matches, 0u);
+  // With 30% listing completeness, domain matches dominate (as in Table 6).
+  EXPECT_GT(domain_matches, ip_matches);
+}
+
+TEST_F(IntelTest, NonResearchIpsDoNotMatch) {
+  asdb::ReverseDns rdns(&scenario().registry());
+  const AckedScannerList list = AckedScannerList::from_orgs(
+      scenario().population_2021().orgs, rdns, AckedConfig{});
+  for (const auto& scanner : scenario().population_2021().scanners) {
+    if (scanner.category == scangen::Category::AckedResearch) continue;
+    EXPECT_FALSE(list.match(scanner.source, rdns)) << scanner.source.to_string();
+  }
+}
+
+TEST_F(IntelTest, UnlistedIpWithoutPtrIsUnmatched) {
+  asdb::ReverseDns rdns(&scenario().registry(), /*ptr_coverage=*/0.0);
+  AckedConfig config;
+  config.ip_listing_completeness = 0.0;  // only the per-org anchor IP
+  config.ptr_coverage = 0.0;             // and no PTRs at all
+  const AckedScannerList list =
+      AckedScannerList::from_orgs(scenario().population_2021().orgs, rdns, config);
+  const auto& org = scenario().population_2021().orgs.front();
+  ASSERT_GE(org.ips.size(), 2u);
+  EXPECT_TRUE(list.match(org.ips.front(), rdns));    // anchor listed
+  EXPECT_FALSE(list.match(org.ips.back(), rdns));    // unlisted, no PTR
+}
+
+// ---------------------------------------------------------------- greynoise
+
+HoneypotConfig gn_config(const scangen::Scenario& scenario) {
+  HoneypotConfig config;
+  config.window_start_day = scenario.population_2021().config.window_start_day;
+  config.window_end_day = scenario.population_2021().config.window_end_day;
+  return config;
+}
+
+TEST_F(IntelTest, AggressiveScannersAreObserved) {
+  HoneypotNetwork gn(scenario().honeypots(), gn_config(scenario()));
+  gn.observe(scenario().population_2021());
+  EXPECT_GT(gn.size(), 0u);
+  // Full-coverage research sweeps always reach the sensors.
+  std::size_t acked_observed = 0, acked_total = 0;
+  for (const auto& scanner : scenario().population_2021().scanners) {
+    if (scanner.category != scangen::Category::AckedResearch) continue;
+    bool full_sweep = false;
+    for (const auto& s : scanner.sessions) full_sweep |= s.coverage >= 1.0;
+    if (!full_sweep) continue;
+    ++acked_total;
+    acked_observed += gn.contains(scanner.source);
+  }
+  ASSERT_GT(acked_total, 0u);
+  EXPECT_EQ(acked_observed, acked_total);
+}
+
+TEST_F(IntelTest, ClassificationFollowsCategory) {
+  HoneypotNetwork gn(scenario().honeypots(), gn_config(scenario()));
+  gn.observe(scenario().population_2021());
+  std::size_t benign = 0, malicious_botnet = 0, botnet_observed = 0;
+  for (const auto& scanner : scenario().population_2021().scanners) {
+    const GnRecord* record = gn.record(scanner.source);
+    if (!record) continue;
+    if (scanner.category == scangen::Category::AckedResearch) {
+      EXPECT_EQ(record->classification, GnClass::Benign);
+      ++benign;
+    }
+    if (scanner.category == scangen::Category::Botnet) {
+      ++botnet_observed;
+      malicious_botnet += record->classification == GnClass::Malicious;
+    }
+  }
+  EXPECT_GT(benign, 0u);
+  ASSERT_GT(botnet_observed, 0u);
+  // ~68% of botnet IPs are tagged malicious (the rest stay unknown).
+  EXPECT_GT(static_cast<double>(malicious_botnet) /
+                static_cast<double>(botnet_observed),
+            0.45);
+}
+
+TEST_F(IntelTest, ToolTagsArePresent) {
+  HoneypotNetwork gn(scenario().honeypots(), gn_config(scenario()));
+  gn.observe(scenario().population_2021());
+  for (const auto& scanner : scenario().population_2021().scanners) {
+    const GnRecord* record = gn.record(scanner.source);
+    if (!record) continue;
+    EXPECT_FALSE(record->tags.empty());
+    const auto has_tag = [&](const char* tag) {
+      return std::find(record->tags.begin(), record->tags.end(), tag) !=
+             record->tags.end();
+    };
+    if (scanner.tool == pkt::ScanTool::Mirai) {
+      EXPECT_TRUE(has_tag("Mirai"));
+    }
+    if (scanner.tool == pkt::ScanTool::ZMap) {
+      EXPECT_TRUE(has_tag("ZMap Client"));
+    }
+  }
+}
+
+TEST_F(IntelTest, WindowExcludesInactiveScanners) {
+  // Observe over an empty window: nothing recorded.
+  HoneypotConfig config;
+  config.window_start_day = 9999;
+  config.window_end_day = 10000;
+  HoneypotNetwork gn(scenario().honeypots(), config);
+  gn.observe(scenario().population_2021());
+  EXPECT_EQ(gn.size(), 0u);
+}
+
+}  // namespace
+}  // namespace orion::intel

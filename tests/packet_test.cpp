@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "orion/netbase/checksum.hpp"
+#include "orion/packet/builder.hpp"
+#include "orion/packet/fingerprint.hpp"
+#include "orion/packet/headers.hpp"
+#include "orion/packet/packet.hpp"
+#include "orion/packet/pcap.hpp"
+
+namespace orion::pkt {
+namespace {
+
+net::Ipv4Address ip(const char* text) { return *net::Ipv4Address::parse(text); }
+
+Packet sample_syn() {
+  Packet p;
+  p.timestamp = net::SimTime::at(net::Duration::seconds(42));
+  p.tuple = {ip("192.0.2.1"), ip("198.51.100.7"), 40000, 6379, net::IpProto::Tcp};
+  p.tcp_flags = TcpFlags::kSyn;
+  p.tcp_seq = 0xDEADBEEF;
+  p.tcp_window = 1024;
+  p.ip_id = 777;
+  p.ttl = 61;
+  p.wire_length = 40;
+  return p;
+}
+
+// ------------------------------------------------------------------ headers
+
+TEST(Ipv4Header, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.identification = 54321;
+  h.ttl = 55;
+  h.protocol = net::IpProto::Tcp;
+  h.src = ip("10.0.0.1");
+  h.dst = ip("10.0.0.2");
+  std::vector<std::uint8_t> wire;
+  h.serialize(wire);
+  ASSERT_EQ(wire.size(), Ipv4Header::kSize);
+  const auto parsed = Ipv4Header::parse(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->identification, 54321);
+  EXPECT_EQ(parsed->ttl, 55);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->total_length, 40);
+}
+
+TEST(Ipv4Header, ParseRejectsCorruptedChecksum) {
+  Ipv4Header h;
+  h.src = ip("10.0.0.1");
+  h.dst = ip("10.0.0.2");
+  std::vector<std::uint8_t> wire;
+  h.serialize(wire);
+  wire[8] ^= 0xFF;  // corrupt TTL without fixing checksum
+  EXPECT_FALSE(Ipv4Header::parse(wire));
+}
+
+TEST(Ipv4Header, ParseRejectsTruncatedAndWrongVersion) {
+  std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(Ipv4Header::parse(tiny));
+  Ipv4Header h;
+  std::vector<std::uint8_t> wire;
+  h.serialize(wire);
+  wire[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(wire));
+}
+
+TEST(TcpHeader, ChecksumCoversPseudoHeader) {
+  const Packet p = sample_syn();
+  const auto wire = p.serialize();
+  // Validate the TCP checksum by recomputing over pseudo-header + segment.
+  net::InternetChecksum sum;
+  sum.add_word(static_cast<std::uint16_t>(p.tuple.src.value() >> 16));
+  sum.add_word(static_cast<std::uint16_t>(p.tuple.src.value()));
+  sum.add_word(static_cast<std::uint16_t>(p.tuple.dst.value() >> 16));
+  sum.add_word(static_cast<std::uint16_t>(p.tuple.dst.value()));
+  sum.add_word(6);
+  sum.add_word(20);
+  sum.add_bytes({wire.data() + 20, 20});
+  EXPECT_EQ(sum.finalize(), 0);
+}
+
+TEST(UdpHeader, SerializeParseRoundTrip) {
+  Packet p = sample_syn();
+  p.tuple.proto = net::IpProto::Udp;
+  p.wire_length = 36;  // 8 bytes payload
+  const auto wire = p.serialize();
+  const auto parsed = Packet::parse(p.timestamp, wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tuple, p.tuple);
+  EXPECT_EQ(parsed->wire_length, 36);
+}
+
+TEST(IcmpHeader, SerializeParseRoundTrip) {
+  Packet p = sample_syn();
+  p.tuple.proto = net::IpProto::Icmp;
+  p.tuple.dst_port = 0;
+  p.icmp_type = IcmpHeader::kEchoRequest;
+  p.wire_length = 28;
+  const auto wire = p.serialize();
+  const auto parsed = Packet::parse(p.timestamp, wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->icmp_type, IcmpHeader::kEchoRequest);
+  EXPECT_EQ(parsed->traffic_type(), TrafficType::IcmpEchoReq);
+}
+
+// ----------------------------------------------------------- classification
+
+TEST(Packet, TrafficTypeClassification) {
+  Packet p = sample_syn();
+  EXPECT_EQ(p.traffic_type(), TrafficType::TcpSyn);
+  EXPECT_TRUE(p.is_scanning_packet());
+
+  p.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck;  // backscatter
+  EXPECT_EQ(p.traffic_type(), TrafficType::Other);
+  EXPECT_FALSE(p.is_scanning_packet());
+
+  p.tcp_flags = TcpFlags::kRst;
+  EXPECT_EQ(p.traffic_type(), TrafficType::Other);
+
+  p.tuple.proto = net::IpProto::Udp;
+  EXPECT_EQ(p.traffic_type(), TrafficType::Udp);
+
+  p.tuple.proto = net::IpProto::Icmp;
+  p.icmp_type = IcmpHeader::kEchoRequest;
+  EXPECT_EQ(p.traffic_type(), TrafficType::IcmpEchoReq);
+  p.icmp_type = IcmpHeader::kEchoReply;
+  EXPECT_EQ(p.traffic_type(), TrafficType::Other);
+}
+
+TEST(Packet, FullSerializeParseRoundTrip) {
+  const Packet p = sample_syn();
+  const auto wire = p.serialize();
+  ASSERT_EQ(wire.size(), 40u);
+  const auto parsed = Packet::parse(p.timestamp, wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tuple, p.tuple);
+  EXPECT_EQ(parsed->ip_id, p.ip_id);
+  EXPECT_EQ(parsed->tcp_seq, p.tcp_seq);
+  EXPECT_EQ(parsed->tcp_flags, p.tcp_flags);
+  EXPECT_EQ(parsed->ttl, p.ttl);
+}
+
+// -------------------------------------------------------------- fingerprints
+
+class FingerprintRoundTrip : public testing::TestWithParam<ScanTool> {};
+
+TEST_P(FingerprintRoundTrip, ApplyThenClassify) {
+  Packet p = sample_syn();
+  apply_fingerprint(p, GetParam());
+  EXPECT_EQ(fingerprint_of(p), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTools, FingerprintRoundTrip,
+                         testing::Values(ScanTool::ZMap, ScanTool::Masscan,
+                                         ScanTool::Mirai, ScanTool::Other),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Fingerprint, ZmapUsesFixedIpId) {
+  Packet p = sample_syn();
+  apply_fingerprint(p, ScanTool::ZMap);
+  EXPECT_EQ(p.ip_id, 54321);
+}
+
+TEST(Fingerprint, MiraiSeqEqualsDestination) {
+  Packet p = sample_syn();
+  apply_fingerprint(p, ScanTool::Mirai);
+  EXPECT_EQ(p.tcp_seq, p.tuple.dst.value());
+}
+
+TEST(Fingerprint, MasscanIpIdRelation) {
+  Packet p = sample_syn();
+  apply_fingerprint(p, ScanTool::Masscan);
+  EXPECT_EQ(p.ip_id, masscan_ip_id(p.tuple.dst, p.tuple.dst_port, p.tcp_seq));
+}
+
+TEST(Fingerprint, SurvivesWireRoundTrip) {
+  for (const ScanTool tool : {ScanTool::ZMap, ScanTool::Masscan, ScanTool::Mirai}) {
+    Packet p = sample_syn();
+    apply_fingerprint(p, tool);
+    const auto parsed = Packet::parse(p.timestamp, p.serialize());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(fingerprint_of(*parsed), tool) << to_string(tool);
+  }
+}
+
+// -------------------------------------------------------------------- builder
+
+TEST(ProbeBuilder, BuildsClassifiableProbes) {
+  ProbeBuilder builder(ip("203.0.113.9"), ScanTool::ZMap, net::Rng(3));
+  const net::SimTime now = net::SimTime::at(net::Duration::seconds(1));
+
+  const Packet syn = builder.tcp_syn(now, ip("198.18.0.1"), 23);
+  EXPECT_EQ(syn.traffic_type(), TrafficType::TcpSyn);
+  EXPECT_EQ(syn.tuple.dst_port, 23);
+  EXPECT_EQ(fingerprint_of(syn), ScanTool::ZMap);
+  EXPECT_GE(syn.tuple.src_port, 32768);
+
+  const Packet udp = builder.udp_probe(now, ip("198.18.0.2"), 5060);
+  EXPECT_EQ(udp.traffic_type(), TrafficType::Udp);
+
+  const Packet icmp = builder.icmp_echo(now, ip("198.18.0.3"));
+  EXPECT_EQ(icmp.traffic_type(), TrafficType::IcmpEchoReq);
+}
+
+TEST(ProbeBuilder, ProbeDispatchesOnTrafficType) {
+  ProbeBuilder builder(ip("203.0.113.9"), ScanTool::Other, net::Rng(4));
+  const net::SimTime now = net::SimTime::epoch();
+  EXPECT_EQ(builder.probe(now, ip("1.2.3.4"), 80, TrafficType::TcpSyn).traffic_type(),
+            TrafficType::TcpSyn);
+  EXPECT_EQ(builder.probe(now, ip("1.2.3.4"), 53, TrafficType::Udp).traffic_type(),
+            TrafficType::Udp);
+  EXPECT_EQ(
+      builder.probe(now, ip("1.2.3.4"), 0, TrafficType::IcmpEchoReq).traffic_type(),
+      TrafficType::IcmpEchoReq);
+}
+
+// ----------------------------------------------------------------------- pcap
+
+class PcapTest : public testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       ("orion_pcap_test_" + std::to_string(::getpid()) + ".pcap"))
+                          .string();
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(PcapTest, WriteReadRoundTrip) {
+  ProbeBuilder builder(ip("203.0.113.9"), ScanTool::Masscan, net::Rng(5));
+  std::vector<Packet> originals;
+  {
+    PcapWriter writer(path_);
+    for (int i = 0; i < 50; ++i) {
+      const net::SimTime t = net::SimTime::at(net::Duration::millis(i * 10));
+      Packet p = builder.tcp_syn(t, ip("198.18.0.1"), static_cast<std::uint16_t>(i));
+      writer.write(p);
+      originals.push_back(p);
+    }
+    EXPECT_EQ(writer.packets_written(), 50u);
+  }
+  PcapReader reader(path_);
+  for (const Packet& original : originals) {
+    const auto read = reader.next();
+    ASSERT_TRUE(read);
+    EXPECT_EQ(read->tuple, original.tuple);
+    EXPECT_EQ(read->ip_id, original.ip_id);
+    // pcap stores microseconds; timestamps agree at that granularity.
+    EXPECT_EQ(read->timestamp.since_epoch().total_nanos() / 1000,
+              original.timestamp.since_epoch().total_nanos() / 1000);
+  }
+  EXPECT_FALSE(reader.next());
+  EXPECT_EQ(reader.packets_read(), 50u);
+  EXPECT_EQ(reader.skipped(), 0u);
+}
+
+TEST_F(PcapTest, SkipsMalformedRecords) {
+  {
+    PcapWriter writer(path_);
+    const std::vector<std::uint8_t> garbage(30, 0xAB);
+    writer.write_raw(net::SimTime::epoch(), garbage);
+    ProbeBuilder builder(ip("1.1.1.1"), ScanTool::Other, net::Rng(6));
+    writer.write(builder.tcp_syn(net::SimTime::epoch(), ip("2.2.2.2"), 80));
+  }
+  PcapReader reader(path_);
+  const auto p = reader.next();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->tuple.dst, ip("2.2.2.2"));
+  EXPECT_EQ(reader.skipped(), 1u);
+}
+
+TEST_F(PcapTest, RejectsNonPcapFile) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a pcap file at all, definitely not";
+  }
+  EXPECT_THROW(PcapReader reader(path_), std::runtime_error);
+}
+
+TEST(Pcap, MissingFileThrows) {
+  EXPECT_THROW(PcapReader reader("/nonexistent/nope.pcap"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace orion::pkt
+
+// NOTE: appended suite — wire-format edge cases.
+namespace orion::pkt {
+namespace {
+
+TEST(Packet, PayloadPaddingReachesWireLength) {
+  Packet p = sample_syn();
+  p.wire_length = 120;  // 80 bytes of payload
+  const auto wire = p.serialize();
+  EXPECT_EQ(wire.size(), 120u);
+  const auto parsed = Packet::parse(p.timestamp, wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->wire_length, 120u);
+  EXPECT_EQ(parsed->tuple, p.tuple);
+}
+
+TEST(Packet, ParseRejectsTruncatedTotalLength) {
+  const Packet p = sample_syn();
+  auto wire = p.serialize();
+  wire.resize(wire.size() - 5);  // body shorter than IP total_length
+  EXPECT_FALSE(Packet::parse(p.timestamp, wire));
+}
+
+TEST(UdpHeader, ZeroChecksumBecomesAllOnes) {
+  // Craft a UDP packet whose checksum would fold to zero; RFC 768 requires
+  // transmitting 0xFFFF instead. Construct and verify the emitted checksum
+  // field is never 0.
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    Packet p = sample_syn();
+    p.tuple.proto = net::IpProto::Udp;
+    p.tuple.src = net::Ipv4Address(i * 7919);
+    p.wire_length = 28;
+    const auto wire = p.serialize();
+    const std::uint16_t checksum =
+        static_cast<std::uint16_t>((wire[20 + 6] << 8) | wire[20 + 7]);
+    EXPECT_NE(checksum, 0);
+  }
+}
+
+TEST(Fingerprint, OtherNeverCollidesWithToolArtifacts) {
+  net::Rng rng(77);
+  ProbeBuilder builder(ip("198.51.100.77"), ScanTool::Other, net::Rng(9));
+  for (int i = 0; i < 2000; ++i) {
+    const Packet p = builder.tcp_syn(
+        net::SimTime::epoch(),
+        net::Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+        static_cast<std::uint16_t>(rng.bounded(65536)));
+    EXPECT_EQ(fingerprint_of(p), ScanTool::Other);
+  }
+}
+
+}  // namespace
+}  // namespace orion::pkt

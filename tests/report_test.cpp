@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "orion/report/table.hpp"
+
+namespace orion::report {
+namespace {
+
+TEST(Table, AsciiLayout) {
+  Table table({"Name", "Count"});
+  table.add_row({"alpha", "1"}).add_row({"long-name-entry", "12345"});
+  const std::string ascii = table.to_ascii();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(ascii.begin(), ascii.end(), '\n'), 4);
+  EXPECT_NE(ascii.find("Name"), std::string::npos);
+  EXPECT_NE(ascii.find("long-name-entry"), std::string::npos);
+  // Columns align: "Count" header starts at the same offset as "1".
+  const std::size_t header_offset = ascii.find("Count");
+  const std::size_t row_line = ascii.find("alpha");
+  EXPECT_EQ(ascii[row_line + (header_offset - ascii.find("Name"))], '1');
+}
+
+TEST(Table, MarkdownLayout) {
+  Table table({"A", "B"});
+  table.add_row({"x", "y"});
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("| A | B |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"A", "B"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"with\"quote", "with\nnewline"});
+  std::stringstream out;
+  table.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(Format, Counts) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+TEST(Format, DoublesAndPercents) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+  EXPECT_EQ(fmt_percent(0.0582), "5.82%");
+  EXPECT_EQ(fmt_count_percent(15200000000ull, 5.82), "15,200,000,000 (5.82%)");
+}
+
+}  // namespace
+}  // namespace orion::report

@@ -1,0 +1,575 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "orion/scangen/arrivals.hpp"
+#include "orion/scangen/event_synth.hpp"
+#include "orion/scangen/packet_gen.hpp"
+#include "orion/scangen/population.hpp"
+#include "orion/scangen/ports.hpp"
+#include "orion/scangen/scenario.hpp"
+#include "orion/scangen/target_sampler.hpp"
+
+namespace orion::scangen {
+namespace {
+
+// ----------------------------------------------------------------- arrivals
+
+TEST(Arrivals, ExpectedUniqueTargets) {
+  EXPECT_DOUBLE_EQ(expected_unique_targets(1000, 0.1), 100.0);
+  EXPECT_DOUBLE_EQ(expected_unique_targets(0, 0.5), 0.0);
+}
+
+TEST(Arrivals, FullCoverageIsExact) {
+  net::Rng rng(1);
+  EXPECT_EQ(sample_unique_targets(32768, 1.0, rng), 32768u);
+  EXPECT_EQ(sample_unique_targets(32768, 1.5, rng), 32768u);
+}
+
+TEST(Arrivals, SampledTargetsMatchBinomialMean) {
+  net::Rng rng(2);
+  const int trials = 2000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(sample_unique_targets(32768, 0.25, rng));
+  }
+  EXPECT_NEAR(sum / trials, 8192.0, 50.0);
+}
+
+TEST(Arrivals, PacketsScaleWithRepeats) {
+  EXPECT_EQ(session_packets_for_port(100, 1), 100u);
+  EXPECT_EQ(session_packets_for_port(100, 3), 300u);
+  EXPECT_EQ(session_packets_for_port(100, 0), 100u);  // clamped to 1
+}
+
+TEST(Arrivals, CouponCollectorFormula) {
+  EXPECT_DOUBLE_EQ(expected_coupon_uniques(100, 0), 0.0);
+  EXPECT_NEAR(expected_coupon_uniques(100, 100), 63.4, 0.1);
+  EXPECT_NEAR(expected_coupon_uniques(1000, 10000), 1000.0 * (1 - std::exp(-10)),
+              0.5);
+  // Simulation agreement.
+  net::Rng rng(3);
+  const std::uint64_t n = 500, k = 800;
+  double total = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    std::unordered_set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < k; ++i) seen.insert(rng.bounded(n));
+    total += static_cast<double>(seen.size());
+  }
+  EXPECT_NEAR(total / trials, expected_coupon_uniques(n, k), 3.0);
+}
+
+// ------------------------------------------------------------ target sampler
+
+class TargetSampler : public testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(TargetSampler, DistinctInRangeAndComplete) {
+  const auto [n, k] = GetParam();
+  net::Rng rng(7);
+  const auto sample = sample_distinct_offsets(n, k, rng);
+  ASSERT_EQ(sample.size(), k);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), k);
+  for (const std::uint64_t v : sample) EXPECT_LT(v, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TargetSampler,
+    testing::Values(std::pair{100ull, 0ull}, std::pair{100ull, 1ull},
+                    std::pair{100ull, 50ull}, std::pair{100ull, 100ull},
+                    std::pair{65535ull, 700ull}, std::pair{32768ull, 32768ull},
+                    std::pair{1000000ull, 100ull}));
+
+TEST(TargetSamplerChecks, RejectsOversample) {
+  net::Rng rng(1);
+  EXPECT_THROW(sample_distinct_offsets(10, 11, rng), std::invalid_argument);
+}
+
+TEST(TargetSamplerChecks, FirstElementIsUniform) {
+  // Floyd + shuffle should leave the first element uniform over [0, n).
+  net::Rng rng(9);
+  const std::uint64_t n = 10;
+  std::array<int, 10> counts{};
+  for (int t = 0; t < 20000; ++t) {
+    ++counts[sample_distinct_offsets(n, 3, rng)[0]];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+// -------------------------------------------------------------------- ports
+
+TEST(Ports, ServiceCatalogTopEntries) {
+  const auto& catalog = service_catalog(2022);
+  // Redis then Telnet carry the largest weights (Fig 4 top ranks).
+  EXPECT_EQ(catalog[0].port, 6379);
+  EXPECT_EQ(catalog[1].port, 23);
+  EXPECT_EQ(catalog[2].port, 22);
+  // TCP/445 is confined to small scans.
+  for (const WeightedPort& p : catalog) EXPECT_NE(p.port, 445);
+}
+
+TEST(Ports, YearCatalogsShareCore) {
+  const auto& c21 = service_catalog(2021);
+  const auto& c22 = service_catalog(2022);
+  std::set<std::uint16_t> p21, p22;
+  for (const auto& p : c21) p21.insert(p.port);
+  for (const auto& p : c22) p22.insert(p.port);
+  std::vector<std::uint16_t> shared;
+  std::set_intersection(p21.begin(), p21.end(), p22.begin(), p22.end(),
+                        std::back_inserter(shared));
+  EXPECT_EQ(shared.size(), 22u);  // 20 TCP/UDP ports + ICMP + one more shared
+  EXPECT_TRUE(p21.contains(8291));
+  EXPECT_FALSE(p22.contains(8291));
+  EXPECT_TRUE(p22.contains(10250));
+}
+
+TEST(Ports, SmallScanCatalogHas445) {
+  const auto& catalog = small_scan_catalog();
+  const auto it = std::find_if(catalog.begin(), catalog.end(),
+                               [](const WeightedPort& p) { return p.port == 445; });
+  ASSERT_NE(it, catalog.end());
+  // ... and it is the heaviest entry.
+  for (const WeightedPort& p : catalog) EXPECT_LE(p.weight, it->weight);
+}
+
+TEST(Ports, PickPortFollowsWeights) {
+  const std::vector<WeightedPort> catalog = {
+      {1, pkt::TrafficType::TcpSyn, 9.0}, {2, pkt::TrafficType::TcpSyn, 1.0}};
+  net::Rng rng(4);
+  int first = 0;
+  for (int i = 0; i < 10000; ++i) first += pick_port(catalog, rng).port == 1;
+  EXPECT_NEAR(first, 9000, 200);
+}
+
+TEST(Ports, PickDistinctPortsAreDistinct) {
+  net::Rng rng(5);
+  const auto picks = pick_distinct_ports(service_catalog(2021), 5, rng);
+  ASSERT_EQ(picks.size(), 5u);
+  std::set<std::uint16_t> unique;
+  for (const PortSpec& p : picks) unique.insert(p.port);
+  EXPECT_EQ(unique.size(), 5u);
+  // Requesting more than the catalog returns the whole catalog.
+  const auto all = pick_distinct_ports(service_catalog(2021), 10000, rng);
+  EXPECT_EQ(all.size(), service_catalog(2021).size());
+}
+
+// --------------------------------------------------------------- population
+
+class PopulationTest : public testing::Test {
+ protected:
+  static const Scenario& scenario() {
+    static const Scenario s{tiny()};
+    return s;
+  }
+};
+
+TEST_F(PopulationTest, CategoryCountsMatchConfig) {
+  const Population& pop = scenario().population_2021();
+  const PopulationConfig& config = pop.config;
+  EXPECT_EQ(pop.count(Category::AckedResearch), config.acked_ip_count);
+  EXPECT_EQ(pop.count(Category::CloudScanner), config.cloud_scanner_count);
+  EXPECT_EQ(pop.count(Category::Botnet), config.botnet_count);
+  EXPECT_EQ(pop.count(Category::Bruteforcer), config.bruteforcer_count);
+  EXPECT_EQ(pop.count(Category::PortSweeper), config.port_sweeper_count);
+  EXPECT_EQ(pop.count(Category::SmallScanner), config.small_scanner_count);
+  EXPECT_EQ(pop.orgs.size(), config.acked_org_count);
+}
+
+TEST_F(PopulationTest, SourcesAreUniqueAndOutsideMonitoredSpace) {
+  const Population& pop = scenario().population_2021();
+  std::unordered_set<net::Ipv4Address> sources;
+  for (const ScannerProfile& s : pop.scanners) {
+    EXPECT_TRUE(sources.insert(s.source).second) << s.source.to_string();
+    EXPECT_FALSE(scenario().darknet().contains(s.source));
+    EXPECT_FALSE(scenario().merit().contains(s.source));
+    EXPECT_FALSE(scenario().cu().contains(s.source));
+  }
+}
+
+TEST_F(PopulationTest, SessionsAreSortedAndInsideWindow) {
+  const Population& pop = scenario().population_2021();
+  const auto window_start =
+      net::SimTime::at(net::Duration::days(pop.config.window_start_day));
+  const auto window_end =
+      net::SimTime::at(net::Duration::days(pop.config.window_end_day));
+  for (const ScannerProfile& s : pop.scanners) {
+    for (std::size_t i = 0; i + 1 < s.sessions.size(); ++i) {
+      EXPECT_LE(s.sessions[i].start, s.sessions[i + 1].start);
+    }
+    for (const SessionSpec& session : s.sessions) {
+      EXPECT_GE(session.start, window_start);
+      EXPECT_LT(session.start, window_end);
+      EXPECT_GT(session.coverage, 0.0);
+      EXPECT_LE(session.coverage, 1.0);
+      if (s.category == Category::PortSweeper) {
+        EXPECT_GT(session.sweep_port_count, 0u);
+        EXPECT_TRUE(session.ports.empty());
+      } else {
+        EXPECT_FALSE(session.ports.empty());
+        EXPECT_EQ(session.sweep_port_count, 0u);
+      }
+    }
+  }
+}
+
+TEST_F(PopulationTest, ResearchOrgsOwnTheirIps) {
+  const Population& pop = scenario().population_2021();
+  std::size_t org_ips = 0;
+  for (const ResearchOrg& org : pop.orgs) {
+    EXPECT_FALSE(org.ips.empty());
+    EXPECT_FALSE(org.keyword.empty());
+    org_ips += org.ips.size();
+  }
+  // Orgs own all the dedicated research IPs plus any research-affiliated
+  // port sweepers.
+  EXPECT_GE(org_ips, pop.config.acked_ip_count);
+  EXPECT_LE(org_ips, pop.config.acked_ip_count + pop.config.port_sweeper_count);
+  // Org names appear exactly on research scanners and affiliated sweepers.
+  for (const ScannerProfile& s : pop.scanners) {
+    if (s.category == Category::AckedResearch) {
+      EXPECT_FALSE(s.org.empty());
+    } else if (s.category != Category::PortSweeper) {
+      EXPECT_TRUE(s.org.empty());
+    }
+  }
+}
+
+TEST_F(PopulationTest, BuildIsDeterministic) {
+  const ScenarioConfig config = tiny();
+  const Scenario a(config), b(config);
+  ASSERT_EQ(a.population_2021().scanners.size(),
+            b.population_2021().scanners.size());
+  for (std::size_t i = 0; i < a.population_2021().scanners.size(); ++i) {
+    const ScannerProfile& sa = a.population_2021().scanners[i];
+    const ScannerProfile& sb = b.population_2021().scanners[i];
+    EXPECT_EQ(sa.source, sb.source);
+    EXPECT_EQ(sa.sessions.size(), sb.sessions.size());
+  }
+}
+
+TEST_F(PopulationTest, KeyOriginsExist) {
+  const KeyOrigins& k = scenario().origins();
+  ASSERT_NE(k.mega_cloud_us, nullptr);
+  EXPECT_EQ(k.mega_cloud_us->country, "US");
+  EXPECT_EQ(k.mega_cloud_us->type, asdb::AsType::Cloud);
+  ASSERT_NE(k.isp_cn_1, nullptr);
+  EXPECT_EQ(k.isp_cn_1->country, "CN");
+}
+
+// -------------------------------------------------------------- event synth
+
+TEST(EventSynth, FullSweepCoversDarknet) {
+  ScannerProfile scanner;
+  scanner.source = *net::Ipv4Address::parse("203.0.113.5");
+  scanner.tool = pkt::ScanTool::ZMap;
+  scanner.rng_stream = 9;
+  SessionSpec session;
+  session.start = net::SimTime::at(net::Duration::hours(5));
+  session.duration = net::Duration::hours(3);
+  session.coverage = 1.0;
+  session.ports = {{6379, pkt::TrafficType::TcpSyn}};
+  scanner.sessions.push_back(session);
+
+  EventSynthConfig config{.darknet_size = 4096, .seed = 1};
+  std::vector<telescope::DarknetEvent> events;
+  synthesize_scanner_events(scanner, config, events);
+  ASSERT_EQ(events.size(), 1u);
+  const telescope::DarknetEvent& e = events[0];
+  EXPECT_EQ(e.unique_dests, 4096u);
+  EXPECT_EQ(e.packets, 4096u);
+  EXPECT_DOUBLE_EQ(e.dispersion(4096), 1.0);
+  EXPECT_EQ(e.key.src, scanner.source);
+  EXPECT_EQ(e.key.dst_port, 6379);
+  EXPECT_GE(e.start, session.start);
+  EXPECT_LE(e.end, session.end());
+  EXPECT_LE(e.start, e.end);
+  EXPECT_EQ(e.packets_by_tool[telescope::tool_index(pkt::ScanTool::ZMap)],
+            e.packets);
+  EXPECT_EQ(e.dominant_tool(), pkt::ScanTool::ZMap);
+}
+
+TEST(EventSynth, RepeatsMultiplyPackets) {
+  ScannerProfile scanner;
+  scanner.source = *net::Ipv4Address::parse("203.0.113.6");
+  scanner.rng_stream = 2;
+  SessionSpec session;
+  session.start = net::SimTime::epoch();
+  session.duration = net::Duration::hours(1);
+  session.coverage = 1.0;
+  session.repeats = 3;
+  session.ports = {{23, pkt::TrafficType::TcpSyn}};
+  scanner.sessions.push_back(session);
+  std::vector<telescope::DarknetEvent> events;
+  synthesize_scanner_events(scanner, {.darknet_size = 1000, .seed = 1}, events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].packets, 3000u);
+  EXPECT_EQ(events[0].unique_dests, 1000u);
+}
+
+TEST(EventSynth, SweepSessionsEmitPerPortEvents) {
+  ScannerProfile scanner;
+  scanner.source = *net::Ipv4Address::parse("203.0.113.7");
+  scanner.category = Category::PortSweeper;
+  scanner.rng_stream = 3;
+  SessionSpec session;
+  session.start = net::SimTime::epoch();
+  session.duration = net::Duration::hours(12);
+  session.coverage = 0.01;  // ~10 targets in a 1000-IP darknet per port
+  session.sweep_port_count = 40;
+  scanner.sessions.push_back(session);
+  std::vector<telescope::DarknetEvent> events;
+  synthesize_scanner_events(scanner, {.darknet_size = 1000, .seed = 2}, events);
+  EXPECT_GT(events.size(), 25u);
+  EXPECT_LE(events.size(), 40u);
+  std::set<std::uint16_t> ports;
+  for (const auto& e : events) {
+    ports.insert(e.key.dst_port);
+    EXPECT_GT(e.key.dst_port, 0u);
+    EXPECT_EQ(e.key.type, pkt::TrafficType::TcpSyn);
+  }
+  EXPECT_EQ(ports.size(), events.size());  // distinct ports
+}
+
+TEST(EventSynth, MeanUniqueDestsTracksCoverage) {
+  const double coverage = 0.3;
+  const std::uint64_t darknet = 2048;
+  double sum = 0;
+  int count = 0;
+  for (std::uint64_t stream = 0; stream < 300; ++stream) {
+    ScannerProfile scanner;
+    scanner.source = net::Ipv4Address(0x0B000000u + static_cast<std::uint32_t>(stream));
+    scanner.rng_stream = stream;
+    SessionSpec session;
+    session.start = net::SimTime::epoch();
+    session.duration = net::Duration::hours(2);
+    session.coverage = coverage;
+    session.ports = {{80, pkt::TrafficType::TcpSyn}};
+    scanner.sessions.push_back(session);
+    std::vector<telescope::DarknetEvent> events;
+    synthesize_scanner_events(scanner, {.darknet_size = darknet, .seed = 5}, events);
+    for (const auto& e : events) {
+      sum += static_cast<double>(e.unique_dests);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 300);
+  EXPECT_NEAR(sum / count, coverage * static_cast<double>(darknet), 8.0);
+}
+
+TEST(EventSynth, DatasetIsSortedByStart) {
+  const Scenario scenario{tiny()};
+  const auto events = synthesize_events(
+      scenario.population_2021(),
+      {.darknet_size = scenario.darknet().total_addresses(), .seed = 3});
+  EXPECT_GT(events.size(), 100u);
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_LE(events[i].start, events[i + 1].start);
+  }
+}
+
+// --------------------------------------------------------------- packet gen
+
+TEST(PacketGen, StreamIsSortedAndInWindow) {
+  const Scenario scenario{tiny()};
+  const net::SimTime t0 = net::SimTime::at(net::Duration::days(2));
+  const net::SimTime t1 = net::SimTime::at(net::Duration::days(3));
+  PacketStreamGenerator gen(scenario.population_2021().scanners,
+                            scenario.darknet(), t0, t1, {.seed = 4});
+  net::SimTime last = t0;
+  std::uint64_t count = 0;
+  while (auto p = gen.next()) {
+    EXPECT_GE(p->timestamp, last);
+    EXPECT_GE(p->timestamp, t0);
+    EXPECT_LT(p->timestamp, t1 + net::Duration::seconds(1));
+    EXPECT_TRUE(scenario.darknet().contains(p->tuple.dst));
+    last = p->timestamp;
+    ++count;
+  }
+  EXPECT_GT(count, 0u);
+  EXPECT_EQ(count, gen.packets_emitted());
+}
+
+TEST(PacketGen, ExactTargetsAreDistinctWithinSession) {
+  ScannerProfile scanner;
+  scanner.source = *net::Ipv4Address::parse("203.0.113.8");
+  scanner.tool = pkt::ScanTool::Masscan;
+  scanner.rng_stream = 4;
+  SessionSpec session;
+  session.start = net::SimTime::epoch();
+  session.duration = net::Duration::hours(1);
+  session.coverage = 0.5;
+  session.ports = {{443, pkt::TrafficType::TcpSyn}};
+  scanner.sessions.push_back(session);
+
+  net::PrefixSet space({*net::Prefix::parse("198.18.0.0/24")});
+  PacketStreamGenerator gen({scanner}, space, net::SimTime::epoch(),
+                            session.end(), {.seed = 6, .exact_targets = true});
+  std::unordered_set<net::Ipv4Address> dests;
+  std::uint64_t packets = 0;
+  while (auto p = gen.next()) {
+    dests.insert(p->tuple.dst);
+    EXPECT_EQ(pkt::fingerprint_of(*p), pkt::ScanTool::Masscan);
+    ++packets;
+  }
+  EXPECT_EQ(dests.size(), packets);  // repeats == 1 -> all distinct
+  EXPECT_NEAR(static_cast<double>(packets), 128.0, 40.0);
+}
+
+TEST(PacketGen, WindowedCountMatchesSessionShare) {
+  // A 2-day session observed through a 1-day window delivers about half.
+  ScannerProfile scanner;
+  scanner.source = *net::Ipv4Address::parse("203.0.113.9");
+  scanner.rng_stream = 5;
+  SessionSpec session;
+  session.start = net::SimTime::epoch();
+  session.duration = net::Duration::days(2);
+  session.coverage = 1.0;
+  session.ports = {{22, pkt::TrafficType::TcpSyn}};
+  scanner.sessions.push_back(session);
+
+  net::PrefixSet space({*net::Prefix::parse("198.18.0.0/22")});  // 1024
+  PacketStreamGenerator gen({scanner}, space, net::SimTime::epoch(),
+                            net::SimTime::at(net::Duration::days(1)),
+                            {.seed = 7, .exact_targets = false});
+  std::uint64_t count = 0;
+  while (gen.next()) ++count;
+  EXPECT_NEAR(static_cast<double>(count), 512.0, 60.0);
+}
+
+}  // namespace
+}  // namespace orion::scangen
+
+// NOTE: appended suite — DHCP churn and noise events.
+#include "orion/scangen/noise.hpp"
+
+namespace orion::scangen {
+namespace {
+
+TEST(DhcpChurn, SplitsSessionsAcrossSiblingIps) {
+  // High churn: most multi-session ISP scanners split.
+  ScenarioConfig config = tiny();
+  config.pop_2021.dhcp_churn_per_year = 20.0;  // ~certain within 14 days
+  config.pop_2021.botnet_count = 40;
+  const Scenario scenario(config);
+  const Population& pop = scenario.population_2021();
+
+  // With churn, the scanner count exceeds the configured category sizes.
+  const std::size_t configured =
+      config.pop_2021.acked_ip_count + config.pop_2021.cloud_scanner_count +
+      config.pop_2021.botnet_count + config.pop_2021.bruteforcer_count +
+      config.pop_2021.port_sweeper_count + config.pop_2021.small_scanner_count;
+  EXPECT_GE(pop.scanners.size(), configured + 8);
+
+  // Siblings: every scanner still has time-sorted sessions, and churned
+  // pairs never overlap in time (the sibling starts after the original's
+  // last session).
+  for (const ScannerProfile& s : pop.scanners) {
+    for (std::size_t i = 0; i + 1 < s.sessions.size(); ++i) {
+      EXPECT_LE(s.sessions[i].start, s.sessions[i + 1].start);
+    }
+  }
+}
+
+TEST(DhcpChurn, ZeroChurnKeepsCounts) {
+  ScenarioConfig config = tiny();
+  config.pop_2021.dhcp_churn_per_year = 0.0;
+  const Scenario scenario(config);
+  const std::size_t configured =
+      config.pop_2021.acked_ip_count + config.pop_2021.cloud_scanner_count +
+      config.pop_2021.botnet_count + config.pop_2021.bruteforcer_count +
+      config.pop_2021.port_sweeper_count + config.pop_2021.small_scanner_count;
+  EXPECT_EQ(scenario.population_2021().scanners.size(), configured);
+}
+
+TEST(NoiseEvents, ShapesMatchTheirKind) {
+  NoiseEventsConfig config;
+  config.spoofed_bursts = 3;
+  config.sources_per_burst = 50;
+  config.misconfigured_hosts = 10;
+  const auto events = synthesize_noise_events(config);
+  ASSERT_EQ(events.size(), 3 * 50 + 10u);
+  std::size_t singles = 0, chatty = 0;
+  for (const auto& e : events) {
+    if (e.packets == 1) {
+      ++singles;
+      EXPECT_EQ(e.unique_dests, 1u);
+    } else {
+      ++chatty;
+      EXPECT_GE(e.packets, 100u);
+      EXPECT_LE(e.unique_dests, 2u);
+      EXPECT_GE(e.end - e.start, net::Duration::hours(12));
+    }
+  }
+  EXPECT_EQ(singles, 150u);
+  EXPECT_EQ(chatty, 10u);
+}
+
+TEST(NoiseEvents, Deterministic) {
+  NoiseEventsConfig config;
+  const auto a = synthesize_noise_events(config);
+  const auto b = synthesize_noise_events(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key.src, b[i].key.src);
+    EXPECT_EQ(a[i].packets, b[i].packets);
+  }
+}
+
+}  // namespace
+}  // namespace orion::scangen
+
+// NOTE: appended suite — paper-scaled scenario structure (slower: builds
+// the full world once).
+namespace orion::scangen {
+namespace {
+
+TEST(PaperScaled, AddressPlanMatchesDesign) {
+  const ScenarioConfig config = paper_scaled();
+  const net::PrefixSet darknet(config.darknet);
+  const net::PrefixSet merit(config.merit);
+  const net::PrefixSet cu(config.cu);
+  const net::PrefixSet honeypots(config.honeypots);
+
+  EXPECT_EQ(darknet.total_addresses(), 32768u);       // /17
+  EXPECT_EQ(merit.total_slash24s(), 1785u);           // paper 28,561 / 16
+  EXPECT_EQ(cu.total_slash24s(), 18u);                // paper 291 / 16
+  // The paper's 98:1 Merit:CU footprint ratio is preserved.
+  EXPECT_NEAR(static_cast<double>(merit.total_slash24s()) /
+                  static_cast<double>(cu.total_slash24s()),
+              28561.0 / 291.0, 3.0);
+  EXPECT_EQ(honeypots.total_addresses(), 64u * 16u);  // 64 x /28
+
+  // Monitored spaces are mutually disjoint and reserved from the registry.
+  for (const auto* a : {&config.darknet, &config.merit, &config.cu,
+                        &config.honeypots}) {
+    for (const net::Prefix& p : *a) {
+      EXPECT_NE(std::find(config.registry.reserved.begin(),
+                          config.registry.reserved.end(), p),
+                config.registry.reserved.end())
+          << p.to_string();
+    }
+  }
+}
+
+TEST(PaperScaled, WindowsMatchPaperCalendar) {
+  const ScenarioConfig config = paper_scaled();
+  EXPECT_EQ(config.pop_2021.window_start_day, net::day_index_of(2021, 1, 1));
+  EXPECT_EQ(config.pop_2021.window_end_day, net::day_index_of(2022, 1, 1));
+  EXPECT_EQ(config.pop_2022.window_start_day, net::day_index_of(2022, 1, 1));
+  EXPECT_EQ(config.pop_2022.window_end_day, net::day_index_of(2022, 10, 16));
+}
+
+TEST(PaperScaled, DerivedTimeoutScalesFromPaperFormula) {
+  const Scenario scenario{paper_scaled()};
+  // For the /17 darknet the footnote formula gives a much longer timeout
+  // than ORION's ~11 minutes (rarer hits per dark IP).
+  EXPECT_GT(scenario.event_timeout(), net::Duration::hours(1));
+  EXPECT_LT(scenario.event_timeout(), net::Duration::hours(24));
+}
+
+}  // namespace
+}  // namespace orion::scangen

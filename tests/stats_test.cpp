@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "orion/stats/coverage.hpp"
+#include "orion/stats/ecdf.hpp"
+#include "orion/stats/hyperloglog.hpp"
+#include "orion/stats/timeseries.hpp"
+#include "orion/stats/topk.hpp"
+#include "orion/stats/zipf.hpp"
+
+namespace orion::stats {
+namespace {
+
+// --------------------------------------------------------------------- Ecdf
+
+TEST(Ecdf, CdfValues) {
+  Ecdf ecdf({1, 2, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(ecdf.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(1), 0.2);
+  EXPECT_DOUBLE_EQ(ecdf.at(2), 0.6);
+  EXPECT_DOUBLE_EQ(ecdf.at(9), 0.8);
+  EXPECT_DOUBLE_EQ(ecdf.at(10), 1.0);
+}
+
+TEST(Ecdf, Quantiles) {
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t i = 1; i <= 100; ++i) samples.push_back(i);
+  Ecdf ecdf(std::move(samples));
+  EXPECT_EQ(ecdf.quantile(0.5), 50u);
+  EXPECT_EQ(ecdf.quantile(1.0), 100u);
+  EXPECT_EQ(ecdf.quantile(0.0), 1u);
+  EXPECT_EQ(ecdf.quantile(0.999), 100u);
+  EXPECT_EQ(ecdf.top_alpha_threshold(0.01), 99u);
+}
+
+TEST(Ecdf, TopAlphaThresholdIsolatesTail) {
+  // 10,000 small samples and 10 huge ones: with alpha = 1e-3 the threshold
+  // lands at the bulk's boundary value, so exactly the huge tail is
+  // STRICTLY above it (the Definition-2 qualification test).
+  Ecdf ecdf;
+  for (int i = 0; i < 10000; ++i) ecdf.add(5);
+  for (int i = 0; i < 10; ++i) ecdf.add(1000000);
+  const std::uint64_t threshold = ecdf.top_alpha_threshold(1e-3);
+  EXPECT_EQ(threshold, 5u);
+  std::size_t above = 0;
+  for (int i = 0; i < 10000; ++i) above += 5u > threshold;
+  above += 10;  // the huge samples all exceed it
+  EXPECT_EQ(above, 10u);
+}
+
+TEST(Ecdf, IncrementalAddMatchesBulk) {
+  Ecdf bulk({4, 8, 15, 16, 23, 42});
+  Ecdf incremental;
+  for (const std::uint64_t v : {42, 4, 16, 8, 23, 15}) incremental.add(v);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_EQ(bulk.quantile(q), incremental.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(bulk.mean(), incremental.mean());
+}
+
+TEST(Ecdf, EmptyAndBadInputsThrow) {
+  Ecdf ecdf;
+  EXPECT_THROW(ecdf.quantile(0.5), std::logic_error);
+  EXPECT_THROW(ecdf.mean(), std::logic_error);
+  ecdf.add(1);
+  EXPECT_THROW(ecdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(ecdf.quantile(1.1), std::invalid_argument);
+}
+
+class EcdfQuantileProperty : public testing::TestWithParam<double> {};
+
+TEST_P(EcdfQuantileProperty, AtLeastQuantileMassIsBelowOrEqual) {
+  const double q = GetParam();
+  Ecdf ecdf;
+  net::Rng rng(17);
+  for (int i = 0; i < 5000; ++i) ecdf.add(rng.bounded(100000));
+  const std::uint64_t value = ecdf.quantile(q);
+  EXPECT_GE(ecdf.at(value), q);
+  if (value > 0) {
+    EXPECT_LT(ecdf.at(value - 1), q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EcdfQuantileProperty,
+                         testing::Values(0.1, 0.5, 0.9, 0.99, 0.999, 0.9999));
+
+// ------------------------------------------------------------------ Jaccard
+
+TEST(Jaccard, KnownValues) {
+  const std::unordered_set<int> a = {1, 2, 3, 4};
+  const std::unordered_set<int> b = {3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+  const std::unordered_set<int> empty;
+  EXPECT_DOUBLE_EQ(jaccard(a, empty), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard(empty, empty), 1.0);
+}
+
+// -------------------------------------------------------------- HyperLogLog
+
+class HllAccuracy : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HllAccuracy, WithinExpectedError) {
+  const std::uint64_t cardinality = GetParam();
+  HyperLogLog hll(12);
+  for (std::uint64_t i = 0; i < cardinality; ++i) hll.add(hll_hash(i * 2654435761));
+  const double estimate = hll.estimate();
+  // 1.04/sqrt(4096) ~ 1.6% standard error; allow 5 sigma.
+  EXPECT_NEAR(estimate, static_cast<double>(cardinality),
+              std::max(5.0, 0.09 * static_cast<double>(cardinality)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracy,
+                         testing::Values(1, 10, 100, 1000, 10000, 100000, 500000));
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 1000; ++i) hll.add(hll_hash(i));
+  }
+  EXPECT_NEAR(hll.estimate(), 1000, 80);
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    a.add(hll_hash(i));
+    u.add(hll_hash(i));
+  }
+  for (std::uint64_t i = 2500; i < 7500; ++i) {
+    b.add(hll_hash(i));
+    u.add(hll_hash(i));
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate(), u.estimate());
+}
+
+TEST(HyperLogLog, RejectsBadPrecisionAndMismatchedMerge) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19), std::invalid_argument);
+  HyperLogLog a(10), b(12);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(CardinalityEstimator, ExactBelowLimit) {
+  CardinalityEstimator est(100);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    est.add(i);
+    est.add(i);  // duplicates
+  }
+  EXPECT_TRUE(est.is_exact());
+  EXPECT_EQ(est.estimate(), 100u);
+}
+
+TEST(CardinalityEstimator, PromotesToSketchAboveLimit) {
+  CardinalityEstimator est(100, 12);
+  for (std::uint64_t i = 0; i < 20000; ++i) est.add(i);
+  EXPECT_FALSE(est.is_exact());
+  EXPECT_NEAR(static_cast<double>(est.estimate()), 20000.0, 1800.0);
+}
+
+// ---------------------------------------------------------- CoverageBitset
+
+TEST(CoverageBitset, CountsDistinctSets) {
+  CoverageBitset cov(1000);
+  EXPECT_TRUE(cov.set(0));
+  EXPECT_FALSE(cov.set(0));
+  EXPECT_TRUE(cov.set(999));
+  EXPECT_EQ(cov.count(), 2u);
+  EXPECT_DOUBLE_EQ(cov.fraction(), 0.002);
+  EXPECT_TRUE(cov.test(999));
+  EXPECT_FALSE(cov.test(5));
+  EXPECT_THROW(cov.set(1000), std::out_of_range);
+  cov.clear();
+  EXPECT_EQ(cov.count(), 0u);
+  EXPECT_FALSE(cov.test(0));
+}
+
+// --------------------------------------------------------------------- TopK
+
+TEST(TopK, RanksByWeightThenKey) {
+  TopK<int> topk;
+  topk.add(7, 10);
+  topk.add(3, 30);
+  topk.add(5, 10);
+  topk.add(3, 5);
+  const auto top = topk.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (std::pair<int, std::uint64_t>{3, 35}));
+  EXPECT_EQ(top[1], (std::pair<int, std::uint64_t>{5, 10}));  // tie -> smaller key
+  EXPECT_EQ(topk.total(), 55u);
+  EXPECT_EQ(topk.distinct(), 3u);
+  EXPECT_EQ(topk.count(7), 10u);
+  EXPECT_EQ(topk.count(99), 0u);
+}
+
+// --------------------------------------------------------------------- Zipf
+
+TEST(ZipfSampler, PmfMatchesEmpiricalFrequency) {
+  ZipfSampler zipf(50, 1.1);
+  net::Rng rng(23);
+  std::vector<int> counts(50, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.sample(rng)];
+  for (const std::size_t rank : {0u, 1u, 5u, 20u}) {
+    const double expected = zipf.pmf(rank) * trials;
+    EXPECT_NEAR(counts[rank], expected, 5 * std::sqrt(expected) + 5);
+  }
+}
+
+TEST(ZipfSampler, RejectsEmptySupport) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, CumulativeContributionCurve) {
+  const auto curve = cumulative_contribution_curve({50, 30, 15, 5});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.50);
+  EXPECT_DOUBLE_EQ(curve[1], 0.80);
+  EXPECT_DOUBLE_EQ(curve[3], 1.0);
+  // Monotone regardless of input order.
+  const auto shuffled = cumulative_contribution_curve({5, 50, 15, 30});
+  EXPECT_EQ(curve, shuffled);
+}
+
+TEST(Zipf, FitRecoversExponent) {
+  // Perfect Zipf weights with s = 1.5.
+  std::vector<std::uint64_t> weights;
+  for (int rank = 1; rank <= 200; ++rank) {
+    weights.push_back(
+        static_cast<std::uint64_t>(1e9 / std::pow(rank, 1.5)));
+  }
+  EXPECT_NEAR(fit_zipf_exponent(weights), 1.5, 0.05);
+  EXPECT_DOUBLE_EQ(fit_zipf_exponent({42}), 0.0);
+  EXPECT_DOUBLE_EQ(fit_zipf_exponent({}), 0.0);
+}
+
+// ------------------------------------------------------------- BinnedSeries
+
+TEST(BinnedSeries, BinsAndDrops) {
+  BinnedSeries series(net::SimTime::at(net::Duration::seconds(10)),
+                      net::Duration::seconds(1), 5);
+  series.add(net::SimTime::at(net::Duration::seconds(10)));          // bin 0
+  series.add(net::SimTime::at(net::Duration::millis(10999)));        // bin 0
+  series.add(net::SimTime::at(net::Duration::seconds(14)), 3);       // bin 4
+  series.add(net::SimTime::at(net::Duration::seconds(15)));          // dropped
+  series.add(net::SimTime::at(net::Duration::seconds(9)));           // dropped
+  EXPECT_EQ(series.bin(0), 2u);
+  EXPECT_EQ(series.bin(4), 3u);
+  EXPECT_EQ(series.total(), 5u);
+  EXPECT_EQ(series.dropped(), 2u);
+  EXPECT_EQ(series.cumulative().back(), 5u);
+  EXPECT_DOUBLE_EQ(series.rates()[4], 3.0);
+}
+
+TEST(BinnedSeries, RatioSeries) {
+  BinnedSeries num(net::SimTime::epoch(), net::Duration::seconds(1), 3);
+  BinnedSeries den(net::SimTime::epoch(), net::Duration::seconds(1), 3);
+  num.add(net::SimTime::at(net::Duration::millis(500)), 1);
+  den.add(net::SimTime::at(net::Duration::millis(500)), 4);
+  den.add(net::SimTime::at(net::Duration::millis(1500)), 2);
+  const auto ratio = ratio_series(num, den);
+  EXPECT_DOUBLE_EQ(ratio[0], 0.25);
+  EXPECT_DOUBLE_EQ(ratio[1], 0.0);
+  EXPECT_DOUBLE_EQ(ratio[2], 0.0);  // zero denominator -> 0
+
+  const auto cumulative = cumulative_ratio_series(num, den);
+  EXPECT_DOUBLE_EQ(cumulative[0], 0.25);
+  EXPECT_DOUBLE_EQ(cumulative[1], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(cumulative[2], 1.0 / 6.0);
+}
+
+TEST(BinnedSeries, MismatchedRatioThrows) {
+  BinnedSeries a(net::SimTime::epoch(), net::Duration::seconds(1), 3);
+  BinnedSeries b(net::SimTime::epoch(), net::Duration::seconds(1), 4);
+  EXPECT_THROW(ratio_series(a, b), std::invalid_argument);
+}
+
+TEST(Sparkline, RendersPeaks) {
+  const std::string line = sparkline({0, 0, 1.0, 0, 0}, 5);
+  ASSERT_EQ(line.size(), 5u);
+  EXPECT_EQ(line[2], '#');
+  EXPECT_EQ(line[0], ' ');
+  EXPECT_EQ(sparkline({}, 10), "");
+}
+
+}  // namespace
+}  // namespace orion::stats
+
+// NOTE: appended suites — reservoir sampling and KS distance.
+#include "orion/stats/reservoir.hpp"
+
+namespace orion::stats {
+namespace {
+
+TEST(ReservoirSampler, KeepsEverythingBelowCapacity) {
+  ReservoirSampler<int> sampler(100, 1);
+  for (int i = 0; i < 50; ++i) sampler.add(i);
+  EXPECT_EQ(sampler.sample().size(), 50u);
+  EXPECT_EQ(sampler.seen(), 50u);
+  EXPECT_FALSE(sampler.saturated());
+}
+
+TEST(ReservoirSampler, BoundedAndUniformOverStream) {
+  // Each of 10k elements should survive with probability 100/10000.
+  const int trials = 300;
+  std::vector<int> hits(10, 0);  // bucket stream positions by decile
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler<int> sampler(100, static_cast<std::uint64_t>(t));
+    for (int i = 0; i < 10000; ++i) sampler.add(i);
+    EXPECT_EQ(sampler.sample().size(), 100u);
+    for (const int v : sampler.sample()) ++hits[v / 1000];
+  }
+  // Expect trials*100/10 = 3000 per decile.
+  for (const int h : hits) EXPECT_NEAR(h, 3000, 350);
+}
+
+TEST(KsDistance, IdenticalAndDisjointDistributions) {
+  Ecdf a({1, 2, 3, 4, 5});
+  Ecdf b({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.0);
+  Ecdf c({100, 200, 300});
+  EXPECT_DOUBLE_EQ(ks_distance(a, c), 1.0);
+  Ecdf empty;
+  EXPECT_THROW(ks_distance(a, empty), std::logic_error);
+}
+
+TEST(KsDistance, KnownValue) {
+  // F_a steps at 1,2; F_b steps at 2,3. At x=1: |0.5 - 0| = 0.5.
+  Ecdf a({1, 2});
+  Ecdf b({2, 3});
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(ks_distance(b, a), 0.5);  // symmetric
+}
+
+TEST(KsDistance, DetectsShift) {
+  net::Rng rng(9);
+  Ecdf a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng.bounded(1000));
+    b.add(rng.bounded(1000) + 250);
+  }
+  EXPECT_GT(ks_distance(a, b), 0.2);
+}
+
+}  // namespace
+}  // namespace orion::stats
+
+// NOTE: appended suite — P² streaming quantile.
+#include "orion/stats/p2_quantile.hpp"
+
+namespace orion::stats {
+namespace {
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile p2(0.5);
+  EXPECT_DOUBLE_EQ(p2.estimate(), 0.0);  // empty
+  p2.add(7);
+  EXPECT_DOUBLE_EQ(p2.estimate(), 7.0);
+  p2.add(3);
+  p2.add(9);
+  EXPECT_DOUBLE_EQ(p2.estimate(), 7.0);  // median of {3,7,9}
+}
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+class P2Accuracy : public testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksUniformQuantile) {
+  const double q = GetParam();
+  P2Quantile p2(q);
+  net::Rng rng(31);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.uniform() * 1000.0;
+    p2.add(v);
+    samples.push_back(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double exact = samples[static_cast<std::size_t>(q * samples.size())];
+  // P2 is approximate; a few percent of the range is fine.
+  EXPECT_NEAR(p2.estimate(), exact, 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         testing::Values(0.1, 0.5, 0.9, 0.99));
+
+TEST(P2Quantile, TracksHeavyTail) {
+  // Pareto-ish tail: P2 must still land in the right decade.
+  P2Quantile p2(0.99);
+  net::Rng rng(32);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = std::pow(1.0 - rng.uniform(), -1.2);
+    p2.add(v);
+    samples.push_back(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double exact = samples[static_cast<std::size_t>(0.99 * samples.size())];
+  EXPECT_GT(p2.estimate(), exact * 0.5);
+  EXPECT_LT(p2.estimate(), exact * 2.0);
+}
+
+}  // namespace
+}  // namespace orion::stats

@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "orion/packet/builder.hpp"
+#include "orion/scangen/event_synth.hpp"
+#include "orion/scangen/packet_gen.hpp"
+#include "orion/scangen/scenario.hpp"
+#include "orion/telescope/aggregator.hpp"
+#include "orion/telescope/capture.hpp"
+#include "orion/telescope/timeout.hpp"
+
+namespace orion::telescope {
+namespace {
+
+net::Ipv4Address ip(const char* text) { return *net::Ipv4Address::parse(text); }
+
+net::PrefixSet dark_space() {
+  return net::PrefixSet({*net::Prefix::parse("198.18.0.0/24")});
+}
+
+pkt::Packet probe(net::SimTime t, const char* src, const char* dst,
+                  std::uint16_t port) {
+  pkt::ProbeBuilder builder(ip(src), pkt::ScanTool::Other, net::Rng(1));
+  return builder.tcp_syn(t, ip(dst), port);
+}
+
+// ------------------------------------------------------------------ timeout
+
+TEST(Timeout, PaperParametersGiveAboutTenMinutes) {
+  // 475k dark IPs, 100 pps, 2-day scan -> the paper's "around 10 minutes".
+  const net::Duration timeout =
+      derive_timeout(475000, 100.0, net::Duration::days(2));
+  EXPECT_GT(timeout, net::Duration::minutes(8));
+  EXPECT_LT(timeout, net::Duration::minutes(15));
+}
+
+TEST(Timeout, ScalesInverselyWithDarknetSize) {
+  const net::Duration big = derive_timeout(475000, 100.0, net::Duration::days(2));
+  const net::Duration small = derive_timeout(32768, 100.0, net::Duration::days(2));
+  EXPECT_GT(small, big);  // smaller darknet -> rarer hits -> longer timeout
+}
+
+TEST(Timeout, RejectsBadInputs) {
+  EXPECT_THROW(derive_timeout(0, 100, net::Duration::days(1)),
+               std::invalid_argument);
+  EXPECT_THROW(derive_timeout(1000, 0, net::Duration::days(1)),
+               std::invalid_argument);
+  EXPECT_THROW(derive_timeout(1000, 100, net::Duration::seconds(0)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- aggregator
+
+AggregatorConfig fast_config() {
+  AggregatorConfig config;
+  config.timeout = net::Duration::minutes(10);
+  config.sweep_interval = net::Duration::minutes(1);
+  return config;
+}
+
+TEST(EventAggregator, SingleScanYieldsOneEvent) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  net::SimTime t = net::SimTime::epoch();
+  for (int i = 0; i < 256; ++i) {
+    pkt::Packet p = probe(t, "203.0.113.1", "198.18.0.0", 23);
+    p.tuple.dst = net::Ipv4Address(ip("198.18.0.0").value() + i);
+    agg.observe(p);
+    t = t + net::Duration::seconds(1);
+  }
+  agg.finish();
+  ASSERT_EQ(collector.events().size(), 1u);
+  const DarknetEvent& e = collector.events()[0];
+  EXPECT_EQ(e.packets, 256u);
+  EXPECT_EQ(e.unique_dests, 256u);
+  EXPECT_DOUBLE_EQ(e.dispersion(256), 1.0);
+  EXPECT_EQ(e.key.src, ip("203.0.113.1"));
+  EXPECT_EQ(e.key.dst_port, 23);
+  EXPECT_EQ(e.start, net::SimTime::epoch());
+  EXPECT_EQ(e.end, net::SimTime::epoch() + net::Duration::seconds(255));
+}
+
+TEST(EventAggregator, TimeoutSplitsIdleScans) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  agg.observe(probe(net::SimTime::epoch(), "203.0.113.1", "198.18.0.1", 80));
+  // Second packet after more than the 10-minute timeout.
+  agg.observe(probe(net::SimTime::epoch() + net::Duration::minutes(25),
+                    "203.0.113.1", "198.18.0.2", 80));
+  agg.finish();
+  EXPECT_EQ(collector.events().size(), 2u);
+}
+
+TEST(EventAggregator, GapBelowTimeoutDoesNotSplit) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  agg.observe(probe(net::SimTime::epoch(), "203.0.113.1", "198.18.0.1", 80));
+  agg.observe(probe(net::SimTime::epoch() + net::Duration::minutes(9),
+                    "203.0.113.1", "198.18.0.2", 80));
+  agg.finish();
+  EXPECT_EQ(collector.events().size(), 1u);
+}
+
+TEST(EventAggregator, SeparatesByPortTypeAndSource) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  const net::SimTime t = net::SimTime::epoch();
+  agg.observe(probe(t, "203.0.113.1", "198.18.0.1", 23));
+  agg.observe(probe(t, "203.0.113.1", "198.18.0.1", 2323));
+  agg.observe(probe(t, "203.0.113.2", "198.18.0.1", 23));
+  pkt::ProbeBuilder udp_builder(ip("203.0.113.1"), pkt::ScanTool::Other,
+                                net::Rng(2));
+  agg.observe(udp_builder.udp_probe(t, ip("198.18.0.1"), 23));  // UDP/23
+  agg.finish();
+  EXPECT_EQ(collector.events().size(), 4u);
+}
+
+TEST(EventAggregator, IcmpEventsUsePortZero) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  pkt::ProbeBuilder builder(ip("203.0.113.1"), pkt::ScanTool::Other, net::Rng(3));
+  agg.observe(builder.icmp_echo(net::SimTime::epoch(), ip("198.18.0.9")));
+  agg.finish();
+  ASSERT_EQ(collector.events().size(), 1u);
+  EXPECT_EQ(collector.events()[0].key.dst_port, 0);
+  EXPECT_EQ(collector.events()[0].key.type, pkt::TrafficType::IcmpEchoReq);
+}
+
+TEST(EventAggregator, IgnoresNonScanningAndOutOfSpace) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  // SYN-ACK backscatter into the dark space: counted, not an event.
+  pkt::Packet backscatter = probe(net::SimTime::epoch(), "203.0.113.1",
+                                  "198.18.0.1", 80);
+  backscatter.tcp_flags = pkt::TcpFlags::kSyn | pkt::TcpFlags::kAck;
+  agg.observe(backscatter);
+  // Scanning packet to an address OUTSIDE the dark space.
+  agg.observe(probe(net::SimTime::epoch(), "203.0.113.1", "8.8.8.8", 80));
+  agg.finish();
+  EXPECT_EQ(collector.events().size(), 0u);
+  EXPECT_EQ(agg.packets_seen(), 2u);
+  EXPECT_EQ(agg.ignored_non_scanning(), 1u);
+  EXPECT_EQ(agg.ignored_out_of_space(), 1u);
+  EXPECT_EQ(agg.scanning_packets(), 0u);
+}
+
+TEST(EventAggregator, RejectsTimeRegression) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  agg.observe(probe(net::SimTime::at(net::Duration::seconds(100)), "203.0.113.1",
+                    "198.18.0.1", 80));
+  EXPECT_THROW(agg.observe(probe(net::SimTime::at(net::Duration::seconds(99)),
+                                 "203.0.113.1", "198.18.0.1", 80)),
+               std::invalid_argument);
+}
+
+TEST(EventAggregator, AdvanceToExpiresIdleEvents) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  agg.observe(probe(net::SimTime::epoch(), "203.0.113.1", "198.18.0.1", 80));
+  EXPECT_EQ(agg.live_events(), 1u);
+  agg.advance_to(net::SimTime::epoch() + net::Duration::hours(1));
+  EXPECT_EQ(agg.live_events(), 0u);
+  EXPECT_EQ(collector.events().size(), 1u);
+}
+
+TEST(EventAggregator, ToolAttributionPerPacket) {
+  EventCollector collector;
+  EventAggregator agg(dark_space(), fast_config(), collector.sink());
+  pkt::ProbeBuilder zmap(ip("203.0.113.1"), pkt::ScanTool::ZMap, net::Rng(4));
+  pkt::ProbeBuilder mirai(ip("203.0.113.1"), pkt::ScanTool::Mirai, net::Rng(5));
+  net::SimTime t = net::SimTime::epoch();
+  for (int i = 0; i < 3; ++i) {
+    agg.observe(zmap.tcp_syn(t, ip("198.18.0.1"), 23));
+    t = t + net::Duration::seconds(1);
+  }
+  agg.observe(mirai.tcp_syn(t, ip("198.18.0.2"), 23));
+  agg.finish();
+  ASSERT_EQ(collector.events().size(), 1u);
+  const DarknetEvent& e = collector.events()[0];
+  EXPECT_EQ(e.packets_by_tool[tool_index(pkt::ScanTool::ZMap)], 3u);
+  EXPECT_EQ(e.packets_by_tool[tool_index(pkt::ScanTool::Mirai)], 1u);
+  EXPECT_EQ(e.dominant_tool(), pkt::ScanTool::ZMap);
+}
+
+// ------------------------------------------------------------------ capture
+
+TEST(TelescopeCapture, DatasetStatistics) {
+  TelescopeCapture capture(dark_space(), fast_config());
+  net::SimTime t = net::SimTime::at(net::Duration::days(5));
+  for (int src = 0; src < 4; ++src) {
+    pkt::ProbeBuilder builder(net::Ipv4Address(0xCB007100u + src),
+                              pkt::ScanTool::Other, net::Rng(src));
+    for (int i = 0; i < 10; ++i) {
+      capture.observe(builder.tcp_syn(t, net::Ipv4Address(ip("198.18.0.0").value() + i),
+                                      22));
+      t = t + net::Duration::seconds(2);
+    }
+  }
+  const EventDataset dataset = capture.finish();
+  EXPECT_EQ(capture.packets_captured(), 40u);
+  EXPECT_EQ(capture.unique_sources(), 4u);
+  EXPECT_EQ(dataset.event_count(), 4u);
+  EXPECT_EQ(dataset.total_packets(), 40u);
+  EXPECT_EQ(dataset.unique_sources(), 4u);
+  EXPECT_EQ(dataset.first_day(), 5);
+  EXPECT_EQ(dataset.last_day(), 5);
+}
+
+// ------------------------- packet-level vs analytic cross-validation -------
+
+struct CrossCheckCase {
+  double coverage;
+  int repeats;
+};
+
+class SynthVsAggregator : public testing::TestWithParam<CrossCheckCase> {};
+
+// The central property test: feeding the packet generator's output through
+// the real aggregator must reproduce the analytic event synthesizer's
+// event, statistically (same model, independent draws).
+TEST_P(SynthVsAggregator, EventShapesAgree) {
+  const auto [coverage, repeats] = GetParam();
+  const std::uint64_t darknet_size = 2048;
+  net::PrefixSet space({*net::Prefix::parse("198.18.0.0/21")});
+  ASSERT_EQ(space.total_addresses(), darknet_size);
+
+  scangen::ScannerProfile scanner;
+  scanner.source = ip("203.0.113.77");
+  scanner.tool = pkt::ScanTool::ZMap;
+  scanner.rng_stream = 11;
+  scangen::SessionSpec session;
+  session.start = net::SimTime::at(net::Duration::hours(1));
+  session.duration = net::Duration::hours(2);
+  session.coverage = coverage;
+  session.repeats = repeats;
+  session.ports = {{6379, pkt::TrafficType::TcpSyn}};
+  scanner.sessions.push_back(session);
+
+  // Packet path.
+  EventCollector collector;
+  EventAggregator agg(space, fast_config(), collector.sink());
+  scangen::PacketStreamGenerator gen({scanner}, space, net::SimTime::epoch(),
+                                     session.end() + net::Duration::hours(1),
+                                     {.seed = 21, .exact_targets = true});
+  while (auto p = gen.next()) agg.observe(*p);
+  agg.finish();
+  ASSERT_EQ(collector.events().size(), 1u);
+  const DarknetEvent packet_event = collector.events()[0];
+
+  // Analytic path.
+  std::vector<DarknetEvent> synth;
+  scangen::synthesize_scanner_events(scanner,
+                                     {.darknet_size = darknet_size, .seed = 22},
+                                     synth);
+  ASSERT_EQ(synth.size(), 1u);
+  const DarknetEvent& synth_event = synth[0];
+
+  // Same key.
+  EXPECT_EQ(packet_event.key.src, synth_event.key.src);
+  EXPECT_EQ(packet_event.key.dst_port, synth_event.key.dst_port);
+  // Unique destinations agree within binomial noise (4 sigma ~ 4*sqrt(npq)).
+  const double expected_uniques = coverage * static_cast<double>(darknet_size);
+  const double sigma =
+      std::sqrt(expected_uniques * (1 - coverage)) + 1.0;
+  EXPECT_NEAR(static_cast<double>(packet_event.unique_dests), expected_uniques,
+              4 * sigma);
+  EXPECT_NEAR(static_cast<double>(synth_event.unique_dests), expected_uniques,
+              4 * sigma);
+  // Packets = repeats * uniques on both paths.
+  EXPECT_EQ(packet_event.packets,
+            packet_event.unique_dests * static_cast<std::uint64_t>(repeats));
+  EXPECT_EQ(synth_event.packets,
+            synth_event.unique_dests * static_cast<std::uint64_t>(repeats));
+  // Both events live inside the session window.
+  for (const DarknetEvent& e : {packet_event, synth_event}) {
+    EXPECT_GE(e.start, session.start);
+    EXPECT_LE(e.end, session.end());
+  }
+  // Tool attribution is complete on both paths.
+  EXPECT_EQ(packet_event.packets_by_tool[tool_index(pkt::ScanTool::ZMap)],
+            packet_event.packets);
+  EXPECT_EQ(synth_event.packets_by_tool[tool_index(pkt::ScanTool::ZMap)],
+            synth_event.packets);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoverageGrid, SynthVsAggregator,
+                         testing::Values(CrossCheckCase{1.0, 1},
+                                         CrossCheckCase{0.5, 1},
+                                         CrossCheckCase{0.15, 1},
+                                         CrossCheckCase{1.0, 2},
+                                         CrossCheckCase{0.3, 3}));
+
+TEST(SynthVsAggregatorPopulation, EventCountsAgreeOnTinyScenario) {
+  // Whole-population cross-check over a short window.
+  const scangen::Scenario scenario{scangen::tiny()};
+  // Window covers every session start (14-day population window) plus the
+  // longest session duration, so no session is truncated on either path.
+  const net::SimTime t0 = net::SimTime::epoch();
+  const net::SimTime t1 = net::SimTime::at(net::Duration::days(40));
+
+  EventCollector collector;
+  AggregatorConfig config = fast_config();
+  config.timeout = scenario.event_timeout();
+  EventAggregator agg(scenario.darknet(), config, collector.sink());
+  scangen::PacketStreamGenerator gen(scenario.population_2021().scanners,
+                                     scenario.darknet(), t0, t1,
+                                     {.seed = 31, .exact_targets = true});
+  while (auto p = gen.next()) agg.observe(*p);
+  agg.finish();
+
+  const auto synth = scangen::synthesize_events(
+      scenario.population_2021(),
+      {.darknet_size = scenario.darknet().total_addresses(), .seed = 32});
+  std::size_t synth_in_window = 0;
+  std::uint64_t synth_packets = 0;
+  for (const DarknetEvent& e : synth) {
+    ++synth_in_window;
+    synth_packets += e.packets;
+  }
+  // Counts and packet mass agree within 25% (independent random draws, and
+  // window-edge sessions are counted slightly differently).
+  EXPECT_GT(collector.events().size(), 0u);
+  EXPECT_NEAR(static_cast<double>(collector.events().size()),
+              static_cast<double>(synth_in_window),
+              0.25 * static_cast<double>(synth_in_window) + 10);
+  std::uint64_t packet_total = 0;
+  for (const DarknetEvent& e : collector.events()) packet_total += e.packets;
+  EXPECT_NEAR(static_cast<double>(packet_total),
+              static_cast<double>(synth_packets),
+              0.30 * static_cast<double>(synth_packets) + 100);
+}
+
+}  // namespace
+}  // namespace orion::telescope
+
+// NOTE: appended suite — event store (binary + CSV persistence).
+#include <sstream>
+
+#include "orion/telescope/store.hpp"
+
+namespace orion::telescope {
+namespace {
+
+EventDataset sample_dataset() {
+  std::vector<DarknetEvent> events;
+  for (int i = 0; i < 100; ++i) {
+    DarknetEvent e;
+    e.key.src = net::Ipv4Address(0xCB007100u + static_cast<std::uint32_t>(i));
+    e.key.dst_port = static_cast<std::uint16_t>(i % 7 == 0 ? 0 : 6379);
+    e.key.type = i % 7 == 0 ? pkt::TrafficType::IcmpEchoReq
+                            : pkt::TrafficType::TcpSyn;
+    e.start = net::SimTime::at(net::Duration::seconds(100 * i));
+    e.end = e.start + net::Duration::seconds(40);
+    e.packets = 10 + static_cast<std::uint64_t>(i);
+    e.unique_dests = 5 + static_cast<std::uint64_t>(i);
+    e.packets_by_tool[telescope::tool_index(pkt::ScanTool::ZMap)] = e.packets;
+    events.push_back(e);
+  }
+  return EventDataset(std::move(events), 4096);
+}
+
+TEST(EventStore, BinaryRoundTrip) {
+  const EventDataset original = sample_dataset();
+  std::stringstream stream;
+  write_events_binary(original, stream);
+  const EventDataset restored = read_events_binary(stream);
+  EXPECT_EQ(restored.darknet_size(), original.darknet_size());
+  ASSERT_EQ(restored.event_count(), original.event_count());
+  EXPECT_EQ(restored.total_packets(), original.total_packets());
+  for (std::size_t i = 0; i < original.event_count(); ++i) {
+    const DarknetEvent& a = original.events()[i];
+    const DarknetEvent& b = restored.events()[i];
+    EXPECT_EQ(a.key.src, b.key.src);
+    EXPECT_EQ(a.key.dst_port, b.key.dst_port);
+    EXPECT_EQ(a.key.type, b.key.type);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.unique_dests, b.unique_dests);
+    EXPECT_EQ(a.packets_by_tool, b.packets_by_tool);
+  }
+}
+
+TEST(EventStore, RejectsCorruptedInput) {
+  const EventDataset original = sample_dataset();
+  std::stringstream good;
+  write_events_binary(original, good);
+  const std::string bytes = good.str();
+
+  {  // bad magic
+    std::stringstream bad("XXXX" + bytes.substr(4));
+    EXPECT_THROW(read_events_binary(bad), std::runtime_error);
+  }
+  {  // truncated mid-record
+    std::stringstream bad(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(read_events_binary(bad), std::runtime_error);
+  }
+  {  // empty stream
+    std::stringstream bad("");
+    EXPECT_THROW(read_events_binary(bad), std::runtime_error);
+  }
+}
+
+TEST(EventStore, CsvHasHeaderAndAllRows) {
+  const EventDataset dataset = sample_dataset();
+  std::stringstream out;
+  write_events_csv(dataset, out);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(out, line)) ++lines;
+  EXPECT_EQ(lines, dataset.event_count() + 1);
+}
+
+}  // namespace
+}  // namespace orion::telescope

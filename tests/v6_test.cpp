@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "orion/netbase/ipv6.hpp"
+#include "orion/v6/detect6.hpp"
+#include "orion/v6/hitlist.hpp"
+#include "orion/v6/scanner6.hpp"
+
+namespace orion {
+namespace {
+
+// ------------------------------------------------------------- Ipv6Address
+
+TEST(Ipv6Address, ParsesCanonicalForms) {
+  const auto a = net::Ipv6Address::parse("2001:db8:0:0:0:0:0:1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x0db8);
+  EXPECT_EQ(a->group(7), 1);
+}
+
+TEST(Ipv6Address, ParsesCompressedForms) {
+  const auto full = net::Ipv6Address::parse("2001:db8:0:0:0:0:0:1");
+  for (const char* text : {"2001:db8::1", "2001:0db8::0001", "2001:DB8::1"}) {
+    const auto a = net::Ipv6Address::parse(text);
+    ASSERT_TRUE(a) << text;
+    EXPECT_EQ(*a, *full) << text;
+  }
+  EXPECT_EQ(net::Ipv6Address::parse("::")->interface_id(), 0u);
+  EXPECT_EQ(net::Ipv6Address::parse("::1")->group(7), 1);
+  EXPECT_EQ(net::Ipv6Address::parse("fe80::")->group(0), 0xfe80);
+}
+
+TEST(Ipv6Address, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", ":", ":::", "1::2::3", "2001:db8", "2001:db8:0:0:0:0:0:0:1",
+        "2001:db8::zzzz", "20011::1", "2001:db8:::1", "1:2:3:4:5:6:7:8:9",
+        "2001:db8::1::"}) {
+    EXPECT_FALSE(net::Ipv6Address::parse(bad)) << bad;
+  }
+}
+
+TEST(Ipv6Address, ToStringIsRfc5952) {
+  const std::map<std::string, std::string> cases = {
+      {"2001:db8:0:0:0:0:0:1", "2001:db8::1"},
+      {"0:0:0:0:0:0:0:0", "::"},
+      {"0:0:0:0:0:0:0:1", "::1"},
+      {"2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1"},  // single zero not ::
+      {"2001:0:0:1:0:0:0:1", "2001:0:0:1::1"},  // longest run wins
+      {"fe80:0:0:0:1:0:0:1", "fe80::1:0:0:1"},  // leftmost on ties... longest is left
+      {"2001:db8:0:0:1:0:0:0", "2001:db8:0:0:1::"},
+  };
+  for (const auto& [input, expected] : cases) {
+    const auto a = net::Ipv6Address::parse(input);
+    ASSERT_TRUE(a) << input;
+    EXPECT_EQ(a->to_string(), expected) << input;
+  }
+}
+
+TEST(Ipv6Address, RoundTripsThroughText) {
+  net::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    net::Ipv6Address::Bytes bytes;
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    // Sprinkle zero groups to exercise compression.
+    if (rng.chance(0.5)) {
+      const std::size_t at = rng.bounded(6);
+      for (std::size_t j = 0; j < 2 * (1 + rng.bounded(3)); ++j) {
+        bytes[2 * at + j] = 0;
+      }
+    }
+    const net::Ipv6Address a(bytes);
+    const auto parsed = net::Ipv6Address::parse(a.to_string());
+    ASSERT_TRUE(parsed) << a.to_string();
+    EXPECT_EQ(*parsed, a) << a.to_string();
+  }
+}
+
+TEST(Ipv6Address, PatternPredicates) {
+  EXPECT_TRUE(net::Ipv6Address::parse("2001:db8::1")->is_low_byte());
+  EXPECT_TRUE(net::Ipv6Address::parse("2001:db8::ffff")->is_low_byte());
+  EXPECT_FALSE(net::Ipv6Address::parse("2001:db8::1:0:0:1")->is_low_byte());
+  EXPECT_TRUE(
+      net::Ipv6Address::parse("2001:db8::0211:22ff:fe33:4455")->looks_eui64());
+  EXPECT_FALSE(net::Ipv6Address::parse("2001:db8::1")->looks_eui64());
+}
+
+TEST(Ipv6Address, HashSpreads) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    net::Ipv6Prefix p = *net::Ipv6Prefix::parse("2001:db8::/48");
+    hashes.insert(net::Ipv6AddressHash{}(p.at_interface(i)));
+  }
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+// -------------------------------------------------------------- Ipv6Prefix
+
+TEST(Ipv6Prefix, ParseContainsAndMask) {
+  const auto p = net::Ipv6Prefix::parse("2001:db8:aa00::/40");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 40);
+  EXPECT_TRUE(p->contains(*net::Ipv6Address::parse("2001:db8:aaff::1")));
+  EXPECT_FALSE(p->contains(*net::Ipv6Address::parse("2001:db8:ab00::1")));
+  // Host bits are zeroed at construction.
+  const net::Ipv6Prefix q(*net::Ipv6Address::parse("2001:db8:aaff::1"), 40);
+  EXPECT_EQ(q.base(), *net::Ipv6Address::parse("2001:db8:aa00::"));
+  EXPECT_FALSE(net::Ipv6Prefix::parse("2001:db8::/129"));
+  EXPECT_FALSE(net::Ipv6Prefix::parse("2001:db8::"));
+}
+
+TEST(Ipv6Prefix, AtInterfaceBuildsInsidePrefix) {
+  const auto p = net::Ipv6Prefix::parse("2001:db8:1::/48");
+  ASSERT_TRUE(p);
+  const net::Ipv6Address a = p->at_interface(0xdeadbeef);
+  EXPECT_TRUE(p->contains(a));
+  EXPECT_EQ(a.interface_id(), 0xdeadbeefu);
+}
+
+// ----------------------------------------------------------------- hitlist
+
+TEST(Hitlist, GeneratesConfiguredSizeAndPatterns) {
+  v6::HitlistConfig config;
+  config.prefix_count = 50;
+  config.addresses_per_prefix = 20;
+  const auto hitlist = v6::generate_hitlist(config);
+  ASSERT_EQ(hitlist.size(), 1000u);
+
+  std::array<int, 4> counts{};
+  for (const auto& entry : hitlist) {
+    // The classifier recovers the generation pattern.
+    EXPECT_EQ(v6::classify_pattern(entry.address), entry.pattern)
+        << entry.address.to_string();
+    ++counts[static_cast<std::size_t>(entry.pattern)];
+  }
+  // Shares roughly match the config (45/25/15/15).
+  EXPECT_NEAR(counts[0], 450, 60);
+  EXPECT_NEAR(counts[1], 250, 60);
+  EXPECT_NEAR(counts[2], 150, 50);
+  EXPECT_NEAR(counts[3], 150, 50);
+}
+
+TEST(Hitlist, Deterministic) {
+  const auto a = v6::generate_hitlist({});
+  const auto b = v6::generate_hitlist({});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].address, b[i].address);
+}
+
+// ------------------------------------------------------------ v6 detection
+
+TEST(V6Detection, FindsHeavySweepers) {
+  const auto hitlist = v6::generate_hitlist({});
+  const auto scanners = v6::demo_v6_population(28, 9);
+  const auto events = v6::synthesize_v6_events(scanners, hitlist, {});
+  ASSERT_GT(events.size(), 100u);
+
+  const auto result = v6::detect_v6(events, hitlist.size());
+  // All heavy sweepers (share >= 0.5) and the top of the mid tier qualify;
+  // the 300 background pokers (share <= 1%) never do.
+  for (const auto& scanner : scanners) {
+    if (scanner.hitlist_share >= 0.5) {
+      EXPECT_TRUE(result.dispersion_ah.contains(scanner.source))
+          << scanner.source.to_string();
+    }
+    if (scanner.hitlist_share < 0.05) {
+      EXPECT_FALSE(result.dispersion_ah.contains(scanner.source));
+    }
+  }
+  EXPECT_GE(result.dispersion_ah.size(), 6u);
+  EXPECT_LE(result.dispersion_ah.size(), 46u);  // heavy + mid tier at most
+  // Volume AH exist and are a subset of the dispersion AH (the biggest
+  // per-event packet counts come from the widest hitlist sweeps).
+  EXPECT_FALSE(result.volume_ah.empty());
+  for (const auto& ip : result.volume_ah) {
+    EXPECT_TRUE(result.dispersion_ah.contains(ip)) << ip.to_string();
+  }
+}
+
+TEST(V6Detection, EmptyInputsAreSafe) {
+  const auto result = v6::detect_v6({}, 1000);
+  EXPECT_TRUE(result.all().empty());
+  EXPECT_EQ(result.total_events, 0u);
+}
+
+TEST(V6Events, PacketsScaleWithExpansion) {
+  const auto hitlist = v6::generate_hitlist({});
+  v6::V6ScannerProfile scanner;
+  scanner.source = *net::Ipv6Address::parse("2a0e::1");
+  scanner.hitlist_share = 0.5;
+  scanner.expansion = 3;
+  scanner.sessions_per_day = 50;  // force sessions
+  scanner.end_day = 1;
+  const auto events = v6::synthesize_v6_events({scanner}, hitlist, {});
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_EQ(e.packets, e.unique_targets * 3);
+    EXPECT_NEAR(static_cast<double>(e.unique_targets), 0.5 * hitlist.size(),
+                5 * std::sqrt(0.25 * hitlist.size()));
+  }
+}
+
+}  // namespace
+}  // namespace orion
