@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocklist_effect.dir/bench_blocklist_effect.cpp.o"
+  "CMakeFiles/bench_blocklist_effect.dir/bench_blocklist_effect.cpp.o.d"
+  "bench_blocklist_effect"
+  "bench_blocklist_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocklist_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_era_comparison.dir/bench_era_comparison.cpp.o"
+  "CMakeFiles/bench_era_comparison.dir/bench_era_comparison.cpp.o.d"
+  "bench_era_comparison"
+  "bench_era_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_era_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_top_ports.dir/bench_fig4_top_ports.cpp.o"
+  "CMakeFiles/bench_fig4_top_ports.dir/bench_fig4_top_ports.cpp.o.d"
+  "bench_fig4_top_ports"
+  "bench_fig4_top_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_top_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_list_staleness.dir/bench_list_staleness.cpp.o"
+  "CMakeFiles/bench_list_staleness.dir/bench_list_staleness.cpp.o.d"
+  "bench_list_staleness"
+  "bench_list_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_list_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

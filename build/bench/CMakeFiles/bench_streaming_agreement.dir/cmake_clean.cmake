@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_streaming_agreement.dir/bench_streaming_agreement.cpp.o"
+  "CMakeFiles/bench_streaming_agreement.dir/bench_streaming_agreement.cpp.o.d"
+  "bench_streaming_agreement"
+  "bench_streaming_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_streaming_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_origins.dir/bench_table5_origins.cpp.o"
+  "CMakeFiles/bench_table5_origins.dir/bench_table5_origins.cpp.o.d"
+  "bench_table5_origins"
+  "bench_table5_origins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_origins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

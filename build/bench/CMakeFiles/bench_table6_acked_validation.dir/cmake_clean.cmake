@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_acked_validation.dir/bench_table6_acked_validation.cpp.o"
+  "CMakeFiles/bench_table6_acked_validation.dir/bench_table6_acked_validation.cpp.o.d"
+  "bench_table6_acked_validation"
+  "bench_table6_acked_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_acked_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_router_visibility.dir/bench_table8_router_visibility.cpp.o"
+  "CMakeFiles/bench_table8_router_visibility.dir/bench_table8_router_visibility.cpp.o.d"
+  "bench_table8_router_visibility"
+  "bench_table8_router_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_router_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

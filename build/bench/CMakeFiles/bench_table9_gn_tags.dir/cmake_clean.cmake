@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_gn_tags.dir/bench_table9_gn_tags.cpp.o"
+  "CMakeFiles/bench_table9_gn_tags.dir/bench_table9_gn_tags.cpp.o.d"
+  "bench_table9_gn_tags"
+  "bench_table9_gn_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_gn_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_blocklist.dir/daily_blocklist.cpp.o"
+  "CMakeFiles/daily_blocklist.dir/daily_blocklist.cpp.o.d"
+  "daily_blocklist"
+  "daily_blocklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_blocklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impact_study.dir/impact_study.cpp.o"
+  "CMakeFiles/impact_study.dir/impact_study.cpp.o.d"
+  "impact_study"
+  "impact_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impact_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_cli.dir/orion_cli.cpp.o"
+  "CMakeFiles/orion_cli.dir/orion_cli.cpp.o.d"
+  "orion_cli"
+  "orion_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netbase")
+subdirs("packet")
+subdirs("stats")
+subdirs("asdb")
+subdirs("scangen")
+subdirs("telescope")
+subdirs("flowsim")
+subdirs("intel")
+subdirs("detect")
+subdirs("impact")
+subdirs("charact")
+subdirs("report")
+subdirs("v6")

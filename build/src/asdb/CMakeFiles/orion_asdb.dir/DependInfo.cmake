@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asdb/src/rdns.cpp" "src/asdb/CMakeFiles/orion_asdb.dir/src/rdns.cpp.o" "gcc" "src/asdb/CMakeFiles/orion_asdb.dir/src/rdns.cpp.o.d"
+  "/root/repo/src/asdb/src/registry.cpp" "src/asdb/CMakeFiles/orion_asdb.dir/src/registry.cpp.o" "gcc" "src/asdb/CMakeFiles/orion_asdb.dir/src/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

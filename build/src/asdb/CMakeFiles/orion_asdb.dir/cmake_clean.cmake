@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_asdb.dir/src/rdns.cpp.o"
+  "CMakeFiles/orion_asdb.dir/src/rdns.cpp.o.d"
+  "CMakeFiles/orion_asdb.dir/src/registry.cpp.o"
+  "CMakeFiles/orion_asdb.dir/src/registry.cpp.o.d"
+  "liborion_asdb.a"
+  "liborion_asdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_asdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_charact.dir/src/origins.cpp.o"
+  "CMakeFiles/orion_charact.dir/src/origins.cpp.o.d"
+  "CMakeFiles/orion_charact.dir/src/portfig.cpp.o"
+  "CMakeFiles/orion_charact.dir/src/portfig.cpp.o.d"
+  "CMakeFiles/orion_charact.dir/src/temporal.cpp.o"
+  "CMakeFiles/orion_charact.dir/src/temporal.cpp.o.d"
+  "CMakeFiles/orion_charact.dir/src/validation.cpp.o"
+  "CMakeFiles/orion_charact.dir/src/validation.cpp.o.d"
+  "liborion_charact.a"
+  "liborion_charact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_charact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

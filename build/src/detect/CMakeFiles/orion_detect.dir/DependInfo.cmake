@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/src/detector.cpp" "src/detect/CMakeFiles/orion_detect.dir/src/detector.cpp.o" "gcc" "src/detect/CMakeFiles/orion_detect.dir/src/detector.cpp.o.d"
+  "/root/repo/src/detect/src/list_diff.cpp" "src/detect/CMakeFiles/orion_detect.dir/src/list_diff.cpp.o" "gcc" "src/detect/CMakeFiles/orion_detect.dir/src/list_diff.cpp.o.d"
+  "/root/repo/src/detect/src/lists.cpp" "src/detect/CMakeFiles/orion_detect.dir/src/lists.cpp.o" "gcc" "src/detect/CMakeFiles/orion_detect.dir/src/lists.cpp.o.d"
+  "/root/repo/src/detect/src/spoof_filter.cpp" "src/detect/CMakeFiles/orion_detect.dir/src/spoof_filter.cpp.o" "gcc" "src/detect/CMakeFiles/orion_detect.dir/src/spoof_filter.cpp.o.d"
+  "/root/repo/src/detect/src/streaming.cpp" "src/detect/CMakeFiles/orion_detect.dir/src/streaming.cpp.o" "gcc" "src/detect/CMakeFiles/orion_detect.dir/src/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/orion_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/orion_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/orion_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

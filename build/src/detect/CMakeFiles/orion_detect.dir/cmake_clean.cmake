@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_detect.dir/src/detector.cpp.o"
+  "CMakeFiles/orion_detect.dir/src/detector.cpp.o.d"
+  "CMakeFiles/orion_detect.dir/src/list_diff.cpp.o"
+  "CMakeFiles/orion_detect.dir/src/list_diff.cpp.o.d"
+  "CMakeFiles/orion_detect.dir/src/lists.cpp.o"
+  "CMakeFiles/orion_detect.dir/src/lists.cpp.o.d"
+  "CMakeFiles/orion_detect.dir/src/spoof_filter.cpp.o"
+  "CMakeFiles/orion_detect.dir/src/spoof_filter.cpp.o.d"
+  "CMakeFiles/orion_detect.dir/src/streaming.cpp.o"
+  "CMakeFiles/orion_detect.dir/src/streaming.cpp.o.d"
+  "liborion_detect.a"
+  "liborion_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowsim/src/flows.cpp" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/flows.cpp.o" "gcc" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/flows.cpp.o.d"
+  "/root/repo/src/flowsim/src/netflow5.cpp" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/netflow5.cpp.o" "gcc" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/netflow5.cpp.o.d"
+  "/root/repo/src/flowsim/src/netflow_bridge.cpp" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/netflow_bridge.cpp.o" "gcc" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/netflow_bridge.cpp.o.d"
+  "/root/repo/src/flowsim/src/routing.cpp" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/routing.cpp.o" "gcc" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/routing.cpp.o.d"
+  "/root/repo/src/flowsim/src/sampler.cpp" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/sampler.cpp.o" "gcc" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/sampler.cpp.o.d"
+  "/root/repo/src/flowsim/src/stream.cpp" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/stream.cpp.o" "gcc" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/stream.cpp.o.d"
+  "/root/repo/src/flowsim/src/user_traffic.cpp" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/user_traffic.cpp.o" "gcc" "src/flowsim/CMakeFiles/orion_flowsim.dir/src/user_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/orion_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/orion_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/scangen/CMakeFiles/orion_scangen.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/orion_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/orion_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_flowsim.dir/src/flows.cpp.o"
+  "CMakeFiles/orion_flowsim.dir/src/flows.cpp.o.d"
+  "CMakeFiles/orion_flowsim.dir/src/netflow5.cpp.o"
+  "CMakeFiles/orion_flowsim.dir/src/netflow5.cpp.o.d"
+  "CMakeFiles/orion_flowsim.dir/src/netflow_bridge.cpp.o"
+  "CMakeFiles/orion_flowsim.dir/src/netflow_bridge.cpp.o.d"
+  "CMakeFiles/orion_flowsim.dir/src/routing.cpp.o"
+  "CMakeFiles/orion_flowsim.dir/src/routing.cpp.o.d"
+  "CMakeFiles/orion_flowsim.dir/src/sampler.cpp.o"
+  "CMakeFiles/orion_flowsim.dir/src/sampler.cpp.o.d"
+  "CMakeFiles/orion_flowsim.dir/src/stream.cpp.o"
+  "CMakeFiles/orion_flowsim.dir/src/stream.cpp.o.d"
+  "CMakeFiles/orion_flowsim.dir/src/user_traffic.cpp.o"
+  "CMakeFiles/orion_flowsim.dir/src/user_traffic.cpp.o.d"
+  "liborion_flowsim.a"
+  "liborion_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_impact.dir/src/blocklist.cpp.o"
+  "CMakeFiles/orion_impact.dir/src/blocklist.cpp.o.d"
+  "CMakeFiles/orion_impact.dir/src/flow_join.cpp.o"
+  "CMakeFiles/orion_impact.dir/src/flow_join.cpp.o.d"
+  "CMakeFiles/orion_impact.dir/src/stream_join.cpp.o"
+  "CMakeFiles/orion_impact.dir/src/stream_join.cpp.o.d"
+  "liborion_impact.a"
+  "liborion_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

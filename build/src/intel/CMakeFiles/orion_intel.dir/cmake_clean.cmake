@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_intel.dir/src/acked.cpp.o"
+  "CMakeFiles/orion_intel.dir/src/acked.cpp.o.d"
+  "CMakeFiles/orion_intel.dir/src/greynoise.cpp.o"
+  "CMakeFiles/orion_intel.dir/src/greynoise.cpp.o.d"
+  "liborion_intel.a"
+  "liborion_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/src/checksum.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/checksum.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/checksum.cpp.o.d"
+  "/root/repo/src/netbase/src/ipv4.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/ipv4.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/ipv4.cpp.o.d"
+  "/root/repo/src/netbase/src/ipv6.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/ipv6.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/ipv6.cpp.o.d"
+  "/root/repo/src/netbase/src/prefix.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/prefix.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/prefix.cpp.o.d"
+  "/root/repo/src/netbase/src/rng.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/rng.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/rng.cpp.o.d"
+  "/root/repo/src/netbase/src/simtime.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/simtime.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/simtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

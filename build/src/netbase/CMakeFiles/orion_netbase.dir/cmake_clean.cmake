@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_netbase.dir/src/checksum.cpp.o"
+  "CMakeFiles/orion_netbase.dir/src/checksum.cpp.o.d"
+  "CMakeFiles/orion_netbase.dir/src/ipv4.cpp.o"
+  "CMakeFiles/orion_netbase.dir/src/ipv4.cpp.o.d"
+  "CMakeFiles/orion_netbase.dir/src/ipv6.cpp.o"
+  "CMakeFiles/orion_netbase.dir/src/ipv6.cpp.o.d"
+  "CMakeFiles/orion_netbase.dir/src/prefix.cpp.o"
+  "CMakeFiles/orion_netbase.dir/src/prefix.cpp.o.d"
+  "CMakeFiles/orion_netbase.dir/src/rng.cpp.o"
+  "CMakeFiles/orion_netbase.dir/src/rng.cpp.o.d"
+  "CMakeFiles/orion_netbase.dir/src/simtime.cpp.o"
+  "CMakeFiles/orion_netbase.dir/src/simtime.cpp.o.d"
+  "liborion_netbase.a"
+  "liborion_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/src/builder.cpp" "src/packet/CMakeFiles/orion_packet.dir/src/builder.cpp.o" "gcc" "src/packet/CMakeFiles/orion_packet.dir/src/builder.cpp.o.d"
+  "/root/repo/src/packet/src/fingerprint.cpp" "src/packet/CMakeFiles/orion_packet.dir/src/fingerprint.cpp.o" "gcc" "src/packet/CMakeFiles/orion_packet.dir/src/fingerprint.cpp.o.d"
+  "/root/repo/src/packet/src/headers.cpp" "src/packet/CMakeFiles/orion_packet.dir/src/headers.cpp.o" "gcc" "src/packet/CMakeFiles/orion_packet.dir/src/headers.cpp.o.d"
+  "/root/repo/src/packet/src/packet.cpp" "src/packet/CMakeFiles/orion_packet.dir/src/packet.cpp.o" "gcc" "src/packet/CMakeFiles/orion_packet.dir/src/packet.cpp.o.d"
+  "/root/repo/src/packet/src/pcap.cpp" "src/packet/CMakeFiles/orion_packet.dir/src/pcap.cpp.o" "gcc" "src/packet/CMakeFiles/orion_packet.dir/src/pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_packet.dir/src/builder.cpp.o"
+  "CMakeFiles/orion_packet.dir/src/builder.cpp.o.d"
+  "CMakeFiles/orion_packet.dir/src/fingerprint.cpp.o"
+  "CMakeFiles/orion_packet.dir/src/fingerprint.cpp.o.d"
+  "CMakeFiles/orion_packet.dir/src/headers.cpp.o"
+  "CMakeFiles/orion_packet.dir/src/headers.cpp.o.d"
+  "CMakeFiles/orion_packet.dir/src/packet.cpp.o"
+  "CMakeFiles/orion_packet.dir/src/packet.cpp.o.d"
+  "CMakeFiles/orion_packet.dir/src/pcap.cpp.o"
+  "CMakeFiles/orion_packet.dir/src/pcap.cpp.o.d"
+  "liborion_packet.a"
+  "liborion_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_report.dir/src/table.cpp.o"
+  "CMakeFiles/orion_report.dir/src/table.cpp.o.d"
+  "liborion_report.a"
+  "liborion_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

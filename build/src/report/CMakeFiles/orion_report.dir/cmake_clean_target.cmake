@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborion_report.a"
+)

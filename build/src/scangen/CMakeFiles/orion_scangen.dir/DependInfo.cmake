@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scangen/src/arrivals.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/arrivals.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/arrivals.cpp.o.d"
+  "/root/repo/src/scangen/src/event_synth.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/event_synth.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/event_synth.cpp.o.d"
+  "/root/repo/src/scangen/src/noise.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/noise.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/noise.cpp.o.d"
+  "/root/repo/src/scangen/src/packet_gen.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/packet_gen.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/packet_gen.cpp.o.d"
+  "/root/repo/src/scangen/src/population.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/population.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/population.cpp.o.d"
+  "/root/repo/src/scangen/src/ports.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/ports.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/ports.cpp.o.d"
+  "/root/repo/src/scangen/src/scenario.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/scenario.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/scenario.cpp.o.d"
+  "/root/repo/src/scangen/src/target_sampler.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/target_sampler.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/target_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/orion_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/orion_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/orion_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/orion_telescope.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_scangen.dir/src/arrivals.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/arrivals.cpp.o.d"
+  "CMakeFiles/orion_scangen.dir/src/event_synth.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/event_synth.cpp.o.d"
+  "CMakeFiles/orion_scangen.dir/src/noise.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/noise.cpp.o.d"
+  "CMakeFiles/orion_scangen.dir/src/packet_gen.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/packet_gen.cpp.o.d"
+  "CMakeFiles/orion_scangen.dir/src/population.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/population.cpp.o.d"
+  "CMakeFiles/orion_scangen.dir/src/ports.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/ports.cpp.o.d"
+  "CMakeFiles/orion_scangen.dir/src/scenario.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/scenario.cpp.o.d"
+  "CMakeFiles/orion_scangen.dir/src/target_sampler.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/target_sampler.cpp.o.d"
+  "liborion_scangen.a"
+  "liborion_scangen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_scangen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

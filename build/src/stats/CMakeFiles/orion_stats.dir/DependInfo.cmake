@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/src/coverage.cpp" "src/stats/CMakeFiles/orion_stats.dir/src/coverage.cpp.o" "gcc" "src/stats/CMakeFiles/orion_stats.dir/src/coverage.cpp.o.d"
+  "/root/repo/src/stats/src/ecdf.cpp" "src/stats/CMakeFiles/orion_stats.dir/src/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/orion_stats.dir/src/ecdf.cpp.o.d"
+  "/root/repo/src/stats/src/hyperloglog.cpp" "src/stats/CMakeFiles/orion_stats.dir/src/hyperloglog.cpp.o" "gcc" "src/stats/CMakeFiles/orion_stats.dir/src/hyperloglog.cpp.o.d"
+  "/root/repo/src/stats/src/p2_quantile.cpp" "src/stats/CMakeFiles/orion_stats.dir/src/p2_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/orion_stats.dir/src/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/src/timeseries.cpp" "src/stats/CMakeFiles/orion_stats.dir/src/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/orion_stats.dir/src/timeseries.cpp.o.d"
+  "/root/repo/src/stats/src/zipf.cpp" "src/stats/CMakeFiles/orion_stats.dir/src/zipf.cpp.o" "gcc" "src/stats/CMakeFiles/orion_stats.dir/src/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

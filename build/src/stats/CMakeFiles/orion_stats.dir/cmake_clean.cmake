@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_stats.dir/src/coverage.cpp.o"
+  "CMakeFiles/orion_stats.dir/src/coverage.cpp.o.d"
+  "CMakeFiles/orion_stats.dir/src/ecdf.cpp.o"
+  "CMakeFiles/orion_stats.dir/src/ecdf.cpp.o.d"
+  "CMakeFiles/orion_stats.dir/src/hyperloglog.cpp.o"
+  "CMakeFiles/orion_stats.dir/src/hyperloglog.cpp.o.d"
+  "CMakeFiles/orion_stats.dir/src/p2_quantile.cpp.o"
+  "CMakeFiles/orion_stats.dir/src/p2_quantile.cpp.o.d"
+  "CMakeFiles/orion_stats.dir/src/timeseries.cpp.o"
+  "CMakeFiles/orion_stats.dir/src/timeseries.cpp.o.d"
+  "CMakeFiles/orion_stats.dir/src/zipf.cpp.o"
+  "CMakeFiles/orion_stats.dir/src/zipf.cpp.o.d"
+  "liborion_stats.a"
+  "liborion_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

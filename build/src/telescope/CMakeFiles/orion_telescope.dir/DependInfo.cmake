@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telescope/src/aggregator.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/aggregator.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/aggregator.cpp.o.d"
+  "/root/repo/src/telescope/src/capture.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/capture.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/capture.cpp.o.d"
+  "/root/repo/src/telescope/src/event.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/event.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/event.cpp.o.d"
+  "/root/repo/src/telescope/src/store.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/store.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/store.cpp.o.d"
+  "/root/repo/src/telescope/src/timeout.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/timeout.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/timeout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/orion_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/orion_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

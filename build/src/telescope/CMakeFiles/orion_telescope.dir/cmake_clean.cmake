@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_telescope.dir/src/aggregator.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/aggregator.cpp.o.d"
+  "CMakeFiles/orion_telescope.dir/src/capture.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/capture.cpp.o.d"
+  "CMakeFiles/orion_telescope.dir/src/event.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/event.cpp.o.d"
+  "CMakeFiles/orion_telescope.dir/src/store.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/store.cpp.o.d"
+  "CMakeFiles/orion_telescope.dir/src/timeout.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/timeout.cpp.o.d"
+  "liborion_telescope.a"
+  "liborion_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_v6.dir/src/detect6.cpp.o"
+  "CMakeFiles/orion_v6.dir/src/detect6.cpp.o.d"
+  "CMakeFiles/orion_v6.dir/src/hitlist.cpp.o"
+  "CMakeFiles/orion_v6.dir/src/hitlist.cpp.o.d"
+  "CMakeFiles/orion_v6.dir/src/scanner6.cpp.o"
+  "CMakeFiles/orion_v6.dir/src/scanner6.cpp.o.d"
+  "liborion_v6.a"
+  "liborion_v6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_v6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charact_test.dir/charact_test.cpp.o"
+  "CMakeFiles/charact_test.dir/charact_test.cpp.o.d"
+  "charact_test"
+  "charact_test.pdb"
+  "charact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scangen_test.dir/scangen_test.cpp.o"
+  "CMakeFiles/scangen_test.dir/scangen_test.cpp.o.d"
+  "scangen_test"
+  "scangen_test.pdb"
+  "scangen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scangen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

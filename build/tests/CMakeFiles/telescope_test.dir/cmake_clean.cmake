@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_test.dir/telescope_test.cpp.o"
+  "CMakeFiles/telescope_test.dir/telescope_test.cpp.o.d"
+  "telescope_test"
+  "telescope_test.pdb"
+  "telescope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

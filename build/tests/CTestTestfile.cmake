@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/netbase_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/asdb_test[1]_include.cmake")
+include("/root/repo/build/tests/scangen_test[1]_include.cmake")
+include("/root/repo/build/tests/telescope_test[1]_include.cmake")
+include("/root/repo/build/tests/flowsim_test[1]_include.cmake")
+include("/root/repo/build/tests/intel_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/impact_test[1]_include.cmake")
+include("/root/repo/build/tests/charact_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/v6_test[1]_include.cmake")
