@@ -1,0 +1,121 @@
+// Microbenchmarks for the fault-tolerance layer: what the hardening
+// costs. ResilientIngest's reorder buffer sits on the per-packet hot
+// path of a live deployment, so its overhead vs a direct aggregator
+// feed matters; checkpoint snapshot/restore runs once per published
+// day, so what matters there is absolute latency at realistic live-
+// table sizes.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "orion/packet/builder.hpp"
+#include "orion/scangen/fault.hpp"
+#include "orion/telescope/capture.hpp"
+#include "orion/telescope/checkpoint.hpp"
+#include "orion/telescope/ingest.hpp"
+
+namespace {
+
+using namespace orion;
+
+net::PrefixSet dark_space() {
+  return net::PrefixSet({*net::Prefix::parse("198.18.0.0/17")});
+}
+
+std::vector<pkt::Packet> make_stream(std::size_t count, std::size_t sources) {
+  std::vector<pkt::Packet> packets;
+  packets.reserve(count);
+  net::Rng rng(1);
+  const net::PrefixSet space = dark_space();
+  std::vector<pkt::ProbeBuilder> builders;
+  for (std::size_t s = 0; s < sources; ++s) {
+    builders.emplace_back(net::Ipv4Address(0x0B000000u + (std::uint32_t)s),
+                          pkt::ScanTool::ZMap, net::Rng(s));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::SimTime t =
+        net::SimTime::at(net::Duration::millis((std::int64_t)i));
+    packets.push_back(builders[i % sources].tcp_syn(
+        t, space.address_at(rng.bounded(space.total_addresses())), 6379));
+  }
+  return packets;
+}
+
+// Baseline: the unhardened path, packets straight into the capture.
+void BM_IngestDirect(benchmark::State& state) {
+  const auto packets = make_stream(1 << 14, 64);
+  for (auto _ : state) {
+    telescope::TelescopeCapture capture(dark_space(), {});
+    for (const pkt::Packet& p : packets) capture.observe(p);
+    benchmark::DoNotOptimize(capture.packets_captured());
+  }
+  state.SetItemsProcessed(state.iterations() * packets.size());
+}
+BENCHMARK(BM_IngestDirect)->Unit(benchmark::kMillisecond);
+
+// The hardened path on a clean, in-order stream — the common case a
+// live deployment pays for on every packet.
+void BM_IngestHardenedInOrder(benchmark::State& state) {
+  const auto packets = make_stream(1 << 14, 64);
+  for (auto _ : state) {
+    telescope::TelescopeCapture capture(dark_space(), {});
+    telescope::ResilientIngest ingest(
+        {}, [&](const pkt::Packet& p) { capture.observe(p); });
+    for (const pkt::Packet& p : packets) ingest.observe(p);
+    ingest.finish();
+    benchmark::DoNotOptimize(capture.packets_captured());
+  }
+  state.SetItemsProcessed(state.iterations() * packets.size());
+}
+BENCHMARK(BM_IngestHardenedInOrder)->Unit(benchmark::kMillisecond);
+
+// The hardened path under injected faults (drop/dup/reorder/regress/
+// corrupt) — the degraded case, including injector overhead.
+void BM_IngestHardenedFaulted(benchmark::State& state) {
+  const auto packets = make_stream(1 << 14, 64);
+  scangen::FaultConfig faults;
+  faults.drop_prob = 0.02;
+  faults.duplicate_prob = 0.02;
+  faults.reorder_prob = 0.1;
+  faults.regression_prob = 0.01;
+  faults.corrupt_prob = 0.02;
+  for (auto _ : state) {
+    telescope::TelescopeCapture capture(dark_space(), {});
+    telescope::ResilientIngest ingest(
+        {}, [&](const pkt::Packet& p) { capture.observe(p); });
+    scangen::FaultInjector injector(packets, faults);
+    while (auto p = injector.next()) ingest.observe(*p);
+    ingest.finish();
+    benchmark::DoNotOptimize(capture.packets_captured());
+  }
+  state.SetItemsProcessed(state.iterations() * packets.size());
+}
+BENCHMARK(BM_IngestHardenedFaulted)->Unit(benchmark::kMillisecond);
+
+// Snapshot + restore latency with a populated live-event table (one
+// live event per source), the once-per-published-day cost.
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  const auto sources = static_cast<std::size_t>(state.range(0));
+  const auto packets = make_stream(sources * 8, sources);
+  telescope::TelescopeCapture capture(dark_space(), {});
+  for (const pkt::Packet& p : packets) capture.observe(p);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    telescope::CheckpointWriter writer;
+    capture.checkpoint(writer);
+    std::stringstream file;
+    bytes = writer.finish(file);
+    telescope::TelescopeCapture restored(dark_space(), {});
+    telescope::CheckpointReader reader(file);
+    restored.restore(reader);
+    benchmark::DoNotOptimize(restored.packets_captured());
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_CheckpointRoundTrip)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_faulttol.cpp" "bench/CMakeFiles/bench_faulttol.dir/bench_faulttol.cpp.o" "gcc" "bench/CMakeFiles/bench_faulttol.dir/bench_faulttol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/v6/CMakeFiles/orion_v6.dir/DependInfo.cmake"
+  "/root/repo/build/src/impact/CMakeFiles/orion_impact.dir/DependInfo.cmake"
+  "/root/repo/build/src/charact/CMakeFiles/orion_charact.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/orion_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/orion_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/orion_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scangen/CMakeFiles/orion_scangen.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/orion_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/orion_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/orion_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/orion_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/orion_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_faulttol.dir/bench_faulttol.cpp.o"
+  "CMakeFiles/bench_faulttol.dir/bench_faulttol.cpp.o.d"
+  "bench_faulttol"
+  "bench_faulttol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faulttol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -162,5 +162,7 @@ src/detect/CMakeFiles/orion_detect.dir/src/streaming.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/stdexcept \
- /root/repo/src/stats/include/orion/stats/ecdf.hpp
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/stdexcept \
+ /root/repo/src/stats/include/orion/stats/ecdf.hpp \
+ /root/repo/src/telescope/include/orion/telescope/checkpoint.hpp

@@ -61,6 +61,7 @@ src/flowsim/CMakeFiles/orion_flowsim.dir/src/stream.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/flowsim/include/orion/flowsim/user_traffic.hpp \
  /root/repo/src/netbase/include/orion/netbase/rng.hpp \
+ /usr/include/c++/12/array \
  /root/repo/src/netbase/include/orion/netbase/simtime.hpp \
  /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/netbase/src/checksum.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/checksum.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/checksum.cpp.o.d"
+  "/root/repo/src/netbase/src/crc32.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/crc32.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/crc32.cpp.o.d"
   "/root/repo/src/netbase/src/ipv4.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/ipv4.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/ipv4.cpp.o.d"
   "/root/repo/src/netbase/src/ipv6.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/ipv6.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/ipv6.cpp.o.d"
   "/root/repo/src/netbase/src/prefix.cpp" "src/netbase/CMakeFiles/orion_netbase.dir/src/prefix.cpp.o" "gcc" "src/netbase/CMakeFiles/orion_netbase.dir/src/prefix.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/orion_netbase.dir/src/checksum.cpp.o"
   "CMakeFiles/orion_netbase.dir/src/checksum.cpp.o.d"
+  "CMakeFiles/orion_netbase.dir/src/crc32.cpp.o"
+  "CMakeFiles/orion_netbase.dir/src/crc32.cpp.o.d"
   "CMakeFiles/orion_netbase.dir/src/ipv4.cpp.o"
   "CMakeFiles/orion_netbase.dir/src/ipv4.cpp.o.d"
   "CMakeFiles/orion_netbase.dir/src/ipv6.cpp.o"

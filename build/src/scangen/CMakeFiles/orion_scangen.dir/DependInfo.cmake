@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/scangen/src/arrivals.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/arrivals.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/arrivals.cpp.o.d"
   "/root/repo/src/scangen/src/event_synth.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/event_synth.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/event_synth.cpp.o.d"
+  "/root/repo/src/scangen/src/fault.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/fault.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/fault.cpp.o.d"
   "/root/repo/src/scangen/src/noise.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/noise.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/noise.cpp.o.d"
   "/root/repo/src/scangen/src/packet_gen.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/packet_gen.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/packet_gen.cpp.o.d"
   "/root/repo/src/scangen/src/population.cpp" "src/scangen/CMakeFiles/orion_scangen.dir/src/population.cpp.o" "gcc" "src/scangen/CMakeFiles/orion_scangen.dir/src/population.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/orion_scangen.dir/src/arrivals.cpp.o.d"
   "CMakeFiles/orion_scangen.dir/src/event_synth.cpp.o"
   "CMakeFiles/orion_scangen.dir/src/event_synth.cpp.o.d"
+  "CMakeFiles/orion_scangen.dir/src/fault.cpp.o"
+  "CMakeFiles/orion_scangen.dir/src/fault.cpp.o.d"
   "CMakeFiles/orion_scangen.dir/src/noise.cpp.o"
   "CMakeFiles/orion_scangen.dir/src/noise.cpp.o.d"
   "CMakeFiles/orion_scangen.dir/src/packet_gen.cpp.o"

@@ -60,9 +60,10 @@ src/scangen/CMakeFiles/orion_scangen.dir/src/noise.cpp.o: \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/netbase/include/orion/netbase/rng.hpp \
+ /usr/include/c++/12/array \
  /root/repo/src/telescope/include/orion/telescope/event.hpp \
- /usr/include/c++/12/array /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \

@@ -10,7 +10,11 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/telescope/src/aggregator.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/aggregator.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/aggregator.cpp.o.d"
   "/root/repo/src/telescope/src/capture.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/capture.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/capture.cpp.o.d"
+  "/root/repo/src/telescope/src/checkpoint.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/checkpoint.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/checkpoint.cpp.o.d"
   "/root/repo/src/telescope/src/event.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/event.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/event.cpp.o.d"
+  "/root/repo/src/telescope/src/health.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/health.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/health.cpp.o.d"
+  "/root/repo/src/telescope/src/ingest.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/ingest.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/ingest.cpp.o.d"
+  "/root/repo/src/telescope/src/reorder.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/reorder.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/reorder.cpp.o.d"
   "/root/repo/src/telescope/src/store.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/store.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/store.cpp.o.d"
   "/root/repo/src/telescope/src/timeout.cpp" "src/telescope/CMakeFiles/orion_telescope.dir/src/timeout.cpp.o" "gcc" "src/telescope/CMakeFiles/orion_telescope.dir/src/timeout.cpp.o.d"
   )

@@ -3,8 +3,16 @@ file(REMOVE_RECURSE
   "CMakeFiles/orion_telescope.dir/src/aggregator.cpp.o.d"
   "CMakeFiles/orion_telescope.dir/src/capture.cpp.o"
   "CMakeFiles/orion_telescope.dir/src/capture.cpp.o.d"
+  "CMakeFiles/orion_telescope.dir/src/checkpoint.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/checkpoint.cpp.o.d"
   "CMakeFiles/orion_telescope.dir/src/event.cpp.o"
   "CMakeFiles/orion_telescope.dir/src/event.cpp.o.d"
+  "CMakeFiles/orion_telescope.dir/src/health.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/health.cpp.o.d"
+  "CMakeFiles/orion_telescope.dir/src/ingest.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/ingest.cpp.o.d"
+  "CMakeFiles/orion_telescope.dir/src/reorder.cpp.o"
+  "CMakeFiles/orion_telescope.dir/src/reorder.cpp.o.d"
   "CMakeFiles/orion_telescope.dir/src/store.cpp.o"
   "CMakeFiles/orion_telescope.dir/src/store.cpp.o.d"
   "CMakeFiles/orion_telescope.dir/src/timeout.cpp.o"

@@ -153,4 +153,5 @@ src/telescope/CMakeFiles/orion_telescope.dir/src/aggregator.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/packet/include/orion/packet/headers.hpp \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/telescope/include/orion/telescope/checkpoint.hpp

@@ -157,4 +157,5 @@ src/telescope/CMakeFiles/orion_telescope.dir/src/capture.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/stdexcept \
+ /root/repo/src/telescope/include/orion/telescope/checkpoint.hpp

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faulttol_test.cpp" "tests/CMakeFiles/faulttol_test.dir/faulttol_test.cpp.o" "gcc" "tests/CMakeFiles/faulttol_test.dir/faulttol_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scangen/CMakeFiles/orion_scangen.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/orion_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/orion_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/orion_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/orion_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/orion_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/orion_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faulttol_test.dir/faulttol_test.cpp.o"
+  "CMakeFiles/faulttol_test.dir/faulttol_test.cpp.o.d"
+  "faulttol_test"
+  "faulttol_test.pdb"
+  "faulttol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faulttol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -19,3 +19,4 @@ include("/root/repo/build/tests/report_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/v6_test[1]_include.cmake")
+include("/root/repo/build/tests/faulttol_test[1]_include.cmake")

@@ -3,33 +3,90 @@
 // thresholds calibrated only on past data — the deployment mode behind
 // the paper's plan to share daily scanner lists with the community.
 //
+// Fault tolerance: --checkpoint FILE snapshots the detector (versioned,
+// CRC-guarded "OCP1" format) every published day, and --resume FILE
+// restarts a killed deployment from the snapshot; the resumed run
+// publishes daily lists identical to an uninterrupted one.
+//
 //   $ ./live_monitor
+//   $ ./live_monitor --checkpoint /tmp/monitor.ocp          # crash...
+//   $ ./live_monitor --checkpoint /tmp/monitor.ocp --resume /tmp/monitor.ocp
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
 
 #include "orion/detect/list_diff.hpp"
 #include "orion/detect/streaming.hpp"
 #include "orion/report/table.hpp"
 #include "orion/scangen/event_synth.hpp"
 #include "orion/scangen/scenario.hpp"
+#include "orion/telescope/checkpoint.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace orion;
+
+  std::string checkpoint_path;
+  std::string resume_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
+    } else {
+      std::cerr << "usage: live_monitor [--checkpoint FILE] [--resume FILE]\n";
+      return 1;
+    }
+  }
 
   const scangen::Scenario scenario{scangen::tiny()};
   const auto events = scangen::synthesize_events(
       scenario.population_2021(),
       {.darknet_size = scenario.darknet().total_addresses(), .seed = 17});
-  std::cout << "replaying " << events.size()
-            << " darknet events through the online detector...\n\n";
 
   detect::StreamingConfig config;
   config.base = {.dispersion_threshold = scenario.config().def1_dispersion,
                  .packet_volume_alpha = scenario.config().def2_alpha,
                  .port_count_alpha = scenario.config().def3_alpha};
   config.warmup_samples = 500;
+  config.tolerate_late_events = true;  // live mode: fold, never throw
   detect::StreamingDetector detector(config,
                                      scenario.darknet().total_addresses());
+
+  // Resume from a snapshot: restore the detector, then skip the part of
+  // the (deterministic) feed it had already consumed.
+  std::size_t skip_events = 0;
+  if (!resume_path.empty()) {
+    std::ifstream in(resume_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open resume checkpoint: " << resume_path << "\n";
+      return 1;
+    }
+    try {
+      telescope::CheckpointReader reader(in);
+      detector.restore(reader);
+    } catch (const std::exception& err) {
+      std::cerr << "resume failed: " << err.what() << "\n";
+      return 1;
+    }
+    skip_events = static_cast<std::size_t>(detector.events_seen());
+    std::cout << "resumed from " << resume_path << " (" << skip_events
+              << " events already processed)\n";
+  }
+  std::cout << "replaying " << events.size() - skip_events
+            << " darknet events through the online detector...\n\n";
+
+  std::uint64_t checkpoints_written = 0;
+  const auto save_checkpoint = [&]() {
+    if (checkpoint_path.empty()) return;
+    telescope::CheckpointWriter writer;
+    detector.checkpoint(writer);
+    std::ofstream out(checkpoint_path, std::ios::binary | std::ios::trunc);
+    writer.finish(out);
+    ++checkpoints_written;
+  };
 
   report::Table table({"date", "status", "D1 new", "D2 new", "D3 new",
                        "D2 thresh (pkts)", "D3 thresh (ports)"});
@@ -45,10 +102,14 @@ int main() {
                    day.calibrated ? report::fmt_count(day.port_threshold) : "-"});
   };
 
-  for (const telescope::DarknetEvent& event : events) {
-    for (const auto& day : detector.observe(event)) record_day(day);
+  for (std::size_t i = skip_events; i < events.size(); ++i) {
+    const auto days = detector.observe(events[i]);
+    for (const auto& day : days) record_day(day);
+    // Snapshot at day boundaries: the natural publish-then-persist point.
+    if (!days.empty()) save_checkpoint();
   }
   if (const auto last = detector.finish()) record_day(*last);
+  save_checkpoint();
 
   std::cout << table.to_ascii() << "\n";
 
@@ -73,6 +134,11 @@ int main() {
             << detector.ips(detect::Definition::AddressDispersion).size()
             << ", D2 " << detector.ips(detect::Definition::PacketVolume).size()
             << ", D3 " << detector.ips(detect::Definition::DistinctPorts).size()
-            << " (from " << detector.events_seen() << " events)\n";
+            << " (from " << detector.events_seen() << " events, "
+            << detector.late_events_folded() << " late folded)\n";
+  if (checkpoints_written > 0) {
+    std::cout << "checkpoints written to " << checkpoint_path << ": "
+              << checkpoints_written << "\n";
+  }
   return 0;
 }

@@ -18,6 +18,11 @@
 #include "orion/stats/reservoir.hpp"
 #include "orion/telescope/event.hpp"
 
+namespace orion::telescope {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace orion::telescope
+
 namespace orion::detect {
 
 struct StreamingConfig {
@@ -28,6 +33,11 @@ struct StreamingConfig {
   /// (threshold estimates are garbage on a cold start).
   std::uint64_t warmup_samples = 5000;
   std::uint64_t seed = 71;
+  /// Live-deployment hardening: an event whose start day precedes the
+  /// open day is folded into the open day (and counted in
+  /// late_events_folded()) instead of throwing. Off by default — batch
+  /// replays of sorted datasets should still fail loudly on disorder.
+  bool tolerate_late_events = false;
 };
 
 /// One emitted day of results.
@@ -58,6 +68,17 @@ class StreamingDetector {
     return ips_[static_cast<std::size_t>(d)];
   }
   std::uint64_t events_seen() const { return events_seen_; }
+  /// Late events folded into the open day (tolerate_late_events mode).
+  std::uint64_t late_events_folded() const { return late_events_folded_; }
+
+  /// Snapshots the full detector state — reservoir ECDFs (including
+  /// their RNG positions), the open day's working sets, cumulative AH
+  /// sets — so a killed deployment resumes and publishes daily lists
+  /// identical to an uninterrupted run. Restore verifies the snapshot
+  /// was taken under the same configuration and darknet size
+  /// (std::runtime_error otherwise).
+  void checkpoint(telescope::CheckpointWriter& writer) const;
+  void restore(telescope::CheckpointReader& reader);
 
  private:
   void ingest_into_day(const telescope::DarknetEvent& event);
@@ -78,6 +99,7 @@ class StreamingDetector {
 
   std::array<IpSet, 3> ips_;
   std::uint64_t events_seen_ = 0;
+  std::uint64_t late_events_folded_ = 0;
 };
 
 }  // namespace orion::detect

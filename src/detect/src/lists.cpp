@@ -71,10 +71,17 @@ std::vector<DailyListEntry> read_daily_lists_csv(std::istream& in) {
     }
     // date = YYYY-MM-DD
     if (date.size() != 10 || date[4] != '-' || date[7] != '-') fail("bad date");
+    const auto date_field = [&](std::size_t pos, std::size_t len) {
+      int value = 0;
+      for (std::size_t i = pos; i < pos + len; ++i) {
+        if (date[i] < '0' || date[i] > '9') fail("bad date: " + date);
+        value = value * 10 + (date[i] - '0');
+      }
+      return value;
+    };
     DailyListEntry entry;
-    entry.day = net::day_index_of(std::stoi(date.substr(0, 4)),
-                                  std::stoi(date.substr(5, 2)),
-                                  std::stoi(date.substr(8, 2)));
+    entry.day = net::day_index_of(date_field(0, 4), date_field(5, 2),
+                                  date_field(8, 2));
     const auto ip = net::Ipv4Address::parse(ip_text);
     if (!ip) fail("bad IP: " + ip_text);
     entry.ip = *ip;

@@ -1,11 +1,57 @@
 #include "orion/detect/streaming.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "orion/stats/ecdf.hpp"
+#include "orion/telescope/checkpoint.hpp"
 
 namespace orion::detect {
+
+namespace {
+
+constexpr std::uint64_t kDetectorTag = telescope::checkpoint_tag('S', 'D', 'T', '1');
+
+void put_reservoir(telescope::CheckpointWriter& w,
+                   const stats::ReservoirSampler<std::uint64_t>& sampler) {
+  w.u64(sampler.seen());
+  for (const std::uint64_t word : sampler.rng_state()) w.u64(word);
+  w.u64(sampler.sample().size());
+  for (const std::uint64_t v : sampler.sample()) w.u64(v);
+}
+
+void get_reservoir(telescope::CheckpointReader& r,
+                   stats::ReservoirSampler<std::uint64_t>& sampler) {
+  const std::uint64_t seen = r.u64("reservoir seen");
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = r.u64("reservoir rng");
+  const std::uint64_t size = r.u64("reservoir size");
+  if (size > sampler.capacity()) {
+    throw std::runtime_error("checkpoint: reservoir sample over capacity");
+  }
+  std::vector<std::uint64_t> sample;
+  sample.reserve(static_cast<std::size_t>(size));
+  for (std::uint64_t i = 0; i < size; ++i) sample.push_back(r.u64("reservoir value"));
+  sampler.restore(seen, std::move(sample), rng_state);
+}
+
+void put_ip_set(telescope::CheckpointWriter& w, const IpSet& ips) {
+  w.u64(ips.size());
+  for (const net::Ipv4Address ip : ips) w.u64(ip.value());
+}
+
+IpSet get_ip_set(telescope::CheckpointReader& r) {
+  const std::uint64_t count = r.u64("ip set size");
+  IpSet ips;
+  ips.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ips.insert(net::Ipv4Address(static_cast<std::uint32_t>(r.u64("ip"))));
+  }
+  return ips;
+}
+
+}  // namespace
 
 StreamingDetector::StreamingDetector(StreamingConfig config,
                                      std::uint64_t darknet_size)
@@ -23,8 +69,16 @@ std::vector<StreamingDayResult> StreamingDetector::observe(
   std::vector<StreamingDayResult> out;
   const std::int64_t day = event.day();
   if (day_open_ && day < current_day_) {
-    throw std::invalid_argument(
-        "StreamingDetector::observe: events must be day-ordered");
+    if (!config_.tolerate_late_events) {
+      throw std::invalid_argument(
+          "StreamingDetector::observe: events must be day-ordered");
+    }
+    // Hardened live mode: the late event's day already closed (its list
+    // may be published). Fold it into the open day — its samples still
+    // feed the rolling ECDFs — and account for the redirect.
+    ++late_events_folded_;
+    ingest_into_day(event);
+    return out;
   }
   if (!day_open_) {
     current_day_ = day;
@@ -101,6 +155,86 @@ std::optional<StreamingDayResult> StreamingDetector::finish() {
   if (!day_open_) return std::nullopt;
   day_open_ = false;
   return close_day();
+}
+
+void StreamingDetector::checkpoint(telescope::CheckpointWriter& writer) const {
+  writer.tag(kDetectorTag);
+  // Configuration echo, verified on restore: resuming under different
+  // thresholds or reservoir parameters would silently change the lists.
+  writer.f64(config_.base.dispersion_threshold);
+  writer.f64(config_.base.packet_volume_alpha);
+  writer.f64(config_.base.port_count_alpha);
+  writer.u64(config_.ecdf_reservoir);
+  writer.u64(config_.warmup_samples);
+  writer.u64(config_.seed);
+  writer.u64(darknet_size_);
+  put_reservoir(writer, packet_samples_);
+  put_reservoir(writer, port_samples_);
+  writer.u8(day_open_ ? 1 : 0);
+  writer.i64(current_day_);
+  for (const auto& daily : day_daily_) put_ip_set(writer, daily);
+  writer.u64(day_ports_.size());
+  for (const auto& [src, ports] : day_ports_) {
+    writer.u64(src.value());
+    writer.u64(ports.size());
+    for (const std::uint16_t port : ports) writer.u64(port);
+  }
+  writer.u64(day_best_packets_.size());
+  for (const auto& [src, packets] : day_best_packets_) {
+    writer.u64(src.value());
+    writer.u64(packets);
+  }
+  for (const IpSet& ips : ips_) put_ip_set(writer, ips);
+  writer.u64(events_seen_);
+  writer.u64(late_events_folded_);
+}
+
+void StreamingDetector::restore(telescope::CheckpointReader& reader) {
+  reader.expect_tag(kDetectorTag, "StreamingDetector");
+  const bool config_matches =
+      std::bit_cast<std::uint64_t>(reader.f64("dispersion threshold")) ==
+          std::bit_cast<std::uint64_t>(config_.base.dispersion_threshold) &&
+      std::bit_cast<std::uint64_t>(reader.f64("packet alpha")) ==
+          std::bit_cast<std::uint64_t>(config_.base.packet_volume_alpha) &&
+      std::bit_cast<std::uint64_t>(reader.f64("port alpha")) ==
+          std::bit_cast<std::uint64_t>(config_.base.port_count_alpha) &&
+      reader.u64("reservoir capacity") == config_.ecdf_reservoir &&
+      reader.u64("warmup samples") == config_.warmup_samples &&
+      reader.u64("seed") == config_.seed;
+  if (!config_matches) {
+    throw std::runtime_error(
+        "checkpoint: StreamingDetector configuration mismatch");
+  }
+  if (reader.u64("darknet size") != darknet_size_) {
+    throw std::runtime_error("checkpoint: StreamingDetector darknet mismatch");
+  }
+  get_reservoir(reader, packet_samples_);
+  get_reservoir(reader, port_samples_);
+  day_open_ = reader.u8("day open") != 0;
+  current_day_ = reader.i64("current day");
+  for (auto& daily : day_daily_) daily = get_ip_set(reader);
+  const std::uint64_t port_sources = reader.u64("port source count");
+  day_ports_.clear();
+  day_ports_.reserve(static_cast<std::size_t>(port_sources));
+  for (std::uint64_t i = 0; i < port_sources; ++i) {
+    const net::Ipv4Address src(static_cast<std::uint32_t>(reader.u64("port source")));
+    const std::uint64_t port_count = reader.u64("port count");
+    auto& ports = day_ports_[src];
+    ports.reserve(static_cast<std::size_t>(port_count));
+    for (std::uint64_t p = 0; p < port_count; ++p) {
+      ports.insert(static_cast<std::uint16_t>(reader.u64("port")));
+    }
+  }
+  const std::uint64_t best_sources = reader.u64("best source count");
+  day_best_packets_.clear();
+  day_best_packets_.reserve(static_cast<std::size_t>(best_sources));
+  for (std::uint64_t i = 0; i < best_sources; ++i) {
+    const net::Ipv4Address src(static_cast<std::uint32_t>(reader.u64("best source")));
+    day_best_packets_[src] = reader.u64("best packets");
+  }
+  for (IpSet& ips : ips_) ips = get_ip_set(reader);
+  events_seen_ = reader.u64("events seen");
+  late_events_folded_ = reader.u64("late events folded");
 }
 
 }  // namespace orion::detect

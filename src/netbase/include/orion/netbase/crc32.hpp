@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// guard on checkpoint snapshots and any other on-disk state the live
+// pipeline must be able to trust after a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace orion::net {
+
+/// Streaming CRC-32 accumulator. Feed byte ranges, then read value().
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  /// Final (complemented) CRC over everything fed so far. Reading the
+  /// value does not reset the accumulator.
+  std::uint32_t value() const { return ~state_; }
+
+  /// Convenience one-shot CRC over a buffer.
+  static std::uint32_t of(std::span<const std::uint8_t> data);
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace orion::net

@@ -6,6 +6,7 @@
 // scenario seeds reproduce bit-identically everywhere.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace orion::net {
@@ -55,6 +56,15 @@ class Rng {
 
   /// True with probability p.
   bool chance(double p) { return uniform() < p; }
+
+  /// Checkpoint support: the raw xoshiro state, so a restored generator
+  /// continues the exact sequence the snapshotted one would have produced.
+  std::array<std::uint64_t, 4> save_state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void restore_state(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   std::uint64_t state_[4];

@@ -1,0 +1,39 @@
+#include "orion/netbase/crc32.hpp"
+
+#include <array>
+
+namespace orion::net {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  std::uint32_t c = state_;
+  for (const std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t Crc32::of(std::span<const std::uint8_t> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace orion::net

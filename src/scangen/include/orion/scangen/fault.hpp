@@ -1,0 +1,86 @@
+// Deterministic fault injection for the live pipeline: wraps any packet
+// stream and perturbs it with the failure modes real telescope feeds
+// exhibit — loss, duplication, bounded reordering, timestamp
+// regressions, field corruption. Every fault is seeded (bit-identical
+// across runs), composable (one packet can take several faults), and
+// tallied, so the hardening property tests can assert that the pipeline
+// survives and that its health counters account for every injected
+// fault.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "orion/netbase/rng.hpp"
+#include "orion/netbase/simtime.hpp"
+#include "orion/packet/packet.hpp"
+
+namespace orion::scangen {
+
+struct FaultConfig {
+  std::uint64_t seed = 99;
+  /// Per-packet probabilities; independent rolls, so faults compose.
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double reorder_prob = 0.0;
+  double regression_prob = 0.0;
+  double corrupt_prob = 0.0;
+  /// A reordered packet is withheld and re-emitted after newer packets,
+  /// but never delayed past this bound — the jitter window a hardened
+  /// ingest must absorb.
+  net::Duration reorder_hold = net::Duration::seconds(2);
+  /// How far a regressed timestamp jumps backwards (typically far beyond
+  /// any sane reorder window, exercising the quarantine path).
+  net::Duration regression_jump = net::Duration::seconds(30);
+};
+
+struct FaultStats {
+  std::uint64_t input = 0;    // packets pulled from upstream
+  std::uint64_t emitted = 0;  // packets handed downstream
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;  // extra copies emitted
+  std::uint64_t reordered = 0;
+  std::uint64_t regressed = 0;
+  std::uint64_t corrupted = 0;
+
+  /// Packet conservation: nothing vanishes except by declared drop,
+  /// nothing appears except by declared duplication.
+  bool conserved() const { return emitted == input - dropped + duplicated; }
+};
+
+class FaultInjector {
+ public:
+  using Source = std::function<std::optional<pkt::Packet>()>;
+
+  FaultInjector(Source upstream, FaultConfig config);
+  /// Convenience: inject over a pre-built packet vector.
+  FaultInjector(std::vector<pkt::Packet> packets, FaultConfig config);
+
+  /// Next (possibly faulted) packet; nullopt once upstream is drained
+  /// and every withheld packet has been released.
+  std::optional<pkt::Packet> next();
+
+  /// Drains the stream into a sink; returns packets delivered.
+  std::uint64_t run(const std::function<void(const pkt::Packet&)>& sink);
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  void pump();
+  void corrupt(pkt::Packet& packet);
+  void release_expired(net::SimTime now);
+
+  Source upstream_;
+  FaultConfig config_;
+  net::Rng rng_;
+  FaultStats stats_;
+  std::deque<pkt::Packet> out_;
+  /// Withheld (reordered) packets with their release deadlines.
+  std::vector<std::pair<net::SimTime, pkt::Packet>> held_;
+  bool upstream_done_ = false;
+};
+
+}  // namespace orion::scangen

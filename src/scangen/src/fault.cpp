@@ -1,0 +1,123 @@
+#include "orion/scangen/fault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace orion::scangen {
+
+FaultInjector::FaultInjector(Source upstream, FaultConfig config)
+    : upstream_(std::move(upstream)), config_(config), rng_(config.seed) {}
+
+FaultInjector::FaultInjector(std::vector<pkt::Packet> packets, FaultConfig config)
+    : FaultInjector(
+          [packets = std::move(packets), index = std::size_t{0}]() mutable
+          -> std::optional<pkt::Packet> {
+            if (index >= packets.size()) return std::nullopt;
+            return packets[index++];
+          },
+          config) {}
+
+void FaultInjector::corrupt(pkt::Packet& packet) {
+  // Flip one header field the classifier or fingerprinter reads; the
+  // packet stays structurally valid, its meaning silently changes — the
+  // kind of damage a flaky capture card or truncating tap produces.
+  switch (rng_.bounded(4)) {
+    case 0:
+      packet.tcp_flags = static_cast<std::uint8_t>(rng_.next());
+      break;
+    case 1:
+      packet.ip_id = static_cast<std::uint16_t>(rng_.next());
+      break;
+    case 2:
+      packet.ttl = static_cast<std::uint8_t>(rng_.next());
+      break;
+    default:
+      packet.tcp_seq = static_cast<std::uint32_t>(rng_.next());
+      break;
+  }
+}
+
+void FaultInjector::release_expired(net::SimTime now) {
+  // Withheld packets re-enter the stream once the clock passes their
+  // deadline — after newer packets already went out, i.e. reordered by
+  // at most reorder_hold.
+  for (std::size_t i = 0; i < held_.size();) {
+    if (held_[i].first <= now) {
+      out_.push_back(held_[i].second);
+      held_[i] = held_.back();
+      held_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void FaultInjector::pump() {
+  while (out_.empty() && !upstream_done_) {
+    std::optional<pkt::Packet> next = upstream_();
+    if (!next) {
+      upstream_done_ = true;
+      // End of stream: everything withheld is released, oldest first.
+      std::sort(held_.begin(), held_.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& [deadline, packet] : held_) out_.push_back(packet);
+      held_.clear();
+      break;
+    }
+    ++stats_.input;
+    pkt::Packet packet = *next;
+    const net::SimTime arrival = packet.timestamp;
+
+    if (rng_.chance(config_.drop_prob)) {
+      ++stats_.dropped;
+      release_expired(arrival);
+      continue;
+    }
+    if (rng_.chance(config_.corrupt_prob)) {
+      corrupt(packet);
+      ++stats_.corrupted;
+    }
+    if (rng_.chance(config_.regression_prob)) {
+      packet.timestamp = packet.timestamp - config_.regression_jump;
+      ++stats_.regressed;
+    }
+    const bool duplicate = rng_.chance(config_.duplicate_prob);
+    if (duplicate) ++stats_.duplicated;
+    if (rng_.chance(config_.reorder_prob)) {
+      // Withhold one copy; its duplicate (if any) goes out now, so a
+      // duplicated+reordered packet arrives twice, far apart.
+      const net::Duration hold = net::Duration::nanos(static_cast<std::int64_t>(
+          rng_.bounded(static_cast<std::uint64_t>(
+                           std::max<std::int64_t>(config_.reorder_hold.total_nanos(), 1))) +
+          1));
+      held_.emplace_back(arrival + hold, packet);
+      ++stats_.reordered;
+      if (duplicate) out_.push_back(packet);
+    } else {
+      out_.push_back(packet);
+      if (duplicate) out_.push_back(packet);
+    }
+    release_expired(arrival);
+  }
+}
+
+std::optional<pkt::Packet> FaultInjector::next() {
+  pump();
+  if (out_.empty()) return std::nullopt;
+  pkt::Packet packet = out_.front();
+  out_.pop_front();
+  ++stats_.emitted;
+  return packet;
+}
+
+std::uint64_t FaultInjector::run(
+    const std::function<void(const pkt::Packet&)>& sink) {
+  std::uint64_t delivered = 0;
+  while (auto packet = next()) {
+    sink(*packet);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace orion::scangen

@@ -21,6 +21,11 @@ class HyperLogLog {
   int precision() const { return precision_; }
   std::size_t memory_bytes() const { return registers_.size(); }
 
+  /// Checkpoint support: raw register access and restore. `set_registers`
+  /// throws std::invalid_argument if the size does not match 2^precision.
+  const std::vector<std::uint8_t>& registers() const { return registers_; }
+  void set_registers(std::vector<std::uint8_t> registers);
+
  private:
   int precision_;
   std::vector<std::uint8_t> registers_;
@@ -42,6 +47,14 @@ class CardinalityEstimator {
   /// Exact count while below the limit; HLL estimate afterwards.
   std::uint64_t estimate() const;
   bool is_exact() const { return !promoted_; }
+
+  /// Checkpoint support: expose and reinstate the full estimator state.
+  /// The restored estimator keeps this instance's limit and precision;
+  /// `restore` throws std::invalid_argument on a precision mismatch.
+  const std::unordered_set<std::uint64_t>& exact_keys() const { return exact_; }
+  const HyperLogLog& sketch() const { return sketch_; }
+  void restore(bool promoted, std::unordered_set<std::uint64_t> exact,
+               HyperLogLog sketch);
 
  private:
   std::size_t exact_limit_;

@@ -35,6 +35,16 @@ class ReservoirSampler {
   std::size_t capacity() const { return capacity_; }
   bool saturated() const { return sample_.size() == capacity_; }
 
+  /// Checkpoint support: a restored sampler continues the exact
+  /// keep/replace sequence the snapshotted one would have produced.
+  std::array<std::uint64_t, 4> rng_state() const { return rng_.save_state(); }
+  void restore(std::uint64_t seen, std::vector<T> sample,
+               const std::array<std::uint64_t, 4>& rng_state) {
+    seen_ = seen;
+    sample_ = std::move(sample);
+    rng_.restore_state(rng_state);
+  }
+
  private:
   std::size_t capacity_;
   net::Rng rng_;

@@ -52,6 +52,13 @@ double HyperLogLog::estimate() const {
   return raw;
 }
 
+void HyperLogLog::set_registers(std::vector<std::uint8_t> registers) {
+  if (registers.size() != (std::size_t{1} << precision_)) {
+    throw std::invalid_argument("HyperLogLog::set_registers: size mismatch");
+  }
+  registers_ = std::move(registers);
+}
+
 void HyperLogLog::merge(const HyperLogLog& other) {
   if (other.precision_ != precision_) {
     throw std::invalid_argument("HyperLogLog::merge: precision mismatch");
@@ -78,6 +85,18 @@ void CardinalityEstimator::add(std::uint64_t key) {
     exact_.clear();
     promoted_ = true;
   }
+}
+
+void CardinalityEstimator::restore(bool promoted,
+                                   std::unordered_set<std::uint64_t> exact,
+                                   HyperLogLog sketch) {
+  if (sketch.precision() != hll_precision_) {
+    throw std::invalid_argument(
+        "CardinalityEstimator::restore: precision mismatch");
+  }
+  promoted_ = promoted;
+  exact_ = std::move(exact);
+  sketch_ = std::move(sketch);
 }
 
 std::uint64_t CardinalityEstimator::estimate() const {

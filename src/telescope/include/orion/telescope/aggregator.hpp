@@ -11,6 +11,9 @@
 
 namespace orion::telescope {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 struct AggregatorConfig {
   /// Inactivity period after which an event is considered ended (see
   /// timeout.hpp for the derivation used by the scenarios).
@@ -60,6 +63,15 @@ class EventAggregator {
   std::size_t live_events() const { return live_.size(); }
   std::uint64_t darknet_size() const { return dark_space_.total_addresses(); }
 
+  /// Snapshots the full aggregator state (live-event table, per-event
+  /// cardinality estimators, counters, stream clock) so a killed process
+  /// resumes mid-capture. Restore verifies the snapshot was taken under
+  /// the same configuration and dark space (std::runtime_error
+  /// otherwise); the sink is NOT serialized — the restoring caller wires
+  /// its own.
+  void checkpoint(CheckpointWriter& writer) const;
+  void restore(CheckpointReader& reader);
+
  private:
   struct LiveEvent {
     net::SimTime start;
@@ -99,6 +111,8 @@ class EventCollector {
   }
   const std::vector<DarknetEvent>& events() const { return events_; }
   std::vector<DarknetEvent> take() { return std::move(events_); }
+  /// Checkpoint support: reinstates the pending-event backlog.
+  void restore(std::vector<DarknetEvent> events) { events_ = std::move(events); }
 
  private:
   std::vector<DarknetEvent> events_;

@@ -50,6 +50,12 @@ class TelescopeCapture {
   std::size_t unique_sources() const { return sources_.size(); }
   const EventAggregator& aggregator() const { return aggregator_; }
 
+  /// Snapshots the whole capture (aggregator state, collected-but-not-
+  /// taken events, source set, counters). A capture restored from the
+  /// snapshot finishes with a dataset identical to an uninterrupted run.
+  void checkpoint(CheckpointWriter& writer) const;
+  void restore(CheckpointReader& reader);
+
  private:
   EventCollector collector_;
   EventAggregator aggregator_;

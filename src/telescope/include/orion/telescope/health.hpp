@@ -1,0 +1,43 @@
+// Pipeline health accounting for the hardened live ingest path. Every
+// packet handed to the ingest stage ends up in exactly one terminal
+// counter, so operators (and the fault-injection property tests) can
+// verify that nothing is silently lost: ingested == delivered +
+// dropped_late + dropped_overflow + buffered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orion::telescope {
+
+struct PipelineHealth {
+  /// Packets handed to the ingest stage.
+  std::uint64_t ingested = 0;
+  /// Packets forwarded, in timestamp order, to the aggregator.
+  std::uint64_t delivered = 0;
+  /// Packets that arrived out of timestamp order but inside the jitter
+  /// window — absorbed by the reorder buffer and delivered in order.
+  std::uint64_t reordered = 0;
+  /// Quarantined: older than the delivery watermark (a regression beyond
+  /// the jitter window), impossible to deliver in order.
+  std::uint64_t dropped_late = 0;
+  /// Quarantined: the reorder buffer hit its hard bound and had to
+  /// advance the watermark past them.
+  std::uint64_t dropped_overflow = 0;
+  /// Packets currently held in the reorder buffer (terminal only until
+  /// finish() flushes them into delivered).
+  std::uint64_t buffered = 0;
+
+  std::uint64_t dropped() const { return dropped_late + dropped_overflow; }
+
+  /// Conservation check: true when every ingested packet is accounted
+  /// for in a terminal (or buffered) counter.
+  bool consistent() const {
+    return ingested == delivered + dropped_late + dropped_overflow + buffered;
+  }
+
+  /// One-line operator summary.
+  std::string to_string() const;
+};
+
+}  // namespace orion::telescope

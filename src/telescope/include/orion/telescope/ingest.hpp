@@ -1,0 +1,53 @@
+// Hardened live ingest: the fault-tolerant front door of the telescope
+// pipeline. Real capture feeds deliver jittered, occasionally regressed
+// timestamps; the aggregator demands a sorted stream and throws on a
+// violation. ResilientIngest sits between the two — a bounded reorder
+// buffer absorbs jitter up to the configured window, anything
+// undeliverable is quarantined (never thrown), and every packet is
+// accounted for in a PipelineHealth counter. Checkpoint/restore covers
+// the in-flight buffer, so a resumed pipeline replays held packets
+// exactly as the uninterrupted one would have.
+#pragma once
+
+#include <cstdint>
+
+#include "orion/telescope/health.hpp"
+#include "orion/telescope/reorder.hpp"
+
+namespace orion::telescope {
+
+class CheckpointReader;
+class CheckpointWriter;
+
+class ResilientIngest {
+ public:
+  /// Wraps an arbitrary in-order packet sink (usually
+  /// TelescopeCapture::observe or EventAggregator::observe). An optional
+  /// quarantine sink receives every dropped packet for offline triage.
+  ResilientIngest(ReorderConfig config, ReorderBuffer::Sink sink,
+                  ReorderBuffer::Sink quarantine = nullptr);
+
+  /// Never throws on disorder: absorbs, delivers, or quarantines.
+  void observe(const pkt::Packet& packet);
+
+  /// Flushes the reorder buffer (end of stream / before final snapshot).
+  void finish();
+
+  /// Live health counters; `buffered` reflects the current buffer depth.
+  const PipelineHealth& health() const;
+
+  /// Snapshots the in-flight buffer and counters. The downstream
+  /// aggregator/capture snapshots itself separately.
+  void checkpoint(CheckpointWriter& writer) const;
+  /// Restores buffer and counters; config must match the snapshot.
+  void restore(CheckpointReader& reader);
+
+ private:
+  ReorderConfig config_;
+  ReorderBuffer::Sink sink_;
+  ReorderBuffer::Sink quarantine_;
+  ReorderBuffer buffer_;
+  mutable PipelineHealth health_;
+};
+
+}  // namespace orion::telescope

@@ -1,0 +1,77 @@
+// Bounded reorder buffer: turns a jittered, near-sorted packet stream
+// into the strictly non-decreasing stream the event aggregator requires.
+// Packets are held until the stream clock has advanced past their
+// timestamp by the jitter window; anything older than the delivery
+// watermark when it arrives cannot be delivered in order and is handed
+// to the late-packet sink (quarantine) instead of throwing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "orion/netbase/simtime.hpp"
+#include "orion/packet/packet.hpp"
+
+namespace orion::telescope {
+
+struct ReorderConfig {
+  /// Maximum timestamp jitter absorbed: a packet may arrive up to this
+  /// long after a later-stamped packet and still be delivered in order.
+  net::Duration window = net::Duration::seconds(5);
+  /// Hard bound on held packets. When full, the oldest held packet is
+  /// force-delivered (raising the watermark), which may turn not-yet-
+  /// arrived stragglers into late drops — bounded memory wins.
+  std::size_t max_buffered = 65536;
+};
+
+class ReorderBuffer {
+ public:
+  using Sink = std::function<void(const pkt::Packet&)>;
+
+  /// Terminal classification of one push().
+  enum class Outcome {
+    Buffered,      // held, in-order so far
+    Reordered,     // held, arrived out of order but within the window
+    Late,          // beyond the jitter window: handed to the late sink
+    LateOverflow,  // inside the window, but the watermark was raised past
+                   // it by a forced overflow release: handed to the late
+                   // sink (reason = buffer pressure, not stream jitter)
+  };
+
+  ReorderBuffer(ReorderConfig config, Sink deliver, Sink late = nullptr);
+
+  Outcome push(const pkt::Packet& packet);
+
+  /// Delivers everything still held, in timestamp order (end of stream).
+  void flush();
+
+  std::size_t buffered() const { return heap_.size(); }
+  /// Packets force-delivered because the buffer hit max_buffered.
+  std::uint64_t overflow_releases() const { return overflow_releases_; }
+  net::SimTime watermark() const { return watermark_; }
+
+  /// Checkpoint support: the held packets (heap order, not sorted) and
+  /// the stream clock, so a restored buffer continues identically.
+  const std::vector<pkt::Packet>& held() const { return heap_; }
+  net::SimTime max_seen() const { return max_seen_; }
+  bool saw_packet() const { return saw_packet_; }
+  void restore_state(std::vector<pkt::Packet> held, net::SimTime max_seen,
+                     net::SimTime watermark, bool saw_packet,
+                     std::uint64_t overflow_releases);
+
+ private:
+  void drain();
+  pkt::Packet pop_oldest();
+
+  ReorderConfig config_;
+  Sink deliver_;
+  Sink late_;
+  std::vector<pkt::Packet> heap_;  // min-heap on timestamp
+  net::SimTime max_seen_ = net::SimTime::epoch();
+  net::SimTime watermark_ = net::SimTime::epoch();  // deliveries are >= this
+  bool saw_packet_ = false;
+  std::uint64_t overflow_releases_ = 0;
+};
+
+}  // namespace orion::telescope

@@ -3,7 +3,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "orion/telescope/checkpoint.hpp"
+
 namespace orion::telescope {
+
+namespace {
+
+constexpr std::uint64_t kAggregatorTag = checkpoint_tag('A', 'G', 'G', '1');
+
+}  // namespace
 
 EventAggregator::EventAggregator(net::PrefixSet dark_space,
                                  AggregatorConfig config, EventSink sink)
@@ -91,6 +99,114 @@ void EventAggregator::emit(const EventKey& key, const LiveEvent& live) {
   event.unique_dests = live.dests.estimate();
   ++events_emitted_;
   if (sink_) sink_(event);
+}
+
+void EventAggregator::checkpoint(CheckpointWriter& writer) const {
+  writer.tag(kAggregatorTag);
+  // Configuration echo: resuming under different parameters would
+  // silently change event delimitation, so restore() verifies these.
+  writer.i64(config_.timeout.total_nanos());
+  writer.u64(config_.exact_dest_limit);
+  writer.u64(static_cast<std::uint64_t>(config_.hll_precision));
+  writer.i64(config_.sweep_interval.total_nanos());
+  writer.u64(dark_space_.prefixes().size());
+  for (const net::Prefix& p : dark_space_.prefixes()) {
+    writer.u64(p.base().value());
+    writer.u64(static_cast<std::uint64_t>(p.length()));
+  }
+  // Stream clock and counters.
+  writer.u8(saw_packet_ ? 1 : 0);
+  writer.i64(last_timestamp_.since_epoch().total_nanos());
+  writer.i64(next_sweep_.since_epoch().total_nanos());
+  writer.u64(packets_seen_);
+  writer.u64(scanning_packets_);
+  writer.u64(ignored_out_of_space_);
+  writer.u64(ignored_non_scanning_);
+  writer.u64(events_emitted_);
+  // Live-event table.
+  writer.u64(live_.size());
+  for (const auto& [key, live] : live_) {
+    writer.u64(key.src.value());
+    writer.u64(key.dst_port);
+    writer.u8(static_cast<std::uint8_t>(key.type));
+    writer.i64(live.start.since_epoch().total_nanos());
+    writer.i64(live.last_seen.since_epoch().total_nanos());
+    writer.u64(live.packets);
+    for (const std::uint64_t t : live.packets_by_tool) writer.u64(t);
+    writer.u8(live.dests.is_exact() ? 0 : 1);
+    writer.u64(live.dests.exact_keys().size());
+    for (const std::uint64_t k : live.dests.exact_keys()) writer.u64(k);
+    writer.bytes(live.dests.sketch().registers());
+  }
+}
+
+void EventAggregator::restore(CheckpointReader& reader) {
+  reader.expect_tag(kAggregatorTag, "EventAggregator");
+  const bool config_matches =
+      net::Duration::nanos(reader.i64("timeout")) == config_.timeout &&
+      reader.u64("exact dest limit") == config_.exact_dest_limit &&
+      reader.u64("hll precision") ==
+          static_cast<std::uint64_t>(config_.hll_precision) &&
+      net::Duration::nanos(reader.i64("sweep interval")) ==
+          config_.sweep_interval;
+  if (!config_matches) {
+    throw std::runtime_error(
+        "checkpoint: EventAggregator configuration mismatch");
+  }
+  const std::uint64_t prefix_count = reader.u64("prefix count");
+  bool space_matches = prefix_count == dark_space_.prefixes().size();
+  for (std::uint64_t i = 0; i < prefix_count; ++i) {
+    const auto base = static_cast<std::uint32_t>(reader.u64("prefix base"));
+    const auto length = static_cast<int>(reader.u64("prefix length"));
+    if (space_matches) {
+      const net::Prefix& p = dark_space_.prefixes()[static_cast<std::size_t>(i)];
+      space_matches = p.base().value() == base && p.length() == length;
+    }
+  }
+  if (!space_matches) {
+    throw std::runtime_error("checkpoint: EventAggregator dark-space mismatch");
+  }
+  saw_packet_ = reader.u8("saw packet") != 0;
+  last_timestamp_ = net::SimTime::at(net::Duration::nanos(reader.i64("last timestamp")));
+  next_sweep_ = net::SimTime::at(net::Duration::nanos(reader.i64("next sweep")));
+  packets_seen_ = reader.u64("packets seen");
+  scanning_packets_ = reader.u64("scanning packets");
+  ignored_out_of_space_ = reader.u64("ignored out of space");
+  ignored_non_scanning_ = reader.u64("ignored non scanning");
+  events_emitted_ = reader.u64("events emitted");
+  const std::uint64_t live_count = reader.u64("live event count");
+  live_.clear();
+  live_.reserve(static_cast<std::size_t>(live_count));
+  for (std::uint64_t i = 0; i < live_count; ++i) {
+    EventKey key;
+    key.src = net::Ipv4Address(static_cast<std::uint32_t>(reader.u64("event src")));
+    key.dst_port = static_cast<std::uint16_t>(reader.u64("event port"));
+    const std::uint8_t type = reader.u8("event type");
+    if (type > static_cast<std::uint8_t>(pkt::TrafficType::Other)) {
+      throw std::runtime_error("checkpoint: bad traffic type");
+    }
+    key.type = static_cast<pkt::TrafficType>(type);
+    LiveEvent live(config_.exact_dest_limit, config_.hll_precision);
+    live.start = net::SimTime::at(net::Duration::nanos(reader.i64("event start")));
+    live.last_seen =
+        net::SimTime::at(net::Duration::nanos(reader.i64("event last seen")));
+    live.packets = reader.u64("event packets");
+    for (std::uint64_t& t : live.packets_by_tool) t = reader.u64("tool packets");
+    const bool promoted = reader.u8("estimator promoted") != 0;
+    const std::uint64_t exact_count = reader.u64("exact key count");
+    if (exact_count > config_.exact_dest_limit) {
+      throw std::runtime_error("checkpoint: exact key count over limit");
+    }
+    std::unordered_set<std::uint64_t> exact;
+    exact.reserve(static_cast<std::size_t>(exact_count));
+    for (std::uint64_t k = 0; k < exact_count; ++k) {
+      exact.insert(reader.u64("exact key"));
+    }
+    stats::HyperLogLog sketch(config_.hll_precision);
+    sketch.set_registers(reader.bytes(sketch.registers().size(), "hll registers"));
+    live.dests.restore(promoted, std::move(exact), std::move(sketch));
+    live_.emplace(key, std::move(live));
+  }
 }
 
 void EventAggregator::sweep(net::SimTime now) {

@@ -1,0 +1,127 @@
+#include "orion/telescope/checkpoint.hpp"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "orion/netbase/crc32.hpp"
+
+namespace orion::telescope {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'C', 'P', '1'};
+constexpr std::uint64_t kVersion = 1;
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void CheckpointWriter::u64(std::uint64_t v) { append_u64(payload_, v); }
+
+void CheckpointWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void CheckpointWriter::bytes(std::span<const std::uint8_t> data) {
+  payload_.insert(payload_.end(), data.begin(), data.end());
+}
+
+std::uint64_t CheckpointWriter::finish(std::ostream& out) const {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + 8 + 8 + payload_.size() + 4);
+  frame.insert(frame.end(), kMagic, kMagic + 4);
+  append_u64(frame, kVersion);
+  append_u64(frame, payload_.size());
+  frame.insert(frame.end(), payload_.begin(), payload_.end());
+  const std::uint32_t crc = net::Crc32::of(payload_);
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  if (!out) {
+    throw std::runtime_error("checkpoint: write failure");
+  }
+  return frame.size();
+}
+
+CheckpointReader::CheckpointReader(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (in.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    fail("bad magic (not an OCP1 checkpoint)");
+  }
+  std::uint8_t header[16];
+  in.read(reinterpret_cast<char*>(header), 16);
+  if (in.gcount() != 16) fail("truncated header");
+  const std::uint64_t version = load_u64(header);
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t length = load_u64(header + 8);
+  // Snapshots are bounded by live state, not by the dataset; refuse
+  // anything over 1 GiB rather than trusting a corrupt length field.
+  if (length > (std::uint64_t{1} << 30)) fail("absurd payload length");
+  payload_.resize(static_cast<std::size_t>(length));
+  in.read(reinterpret_cast<char*>(payload_.data()),
+          static_cast<std::streamsize>(length));
+  if (static_cast<std::uint64_t>(in.gcount()) != length) {
+    fail("truncated payload");
+  }
+  std::uint8_t crc_bytes[4];
+  in.read(reinterpret_cast<char*>(crc_bytes), 4);
+  if (in.gcount() != 4) fail("truncated CRC trailer");
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) stored |= std::uint32_t{crc_bytes[i]} << (8 * i);
+  if (stored != net::Crc32::of(payload_)) fail("CRC mismatch");
+}
+
+std::uint64_t CheckpointReader::u64(const char* what) {
+  if (payload_.size() - pos_ < 8) {
+    fail(std::string("truncated field: ") + what);
+  }
+  const std::uint64_t v = load_u64(payload_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double CheckpointReader::f64(const char* what) {
+  return std::bit_cast<double>(u64(what));
+}
+
+std::uint8_t CheckpointReader::u8(const char* what) {
+  if (pos_ >= payload_.size()) {
+    fail(std::string("truncated field: ") + what);
+  }
+  return payload_[pos_++];
+}
+
+std::vector<std::uint8_t> CheckpointReader::bytes(std::size_t n,
+                                                  const char* what) {
+  if (payload_.size() - pos_ < n) {
+    fail(std::string("truncated field: ") + what);
+  }
+  std::vector<std::uint8_t> out(payload_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                payload_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void CheckpointReader::expect_tag(std::uint64_t expected, const char* component) {
+  if (u64("section tag") != expected) {
+    fail(std::string("wrong section tag for ") + component);
+  }
+}
+
+void CheckpointReader::fail(const std::string& why) const {
+  throw std::runtime_error("checkpoint: " + why);
+}
+
+}  // namespace orion::telescope

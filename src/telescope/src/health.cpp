@@ -1,0 +1,15 @@
+#include "orion/telescope/health.hpp"
+
+#include <sstream>
+
+namespace orion::telescope {
+
+std::string PipelineHealth::to_string() const {
+  std::ostringstream out;
+  out << "ingested " << ingested << ", delivered " << delivered
+      << " (reordered " << reordered << "), dropped late " << dropped_late
+      << ", dropped overflow " << dropped_overflow << ", buffered " << buffered;
+  return out.str();
+}
+
+}  // namespace orion::telescope

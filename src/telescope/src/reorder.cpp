@@ -1,0 +1,92 @@
+#include "orion/telescope/reorder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace orion::telescope {
+
+namespace {
+
+// std::*_heap comparator for a min-heap on timestamp.
+bool later(const pkt::Packet& a, const pkt::Packet& b) {
+  return a.timestamp > b.timestamp;
+}
+
+}  // namespace
+
+ReorderBuffer::ReorderBuffer(ReorderConfig config, Sink deliver, Sink late)
+    : config_(config), deliver_(std::move(deliver)), late_(std::move(late)) {
+  // Nothing delivered yet: accept arbitrarily old first packets.
+  const auto min_time =
+      net::SimTime::at(net::Duration::nanos(std::numeric_limits<std::int64_t>::min()));
+  max_seen_ = min_time;
+  watermark_ = min_time;
+}
+
+pkt::Packet ReorderBuffer::pop_oldest() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  pkt::Packet oldest = heap_.back();
+  heap_.pop_back();
+  return oldest;
+}
+
+ReorderBuffer::Outcome ReorderBuffer::push(const pkt::Packet& packet) {
+  if (saw_packet_ && packet.timestamp < watermark_) {
+    // Can never be delivered in order; quarantine instead of throwing. A
+    // packet still inside the jitter window was only made late by a
+    // forced overflow release — report that as the distinct reason.
+    if (late_) late_(packet);
+    return packet.timestamp >= max_seen_ - config_.window ? Outcome::LateOverflow
+                                                          : Outcome::Late;
+  }
+  const Outcome outcome = saw_packet_ && packet.timestamp < max_seen_
+                              ? Outcome::Reordered
+                              : Outcome::Buffered;
+  heap_.push_back(packet);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  if (packet.timestamp > max_seen_) max_seen_ = packet.timestamp;
+  saw_packet_ = true;
+  if (heap_.size() > config_.max_buffered) {
+    // Hard memory bound: force the oldest held packet out. The watermark
+    // rises with it, so a straggler older than this release becomes a
+    // late drop rather than an ordering violation downstream.
+    const pkt::Packet oldest = pop_oldest();
+    watermark_ = oldest.timestamp;
+    ++overflow_releases_;
+    deliver_(oldest);
+  }
+  drain();
+  return outcome;
+}
+
+void ReorderBuffer::drain() {
+  const net::SimTime release_before = max_seen_ - config_.window;
+  while (!heap_.empty() && heap_.front().timestamp <= release_before) {
+    const pkt::Packet next = pop_oldest();
+    watermark_ = next.timestamp;
+    deliver_(next);
+  }
+}
+
+void ReorderBuffer::flush() {
+  while (!heap_.empty()) {
+    const pkt::Packet next = pop_oldest();
+    watermark_ = next.timestamp;
+    deliver_(next);
+  }
+}
+
+void ReorderBuffer::restore_state(std::vector<pkt::Packet> held,
+                                  net::SimTime max_seen, net::SimTime watermark,
+                                  bool saw_packet,
+                                  std::uint64_t overflow_releases) {
+  heap_ = std::move(held);
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  max_seen_ = max_seen;
+  watermark_ = watermark;
+  saw_packet_ = saw_packet;
+  overflow_releases_ = overflow_releases;
+}
+
+}  // namespace orion::telescope

@@ -248,6 +248,52 @@ TEST(Lists, CsvRejectsMalformedInput) {
   expect_throw("date,ip,definitions\n2021-01-05\n");
 }
 
+TEST(Lists, CsvErrorsCarryLineNumberAndReason) {
+  // Corpus of malformed files: every rejection must name the offending
+  // line and the reason, so an operator can fix a multi-megabyte list
+  // without bisecting it.
+  const auto message_of = [](const std::string& content) -> std::string {
+    std::istringstream in(content);
+    try {
+      read_daily_lists_csv(in);
+    } catch (const std::runtime_error& err) {
+      return err.what();
+    }
+    return "";
+  };
+  const std::string good = "2021-01-05,1.2.3.4,1\n";
+  const struct {
+    std::string content;
+    const char* line;
+    const char* reason;
+  } corpus[] = {
+      {"definitions,ip,date\n", "line 1", "header"},
+      {"date,ip,definitions\n" + good + "2021-01,5.6.7.8,1\n", "line 3",
+       "bad date"},
+      // Numeric-looking but non-digit date: must not slip through via a
+      // partial integer parse.
+      {"date,ip,definitions\n" + good + good + "abcd-ef-gh,5.6.7.8,1\n",
+       "line 4", "bad date"},
+      {"date,ip,definitions\n" + good + "20x1-01-05,5.6.7.8,1\n", "line 3",
+       "bad date"},
+      {"date,ip,definitions\n" + good + "2021-01-05,999.1.2.3,1\n", "line 3",
+       "bad IP"},
+      {"date,ip,definitions\n" + good + "2021-01-05,5.6.7.8,4\n", "line 3",
+       "bad definition"},
+      {"date,ip,definitions\n" + good + "2021-01-05,5.6.7.8,+\n", "line 3",
+       "empty definition"},
+      {"date,ip,definitions\n" + good + "2021-01-05,5.6.7.8\n", "line 3",
+       "3 fields"},
+  };
+  for (const auto& expectation : corpus) {
+    const std::string message = message_of(expectation.content);
+    EXPECT_NE(message.find(expectation.line), std::string::npos)
+        << expectation.content << " -> " << message;
+    EXPECT_NE(message.find(expectation.reason), std::string::npos)
+        << expectation.content << " -> " << message;
+  }
+}
+
 TEST(Lists, CsvUsesCalendarDates) {
   std::vector<DailyListEntry> entries = {
       {365, *net::Ipv4Address::parse("1.2.3.4"), 1}};
