@@ -1,0 +1,184 @@
+// Throughput scaling of the sharded parallel telescope pipeline.
+//
+// Generates one fixed scangen packet stream (tiny scenario, deterministic
+// seed), then measures end-to-end packets/sec of the serial path
+// (TelescopeCapture + StreamingDetector) and of ParallelPipeline at
+// 1/2/4/8 worker shards. Every configuration produces byte-identical
+// results (pinned by tests/parallel_test.cpp), so this measures pure
+// pipeline overhead and scaling.
+//
+//   $ ./bench_pipeline_scaling [--days N] [--reps R] [--json PATH]
+//
+// --json writes the machine-readable BENCH_pipeline.json consumed by the
+// repo's tracking of the ISSUE-2 acceptance numbers. Scaling is bounded
+// by the host: the JSON records hardware_concurrency so a 1-core CI box
+// reporting ~1x is distinguishable from a real regression.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "orion/detect/streaming.hpp"
+#include "orion/scangen/packet_gen.hpp"
+#include "orion/scangen/scenario.hpp"
+#include "orion/telescope/capture.hpp"
+#include "orion/telescope/parallel.hpp"
+
+namespace {
+
+using namespace orion;
+
+struct Measurement {
+  std::size_t shards = 0;  // 0: serial reference path
+  double seconds = 0;
+  double pps = 0;
+};
+
+double best_seconds(int reps, const std::function<std::uint64_t()>& run) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t consumed = run();
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)consumed;
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t days = 3;
+  int reps = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--days" && i + 1 < argc) {
+      days = std::stoll(argv[++i]);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_pipeline_scaling [--days N] [--reps R] "
+                   "[--json PATH]\n";
+      return 1;
+    }
+  }
+
+  bench::print_header(
+      "Parallel pipeline scaling (packets/sec by shard count)",
+      "ISSUE 2 acceptance: >= 3x pps at 8 shards vs 1 shard on a "
+      "multi-core host; results byte-identical at every shard count.");
+
+  const scangen::Scenario scenario{scangen::tiny()};
+
+  // One fixed packet stream, materialized so every run times pipeline
+  // work only (not generation).
+  std::vector<pkt::Packet> packets;
+  {
+    scangen::PacketStreamGenerator generator(
+        scenario.population_2021().scanners, scenario.darknet(),
+        net::SimTime::epoch(),
+        net::SimTime::epoch() + net::Duration::days(days),
+        {.seed = 17, .exact_targets = true, .stable_streams = true});
+    while (auto packet = generator.next()) packets.push_back(*packet);
+  }
+
+  detect::StreamingConfig detector_config;
+  detector_config.base = {
+      .dispersion_threshold = scenario.config().def1_dispersion,
+      .packet_volume_alpha = scenario.config().def2_alpha,
+      .port_count_alpha = scenario.config().def3_alpha};
+  detector_config.warmup_samples = 500;
+  telescope::AggregatorConfig aggregator_config;
+  aggregator_config.timeout = scenario.event_timeout();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "stream: " << packets.size() << " packets over " << days
+            << " days; host hardware_concurrency = " << hw << "\n\n";
+
+  std::vector<Measurement> results;
+
+  // Serial reference: capture -> dataset -> streaming detector.
+  {
+    Measurement m;
+    m.shards = 0;
+    m.seconds = best_seconds(reps, [&]() {
+      telescope::TelescopeCapture capture(scenario.darknet(),
+                                          aggregator_config);
+      for (const pkt::Packet& p : packets) capture.observe(p);
+      const telescope::EventDataset dataset = capture.finish();
+      detect::StreamingDetector detector(
+          detector_config, scenario.darknet().total_addresses());
+      for (const auto& e : dataset.events()) (void)detector.observe(e);
+      (void)detector.finish();
+      return capture.packets_captured();
+    });
+    m.pps = static_cast<double>(packets.size()) / m.seconds;
+    results.push_back(m);
+  }
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    Measurement m;
+    m.shards = shards;
+    m.seconds = best_seconds(reps, [&]() {
+      telescope::ParallelConfig config;
+      config.shards = shards;
+      config.aggregator = aggregator_config;
+      config.detector = detector_config;
+      telescope::ParallelPipeline pipeline(scenario.darknet(), config);
+      for (const pkt::Packet& p : packets) pipeline.observe(p);
+      const telescope::ParallelResult result = pipeline.finish();
+      return result.health.delivered;
+    });
+    m.pps = static_cast<double>(packets.size()) / m.seconds;
+    results.push_back(m);
+  }
+
+  const double base_pps = results[1].pps;  // 1 shard
+  report::Table table({"configuration", "seconds (best)", "packets/sec",
+                       "speedup vs 1 shard"});
+  for (const Measurement& m : results) {
+    const std::string name =
+        m.shards == 0 ? "serial reference"
+                      : std::to_string(m.shards) + " shard" +
+                            (m.shards == 1 ? "" : "s");
+    char pps_buf[64], sec_buf[64], spd_buf[64];
+    std::snprintf(sec_buf, sizeof sec_buf, "%.3f", m.seconds);
+    std::snprintf(pps_buf, sizeof pps_buf, "%.0f", m.pps);
+    std::snprintf(spd_buf, sizeof spd_buf, "%.2fx", m.pps / base_pps);
+    table.add_row({name, sec_buf, pps_buf, spd_buf});
+  }
+  std::cout << table.to_ascii();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"pipeline_scaling\",\n"
+        << "  \"scenario\": \"tiny\",\n"
+        << "  \"days\": " << days << ",\n"
+        << "  \"packets\": " << packets.size() << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Measurement& m = results[i];
+      out << "    {\"config\": "
+          << (m.shards == 0 ? std::string("\"serial\"")
+                            : std::to_string(m.shards))
+          << ", \"seconds\": " << m.seconds << ", \"pps\": " << m.pps
+          << ", \"speedup_vs_1shard\": " << m.pps / base_pps << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -8,9 +8,17 @@
 // restarts a killed deployment from the snapshot; the resumed run
 // publishes daily lists identical to an uninterrupted one.
 //
+// Parallel mode: --shards N switches to the packet-driven
+// ParallelPipeline — the raw packet stream is sharded by source IP over
+// N worker threads and the merged daily lists are byte-identical to the
+// serial path. Checkpoints then snapshot the whole pipeline (every shard,
+// recorded shard count) and --resume skips the already-ingested prefix of
+// the deterministic packet feed.
+//
 //   $ ./live_monitor
 //   $ ./live_monitor --checkpoint /tmp/monitor.ocp          # crash...
 //   $ ./live_monitor --checkpoint /tmp/monitor.ocp --resume /tmp/monitor.ocp
+//   $ ./live_monitor --shards 4 --checkpoint /tmp/monitor.ocp
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -21,30 +29,33 @@
 #include "orion/detect/streaming.hpp"
 #include "orion/report/table.hpp"
 #include "orion/scangen/event_synth.hpp"
+#include "orion/scangen/packet_gen.hpp"
 #include "orion/scangen/scenario.hpp"
 #include "orion/telescope/checkpoint.hpp"
+#include "orion/telescope/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace orion;
 
   std::string checkpoint_path;
   std::string resume_path;
+  std::size_t shards = 0;  // 0: serial event-driven mode
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--checkpoint" && i + 1 < argc) {
       checkpoint_path = argv[++i];
     } else if (arg == "--resume" && i + 1 < argc) {
       resume_path = argv[++i];
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else {
-      std::cerr << "usage: live_monitor [--checkpoint FILE] [--resume FILE]\n";
+      std::cerr << "usage: live_monitor [--shards N] [--checkpoint FILE] "
+                   "[--resume FILE]\n";
       return 1;
     }
   }
 
   const scangen::Scenario scenario{scangen::tiny()};
-  const auto events = scangen::synthesize_events(
-      scenario.population_2021(),
-      {.darknet_size = scenario.darknet().total_addresses(), .seed = 17});
 
   detect::StreamingConfig config;
   config.base = {.dispersion_threshold = scenario.config().def1_dispersion,
@@ -52,6 +63,120 @@ int main(int argc, char** argv) {
                  .port_count_alpha = scenario.config().def3_alpha};
   config.warmup_samples = 500;
   config.tolerate_late_events = true;  // live mode: fold, never throw
+
+  report::Table table({"date", "status", "D1 new", "D2 new", "D3 new",
+                       "D2 thresh (pkts)", "D3 thresh (ports)"});
+  std::map<std::int64_t, std::vector<net::Ipv4Address>> daily_d1;
+  const auto record_day = [&](const detect::StreamingDayResult& day) {
+    daily_d1[day.day] = day.daily[0];
+    table.add_row({net::day_label(day.day),
+                   day.calibrated ? "published" : "warming up",
+                   std::to_string(day.daily[0].size()),
+                   std::to_string(day.daily[1].size()),
+                   std::to_string(day.daily[2].size()),
+                   day.calibrated ? report::fmt_count(day.packet_threshold) : "-",
+                   day.calibrated ? report::fmt_count(day.port_threshold) : "-"});
+  };
+  const auto print_churn = [&]() {
+    std::vector<detect::DailyListEntry> published;
+    for (const auto& [day, ips] : daily_d1) {
+      for (const net::Ipv4Address ip : ips) published.push_back({day, ip, 1});
+    }
+    double churn_sum = 0;
+    std::size_t churn_days = 0;
+    for (const auto& [day, diff] : detect::churn_series(published)) {
+      churn_sum += diff.churn();
+      ++churn_days;
+    }
+    if (churn_days > 0) {
+      std::cout << "mean day-over-day list churn: "
+                << report::fmt_percent(
+                       churn_sum / static_cast<double>(churn_days), 1)
+                << " (across " << churn_days << " day pairs)\n";
+    }
+  };
+
+  if (shards > 0) {
+    // Packet-driven parallel mode: shard the raw packet stream by source
+    // IP; the merged result is byte-identical to the serial path.
+    telescope::ParallelConfig pconfig;
+    pconfig.shards = shards;
+    pconfig.aggregator.timeout = scenario.event_timeout();
+    pconfig.detector = config;
+    telescope::ParallelPipeline pipeline(scenario.darknet(), pconfig);
+
+    std::uint64_t skip_packets = 0;
+    if (!resume_path.empty()) {
+      std::ifstream in(resume_path, std::ios::binary);
+      if (!in) {
+        std::cerr << "cannot open resume checkpoint: " << resume_path << "\n";
+        return 1;
+      }
+      try {
+        telescope::CheckpointReader reader(in);
+        pipeline.restore(reader);
+      } catch (const std::exception& err) {
+        std::cerr << "resume failed: " << err.what() << "\n";
+        return 1;
+      }
+      skip_packets = pipeline.packets_ingested();
+      std::cout << "resumed from " << resume_path << " (" << skip_packets
+                << " packets already ingested)\n";
+    }
+
+    std::uint64_t checkpoints_written = 0;
+    const auto save_checkpoint = [&]() {
+      if (checkpoint_path.empty()) return;
+      telescope::CheckpointWriter writer;
+      pipeline.checkpoint(writer);
+      std::ofstream out(checkpoint_path, std::ios::binary | std::ios::trunc);
+      writer.finish(out);
+      ++checkpoints_written;
+    };
+
+    // The same deterministic packet feed on every run: resume just skips
+    // the already-ingested prefix.
+    const net::SimTime t0 = net::SimTime::epoch();
+    const net::SimTime t1 = t0 + net::Duration::days(14);
+    scangen::PacketStreamGenerator generator(
+        scenario.population_2021().scanners, scenario.darknet(), t0, t1,
+        {.seed = 17, .exact_targets = true, .stable_streams = true});
+    for (std::uint64_t i = 0; i < skip_packets; ++i) {
+      if (!generator.next()) break;
+    }
+
+    std::int64_t open_day = -1;
+    while (auto packet = generator.next()) {
+      const std::int64_t day = packet->timestamp.day();
+      // Snapshot at day boundaries, mirroring serial publish-then-persist.
+      if (open_day >= 0 && day != open_day) save_checkpoint();
+      open_day = day;
+      pipeline.observe(*packet);
+    }
+    const std::uint64_t ingested = pipeline.packets_ingested();
+    save_checkpoint();
+    const telescope::ParallelResult result = pipeline.finish();
+
+    std::cout << "sharded " << ingested << " darknet packets over " << shards
+              << " worker shards -> " << result.dataset.event_count()
+              << " events\n\n";
+    for (const auto& day : result.days) record_day(day);
+    std::cout << table.to_ascii() << "\n";
+    print_churn();
+    std::cout << "cumulative AH discovered online: D1 " << result.ips[0].size()
+              << ", D2 " << result.ips[1].size() << ", D3 "
+              << result.ips[2].size() << "\n";
+    std::cout << "health: " << result.health.to_string() << "\n";
+    if (checkpoints_written > 0) {
+      std::cout << "checkpoints written to " << checkpoint_path << ": "
+                << checkpoints_written << "\n";
+    }
+    return 0;
+  }
+
+  const auto events = scangen::synthesize_events(
+      scenario.population_2021(),
+      {.darknet_size = scenario.darknet().total_addresses(), .seed = 17});
   detect::StreamingDetector detector(config,
                                      scenario.darknet().total_addresses());
 
@@ -88,20 +213,6 @@ int main(int argc, char** argv) {
     ++checkpoints_written;
   };
 
-  report::Table table({"date", "status", "D1 new", "D2 new", "D3 new",
-                       "D2 thresh (pkts)", "D3 thresh (ports)"});
-  std::map<std::int64_t, std::vector<net::Ipv4Address>> daily_d1;
-  const auto record_day = [&](const detect::StreamingDayResult& day) {
-    daily_d1[day.day] = day.daily[0];
-    table.add_row({net::day_label(day.day),
-                   day.calibrated ? "published" : "warming up",
-                   std::to_string(day.daily[0].size()),
-                   std::to_string(day.daily[1].size()),
-                   std::to_string(day.daily[2].size()),
-                   day.calibrated ? report::fmt_count(day.packet_threshold) : "-",
-                   day.calibrated ? report::fmt_count(day.port_threshold) : "-"});
-  };
-
   for (std::size_t i = skip_events; i < events.size(); ++i) {
     const auto days = detector.observe(events[i]);
     for (const auto& day : days) record_day(day);
@@ -114,21 +225,7 @@ int main(int argc, char** argv) {
   std::cout << table.to_ascii() << "\n";
 
   // What a list subscriber would apply day over day.
-  std::vector<detect::DailyListEntry> published;
-  for (const auto& [day, ips] : daily_d1) {
-    for (const net::Ipv4Address ip : ips) published.push_back({day, ip, 1});
-  }
-  double churn_sum = 0;
-  std::size_t churn_days = 0;
-  for (const auto& [day, diff] : detect::churn_series(published)) {
-    churn_sum += diff.churn();
-    ++churn_days;
-  }
-  if (churn_days > 0) {
-    std::cout << "mean day-over-day list churn: "
-              << report::fmt_percent(churn_sum / static_cast<double>(churn_days), 1)
-              << " (across " << churn_days << " day pairs)\n";
-  }
+  print_churn();
 
   std::cout << "cumulative AH discovered online: D1 "
             << detector.ips(detect::Definition::AddressDispersion).size()

@@ -43,6 +43,9 @@ struct DetectorConfig {
   double dispersion_threshold = 0.10;  // Definition 1: fraction of dark IPs
   double packet_volume_alpha = 1e-4;   // Definition 2: ECDF tail mass
   double port_count_alpha = 1e-4;      // Definition 3: ECDF tail mass
+
+  friend constexpr bool operator==(const DetectorConfig&,
+                                   const DetectorConfig&) = default;
 };
 
 using IpSet = std::unordered_set<net::Ipv4Address>;

@@ -1,0 +1,121 @@
+// Flat per-source port set for the detector's daily distinct-port
+// tracking — a per-packet/per-event hot spot when backed by
+// std::unordered_set<uint16_t> (a node allocation per port).
+//
+// Nearly every source touches a handful of ports per day, so the set is a
+// small sorted vector; the rare port-sweep source (thousands of ports)
+// promotes to a fixed 8 KiB bitmap. Iteration is always in ascending port
+// order, which also makes detector checkpoints byte-deterministic.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace orion::detect {
+
+class PortSet {
+ public:
+  PortSet() = default;
+  PortSet(PortSet&&) noexcept = default;
+  PortSet& operator=(PortSet&&) noexcept = default;
+  PortSet(const PortSet& other)
+      : small_(other.small_), count_(other.count_) {
+    if (other.bits_) bits_ = std::make_unique<Bitmap>(*other.bits_);
+  }
+  PortSet& operator=(const PortSet& other) {
+    if (this != &other) *this = PortSet(other);
+    return *this;
+  }
+
+  /// Inserts a port; returns true when it was not already present.
+  bool insert(std::uint16_t port) {
+    if (bits_) {
+      std::uint64_t& word = (*bits_)[port >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (port & 63);
+      if (word & bit) return false;
+      word |= bit;
+      ++count_;
+      return true;
+    }
+    const auto it = std::lower_bound(small_.begin(), small_.end(), port);
+    if (it != small_.end() && *it == port) return false;
+    if (small_.size() < kInlineMax) {
+      small_.insert(it, port);
+      ++count_;
+      return true;
+    }
+    promote();
+    return insert(port);
+  }
+
+  bool contains(std::uint16_t port) const {
+    if (bits_) {
+      return ((*bits_)[port >> 6] >> (port & 63)) & 1;
+    }
+    return std::binary_search(small_.begin(), small_.end(), port);
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Visits every port in ascending order.
+  template <typename F>
+  void for_each(F&& f) const {
+    if (!bits_) {
+      for (const std::uint16_t port : small_) f(port);
+      return;
+    }
+    for (std::size_t w = 0; w < bits_->size(); ++w) {
+      std::uint64_t word = (*bits_)[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        f(static_cast<std::uint16_t>((w << 6) | static_cast<unsigned>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  void clear() {
+    small_.clear();
+    bits_.reset();
+    count_ = 0;
+  }
+
+  friend bool operator==(const PortSet& a, const PortSet& b) {
+    if (a.count_ != b.count_) return false;
+    bool equal = true;
+    std::vector<std::uint16_t> av, bv;
+    av.reserve(a.count_);
+    bv.reserve(b.count_);
+    a.for_each([&](std::uint16_t p) { av.push_back(p); });
+    b.for_each([&](std::uint16_t p) { bv.push_back(p); });
+    equal = av == bv;
+    return equal;
+  }
+
+ private:
+  /// Past this many distinct ports the sorted vector's shifting insert
+  /// loses to the bitmap; sweeps blow through it immediately.
+  static constexpr std::size_t kInlineMax = 24;
+  using Bitmap = std::array<std::uint64_t, 1024>;  // 65536 bits
+
+  void promote() {
+    bits_ = std::make_unique<Bitmap>();
+    bits_->fill(0);
+    for (const std::uint16_t port : small_) {
+      (*bits_)[port >> 6] |= std::uint64_t{1} << (port & 63);
+    }
+    small_.clear();
+    small_.shrink_to_fit();
+  }
+
+  std::vector<std::uint16_t> small_;
+  std::unique_ptr<Bitmap> bits_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace orion::detect

@@ -1,0 +1,90 @@
+// Per-shard slice of the streaming AH detector, and the deterministic
+// merge that recombines slices into exactly the serial detector's output.
+//
+// Why this decomposes: every quantity StreamingDetector tracks per day is
+// keyed by source IP (D1 qualifiers, per-source packet maxima for D2,
+// per-source distinct-port sets for D3), so a hash-of-source partition
+// puts each source's whole state in one shard. The only cross-source
+// state — the rolling ECDF samples behind the D2/D3 thresholds — is kept
+// as bottom-k samples, which merge exactly (stats/bottomk.hpp). A slice
+// therefore never calibrates or publishes anything; it accumulates per-day
+// partials in ANY event order (all per-day state is order-independent),
+// and merge_shard_slices replays the serial day-close schedule over the
+// merged state, producing StreamingDayResults byte-identical to a serial
+// StreamingDetector fed the same events in start order — for any shard
+// count and any interleaving (DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "orion/detect/streaming.hpp"
+
+namespace orion::detect {
+
+class ShardDetectorSlice {
+ public:
+  ShardDetectorSlice(StreamingConfig config, std::uint64_t darknet_size);
+
+  /// Feeds one closed event. Order does not matter — state is bucketed by
+  /// the event's start day and order-independent within a day.
+  void observe(const telescope::DarknetEvent& event);
+
+  std::uint64_t events_seen() const { return events_seen_; }
+  const StreamingConfig& config() const { return config_; }
+  std::uint64_t darknet_size() const { return darknet_size_; }
+
+  /// Per-day accumulated partial state, exposed for the merge.
+  struct DayPartial {
+    /// D1 qualifiers (dispersion is scale-free: decidable in-shard).
+    IpSet d1;
+    /// Per-source max event packets — D2 candidates for the day.
+    std::unordered_map<net::Ipv4Address, std::uint64_t> best_packets;
+    /// Per-source distinct darknet ports — D3 candidates for the day.
+    std::unordered_map<net::Ipv4Address, PortSet> ports;
+    /// The day's per-event packet-volume samples. Day-local truncation to
+    /// k is lossless for the merge: an entry outside its own day's
+    /// bottom-k is outside every cumulative bottom-k that includes that
+    /// day.
+    stats::BottomKSampler packet_samples;
+
+    DayPartial(std::size_t capacity, std::uint64_t seed)
+        : packet_samples(capacity, seed) {}
+  };
+
+  /// Days this shard saw events for, in day order.
+  const std::map<std::int64_t, DayPartial>& days() const { return days_; }
+
+  /// Snapshots the slice (config-echoed, sorted/byte-deterministic);
+  /// restore rejects a mismatched configuration or darknet size.
+  void checkpoint(telescope::CheckpointWriter& writer) const;
+  void restore(telescope::CheckpointReader& reader);
+
+ private:
+  StreamingConfig config_;
+  std::uint64_t darknet_size_;
+  std::map<std::int64_t, DayPartial> days_;
+  std::uint64_t events_seen_ = 0;
+};
+
+/// The merged detection output: what a serial StreamingDetector would
+/// have returned from observe()/finish() plus its cumulative AH sets.
+struct MergedDetection {
+  std::vector<StreamingDayResult> days;
+  std::array<IpSet, 3> ips;
+  std::uint64_t events_seen = 0;
+};
+
+/// Deterministically merges shard slices (which must share config and
+/// darknet size — std::invalid_argument otherwise). Replays the serial
+/// day-close schedule: for each day from the earliest to the latest seen,
+/// fold the day's packet samples into the rolling sample, calibrate,
+/// qualify each definition from the disjoint per-shard partials, then
+/// fold the day's port counts for future days — the exact ordering
+/// close_day() uses.
+MergedDetection merge_shard_slices(
+    const std::vector<const ShardDetectorSlice*>& slices);
+
+}  // namespace orion::detect

@@ -3,9 +3,15 @@
 // The batch AggressiveScannerDetector calibrates its ECDF thresholds over
 // the whole dataset — fine for retrospective studies, impossible for the
 // daily published lists the paper proposes. StreamingDetector consumes
-// events in start-time order, keeps reservoir-sampled ECDFs (bounded
-// memory over months of traffic), and emits each day's list using only
-// thresholds calibrated on data seen BEFORE that day ends.
+// events in start-time order, keeps bounded-memory rolling ECDFs over
+// months of traffic, and emits each day's list using only thresholds
+// calibrated on data seen BEFORE that day ends.
+//
+// The rolling ECDFs are bottom-k samples (stats/bottomk.hpp), not
+// reservoirs: a bottom-k sample is a pure function of the events seen, so
+// the sharded ParallelPipeline can keep one sampler per shard and merge
+// them into the exact sample this serial detector holds — the root of the
+// pipeline's byte-identical-results guarantee (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
@@ -15,7 +21,8 @@
 #include <vector>
 
 #include "orion/detect/detector.hpp"
-#include "orion/stats/reservoir.hpp"
+#include "orion/detect/port_set.hpp"
+#include "orion/stats/bottomk.hpp"
 #include "orion/telescope/event.hpp"
 
 namespace orion::telescope {
@@ -27,7 +34,7 @@ namespace orion::detect {
 
 struct StreamingConfig {
   DetectorConfig base;
-  /// Reservoir capacity for each rolling ECDF.
+  /// Bottom-k sample capacity for each rolling ECDF.
   std::size_t ecdf_reservoir = 200000;
   /// Days emit no list until this many packet samples accumulated
   /// (threshold estimates are garbage on a cold start).
@@ -38,6 +45,9 @@ struct StreamingConfig {
   /// late_events_folded()) instead of throwing. Off by default — batch
   /// replays of sorted datasets should still fail loudly on disorder.
   bool tolerate_late_events = false;
+
+  friend constexpr bool operator==(const StreamingConfig&,
+                                   const StreamingConfig&) = default;
 };
 
 /// One emitted day of results.
@@ -49,7 +59,25 @@ struct StreamingDayResult {
   /// Thresholds in force when the day closed (D2 packets, D3 ports).
   std::uint64_t packet_threshold = 0;
   std::uint64_t port_threshold = 0;
+
+  friend bool operator==(const StreamingDayResult&,
+                         const StreamingDayResult&) = default;
 };
+
+/// Stable per-event identity used to rank packet-volume samples; shared
+/// by the serial detector and the per-shard slices so both draw the same
+/// bottom-k sample.
+inline std::uint64_t packet_sample_id(const telescope::EventKey& key) {
+  return (std::uint64_t{key.src.value()} << 24) |
+         (std::uint64_t{key.dst_port} << 8) |
+         static_cast<std::uint64_t>(key.type);
+}
+
+/// Derived seed of the daily port-count sampler (packet sampler uses the
+/// configured seed directly).
+constexpr std::uint64_t port_sampler_seed(std::uint64_t seed) {
+  return seed ^ 0xF00Dull;
+}
 
 class StreamingDetector {
  public:
@@ -71,12 +99,13 @@ class StreamingDetector {
   /// Late events folded into the open day (tolerate_late_events mode).
   std::uint64_t late_events_folded() const { return late_events_folded_; }
 
-  /// Snapshots the full detector state — reservoir ECDFs (including
-  /// their RNG positions), the open day's working sets, cumulative AH
-  /// sets — so a killed deployment resumes and publishes daily lists
-  /// identical to an uninterrupted run. Restore verifies the snapshot
-  /// was taken under the same configuration and darknet size
-  /// (std::runtime_error otherwise).
+  /// Snapshots the full detector state — bottom-k ECDF samples, the open
+  /// day's working sets, cumulative AH sets — so a killed deployment
+  /// resumes and publishes daily lists identical to an uninterrupted
+  /// run. Restore verifies the snapshot was taken under the same
+  /// configuration and darknet size (std::runtime_error otherwise).
+  /// Snapshots are byte-deterministic: all tables serialize in sorted
+  /// key order.
   void checkpoint(telescope::CheckpointWriter& writer) const;
   void restore(telescope::CheckpointReader& reader);
 
@@ -87,19 +116,26 @@ class StreamingDetector {
   StreamingConfig config_;
   std::uint64_t darknet_size_;
 
-  stats::ReservoirSampler<std::uint64_t> packet_samples_;
-  stats::ReservoirSampler<std::uint64_t> port_samples_;
+  stats::BottomKSampler packet_samples_;
+  stats::BottomKSampler port_samples_;
 
   bool day_open_ = false;
   std::int64_t current_day_ = 0;
   std::array<std::unordered_set<net::Ipv4Address>, 3> day_daily_;
-  std::unordered_map<net::Ipv4Address, std::unordered_set<std::uint16_t>>
-      day_ports_;
+  std::unordered_map<net::Ipv4Address, PortSet> day_ports_;
   std::unordered_map<net::Ipv4Address, std::uint64_t> day_best_packets_;
 
   std::array<IpSet, 3> ips_;
   std::uint64_t events_seen_ = 0;
   std::uint64_t late_events_folded_ = 0;
 };
+
+/// Shared checkpoint plumbing (also used by the shard slices).
+void put_sampler(telescope::CheckpointWriter& writer,
+                 const stats::BottomKSampler& sampler);
+void get_sampler(telescope::CheckpointReader& reader,
+                 stats::BottomKSampler& sampler);
+void put_ip_set(telescope::CheckpointWriter& writer, const IpSet& ips);
+IpSet get_ip_set(telescope::CheckpointReader& reader);
 
 }  // namespace orion::detect

@@ -11,34 +11,53 @@ namespace orion::detect {
 
 namespace {
 
-constexpr std::uint64_t kDetectorTag = telescope::checkpoint_tag('S', 'D', 'T', '1');
+constexpr std::uint64_t kDetectorTag = telescope::checkpoint_tag('S', 'D', 'T', '2');
 
-void put_reservoir(telescope::CheckpointWriter& w,
-                   const stats::ReservoirSampler<std::uint64_t>& sampler) {
-  w.u64(sampler.seen());
-  for (const std::uint64_t word : sampler.rng_state()) w.u64(word);
-  w.u64(sampler.sample().size());
-  for (const std::uint64_t v : sampler.sample()) w.u64(v);
+/// Sorted copies of the per-day tables, so checkpoints and the day-close
+/// qualification loops are deterministic regardless of hash-table order.
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
-void get_reservoir(telescope::CheckpointReader& r,
-                   stats::ReservoirSampler<std::uint64_t>& sampler) {
-  const std::uint64_t seen = r.u64("reservoir seen");
-  std::array<std::uint64_t, 4> rng_state;
-  for (std::uint64_t& word : rng_state) word = r.u64("reservoir rng");
-  const std::uint64_t size = r.u64("reservoir size");
-  if (size > sampler.capacity()) {
-    throw std::runtime_error("checkpoint: reservoir sample over capacity");
+}  // namespace
+
+void put_sampler(telescope::CheckpointWriter& w,
+                 const stats::BottomKSampler& sampler) {
+  w.u64(sampler.seen());
+  const auto entries = sampler.sorted_entries();
+  w.u64(entries.size());
+  for (const auto& e : entries) {
+    w.u64(e.rank);
+    w.u64(e.value);
   }
-  std::vector<std::uint64_t> sample;
-  sample.reserve(static_cast<std::size_t>(size));
-  for (std::uint64_t i = 0; i < size; ++i) sample.push_back(r.u64("reservoir value"));
-  sampler.restore(seen, std::move(sample), rng_state);
+}
+
+void get_sampler(telescope::CheckpointReader& r,
+                 stats::BottomKSampler& sampler) {
+  const std::uint64_t seen = r.u64("sampler seen");
+  const std::uint64_t size = r.u64("sampler size");
+  if (size > sampler.capacity()) {
+    throw std::runtime_error("checkpoint: bottom-k sample over capacity");
+  }
+  std::vector<stats::BottomKSampler::Entry> entries;
+  entries.reserve(static_cast<std::size_t>(size));
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::uint64_t rank = r.u64("sampler rank");
+    entries.push_back({rank, r.u64("sampler value")});
+  }
+  sampler.restore(seen, std::move(entries));
 }
 
 void put_ip_set(telescope::CheckpointWriter& w, const IpSet& ips) {
-  w.u64(ips.size());
-  for (const net::Ipv4Address ip : ips) w.u64(ip.value());
+  std::vector<net::Ipv4Address> sorted(ips.begin(), ips.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.u64(sorted.size());
+  for (const net::Ipv4Address ip : sorted) w.u64(ip.value());
 }
 
 IpSet get_ip_set(telescope::CheckpointReader& r) {
@@ -51,14 +70,12 @@ IpSet get_ip_set(telescope::CheckpointReader& r) {
   return ips;
 }
 
-}  // namespace
-
 StreamingDetector::StreamingDetector(StreamingConfig config,
                                      std::uint64_t darknet_size)
     : config_(config),
       darknet_size_(darknet_size),
       packet_samples_(config.ecdf_reservoir, config.seed),
-      port_samples_(config.ecdf_reservoir, config.seed ^ 0xF00Dull) {
+      port_samples_(config.ecdf_reservoir, port_sampler_seed(config.seed)) {
   if (darknet_size == 0) {
     throw std::invalid_argument("StreamingDetector: zero darknet size");
   }
@@ -94,7 +111,10 @@ std::vector<StreamingDayResult> StreamingDetector::observe(
 
 void StreamingDetector::ingest_into_day(const telescope::DarknetEvent& event) {
   ++events_seen_;
-  packet_samples_.add(event.packets);
+  packet_samples_.add(packet_sample_id(event.key),
+                      static_cast<std::uint64_t>(
+                          event.start.since_epoch().total_nanos()),
+                      event.packets);
   if (event.key.type != pkt::TrafficType::IcmpEchoReq) {
     day_ports_[event.key.src].insert(event.key.dst_port);
   }
@@ -118,11 +138,11 @@ StreamingDayResult StreamingDetector::close_day() {
   // list for day D is published after D closes, so D's samples are known).
   result.calibrated = packet_samples_.seen() >= config_.warmup_samples;
   if (result.calibrated) {
-    stats::Ecdf packet_ecdf(packet_samples_.sample());
+    stats::Ecdf packet_ecdf(packet_samples_.values());
     result.packet_threshold =
         packet_ecdf.top_alpha_threshold(config_.base.packet_volume_alpha);
     if (port_samples_.seen() > 0) {
-      stats::Ecdf port_ecdf(port_samples_.sample());
+      stats::Ecdf port_ecdf(port_samples_.values());
       result.port_threshold =
           port_ecdf.top_alpha_threshold(config_.base.port_count_alpha);
     }
@@ -143,11 +163,20 @@ StreamingDayResult StreamingDetector::close_day() {
   }
 
   // The day's per-source port counts become ECDF samples for future days.
-  for (const auto& [src, ports] : day_ports_) port_samples_.add(ports.size());
+  for (const auto& [src, ports] : day_ports_) {
+    port_samples_.add(static_cast<std::uint64_t>(current_day_), src.value(),
+                      ports.size());
+  }
 
+  // Rollover: drop the day's working sets but keep their capacity — the
+  // next day's source population is about the same size.
+  const std::size_t port_sources = day_ports_.size();
+  const std::size_t best_sources = day_best_packets_.size();
   for (auto& set : day_daily_) set.clear();
   day_ports_.clear();
+  day_ports_.reserve(port_sources);
   day_best_packets_.clear();
+  day_best_packets_.reserve(best_sources);
   return result;
 }
 
@@ -160,7 +189,7 @@ std::optional<StreamingDayResult> StreamingDetector::finish() {
 void StreamingDetector::checkpoint(telescope::CheckpointWriter& writer) const {
   writer.tag(kDetectorTag);
   // Configuration echo, verified on restore: resuming under different
-  // thresholds or reservoir parameters would silently change the lists.
+  // thresholds or sampler parameters would silently change the lists.
   writer.f64(config_.base.dispersion_threshold);
   writer.f64(config_.base.packet_volume_alpha);
   writer.f64(config_.base.port_count_alpha);
@@ -168,21 +197,22 @@ void StreamingDetector::checkpoint(telescope::CheckpointWriter& writer) const {
   writer.u64(config_.warmup_samples);
   writer.u64(config_.seed);
   writer.u64(darknet_size_);
-  put_reservoir(writer, packet_samples_);
-  put_reservoir(writer, port_samples_);
+  put_sampler(writer, packet_samples_);
+  put_sampler(writer, port_samples_);
   writer.u8(day_open_ ? 1 : 0);
   writer.i64(current_day_);
   for (const auto& daily : day_daily_) put_ip_set(writer, daily);
   writer.u64(day_ports_.size());
-  for (const auto& [src, ports] : day_ports_) {
+  for (const net::Ipv4Address src : sorted_keys(day_ports_)) {
+    const PortSet& ports = day_ports_.at(src);
     writer.u64(src.value());
     writer.u64(ports.size());
-    for (const std::uint16_t port : ports) writer.u64(port);
+    ports.for_each([&](std::uint16_t port) { writer.u64(port); });
   }
   writer.u64(day_best_packets_.size());
-  for (const auto& [src, packets] : day_best_packets_) {
+  for (const net::Ipv4Address src : sorted_keys(day_best_packets_)) {
     writer.u64(src.value());
-    writer.u64(packets);
+    writer.u64(day_best_packets_.at(src));
   }
   for (const IpSet& ips : ips_) put_ip_set(writer, ips);
   writer.u64(events_seen_);
@@ -198,7 +228,7 @@ void StreamingDetector::restore(telescope::CheckpointReader& reader) {
           std::bit_cast<std::uint64_t>(config_.base.packet_volume_alpha) &&
       std::bit_cast<std::uint64_t>(reader.f64("port alpha")) ==
           std::bit_cast<std::uint64_t>(config_.base.port_count_alpha) &&
-      reader.u64("reservoir capacity") == config_.ecdf_reservoir &&
+      reader.u64("sampler capacity") == config_.ecdf_reservoir &&
       reader.u64("warmup samples") == config_.warmup_samples &&
       reader.u64("seed") == config_.seed;
   if (!config_matches) {
@@ -208,8 +238,8 @@ void StreamingDetector::restore(telescope::CheckpointReader& reader) {
   if (reader.u64("darknet size") != darknet_size_) {
     throw std::runtime_error("checkpoint: StreamingDetector darknet mismatch");
   }
-  get_reservoir(reader, packet_samples_);
-  get_reservoir(reader, port_samples_);
+  get_sampler(reader, packet_samples_);
+  get_sampler(reader, port_samples_);
   day_open_ = reader.u8("day open") != 0;
   current_day_ = reader.i64("current day");
   for (auto& daily : day_daily_) daily = get_ip_set(reader);
@@ -220,7 +250,6 @@ void StreamingDetector::restore(telescope::CheckpointReader& reader) {
     const net::Ipv4Address src(static_cast<std::uint32_t>(reader.u64("port source")));
     const std::uint64_t port_count = reader.u64("port count");
     auto& ports = day_ports_[src];
-    ports.reserve(static_cast<std::size_t>(port_count));
     for (std::uint64_t p = 0; p < port_count; ++p) {
       ports.insert(static_cast<std::uint16_t>(reader.u64("port")));
     }

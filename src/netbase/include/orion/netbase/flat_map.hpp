@@ -1,0 +1,173 @@
+// Open-addressing hash map for the per-packet hot paths.
+//
+// std::unordered_map pays a heap allocation per node and a pointer chase
+// per probe; the aggregator's live-event table and similar per-source
+// tables are hit once per packet, so they use this flat, linear-probing
+// map instead: one contiguous slot array, Fibonacci-spread indexing (so
+// identity-like hashes of sequential keys still scatter), and
+// backward-shift deletion (no tombstones, so probe chains never rot).
+//
+// The API is the minimal surface those tables need — find / try_emplace /
+// erase / for_each / erase_if — not a drop-in std::unordered_map.
+// Iteration order is the slot order (arbitrary but deterministic for a
+// given insertion/deletion history); callers that need a canonical order
+// (checkpoints) sort keys themselves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace orion::net {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pre-sizes the table for `n` elements without exceeding the maximum
+  /// load factor (3/4).
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Drops all elements but keeps the allocated table.
+  void clear() {
+    for (auto& slot : slots_) slot.reset();
+    size_ = 0;
+  }
+
+  V* find(const K& key) {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = index_of(key);; i = next(i)) {
+      if (!slots_[i]) return nullptr;
+      if (slots_[i]->first == key) return &slots_[i]->second;
+    }
+  }
+  const V* find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Inserts `key` with a value constructed from `args` unless present.
+  /// Returns the value slot and whether an insertion happened. Pointers
+  /// are invalidated by any later insertion (the table may grow).
+  template <typename... Args>
+  std::pair<V*, bool> try_emplace(const K& key, Args&&... args) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    for (std::size_t i = index_of(key);; i = next(i)) {
+      if (!slots_[i]) {
+        slots_[i].emplace(std::piecewise_construct, std::forward_as_tuple(key),
+                          std::forward_as_tuple(std::forward<Args>(args)...));
+        ++size_;
+        return {&slots_[i]->second, true};
+      }
+      if (slots_[i]->first == key) return {&slots_[i]->second, false};
+    }
+  }
+
+  bool erase(const K& key) {
+    if (slots_.empty()) return false;
+    for (std::size_t i = index_of(key);; i = next(i)) {
+      if (!slots_[i]) return false;
+      if (slots_[i]->first == key) {
+        erase_slot(i);
+        return true;
+      }
+    }
+  }
+
+  template <typename F>
+  void for_each(F&& f) {
+    for (auto& slot : slots_) {
+      if (slot) f(slot->first, slot->second);
+    }
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& slot : slots_) {
+      if (slot) f(slot->first, slot->second);
+    }
+  }
+
+  /// Removes every element for which `f(key, value)` returns true and
+  /// returns how many were removed. Safe with backward-shift deletion: a
+  /// slot refilled by a shifted element is re-examined before moving on.
+  /// (An element the shift wraps to an already-visited slot is simply
+  /// seen on the next sweep — callers' predicates must be idempotent.)
+  template <typename F>
+  std::size_t erase_if(F&& f) {
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      while (slots_[i] && f(slots_[i]->first, slots_[i]->second)) {
+        erase_slot(i);
+        ++removed;
+      }
+    }
+    return removed;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  using Slot = std::optional<std::pair<K, V>>;
+
+  std::size_t index_of(const K& key) const {
+    // Fibonacci spreading tolerates weak (even identity) Hash.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(Hash{}(key)) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> shift_);
+  }
+  std::size_t next(std::size_t i) const { return (i + 1) & mask_; }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, std::nullopt);
+    mask_ = new_capacity - 1;
+    shift_ = 64;
+    for (std::size_t c = new_capacity; c > 1; c >>= 1) --shift_;
+    size_ = 0;
+    for (auto& slot : old) {
+      if (!slot) continue;
+      for (std::size_t i = index_of(slot->first);; i = next(i)) {
+        if (!slots_[i]) {
+          slots_[i] = std::move(slot);
+          ++size_;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Backward-shift deletion: pulls displaced probe-chain members back
+  /// over the hole so lookups never need tombstones.
+  void erase_slot(std::size_t pos) {
+    std::size_t hole = pos;
+    for (std::size_t j = next(hole);; j = next(j)) {
+      if (!slots_[j]) break;
+      const std::size_t home = index_of(slots_[j]->first);
+      // j may move into the hole only if the hole lies on j's probe path.
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole].reset();
+    --size_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  int shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace orion::net

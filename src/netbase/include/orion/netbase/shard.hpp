@@ -1,0 +1,40 @@
+// Shard routing shared by every layer that partitions work by source IP.
+//
+// The parallel telescope pipeline, the shard-filtered traffic generators,
+// and the equivalence tests must all agree on which shard owns a source,
+// and the assignment must be stable across runs and platforms — so the
+// mapping lives here, in the base library, as a pure function.
+#pragma once
+
+#include <cstdint>
+
+#include "orion/netbase/ipv4.hpp"
+
+namespace orion::net {
+
+/// SplitMix64 finalizer: a stateless 64-bit mixer with full avalanche.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The shard that owns a source IP, in [0, shard_count). Sequential
+/// addresses (the common scanner pattern) spread uniformly because the
+/// value is mixed before reduction.
+constexpr std::size_t shard_of(Ipv4Address src, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(mix64(0x5368617264ull ^ src.value()) %
+                                  shard_count);
+}
+
+/// Derives an independent seed for a numbered lane (shard, substream) of a
+/// base seed. Distinct (base, lane) pairs give uncorrelated seeds.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t lane) {
+  return mix64(base + 0x9E3779B97F4A7C15ull * (lane + 1));
+}
+
+}  // namespace orion::net

@@ -1,0 +1,141 @@
+// Sharded parallel telescope pipeline with a deterministic merge.
+//
+// Packets are batched and dispatched by hash of source IP
+// (net::shard_of) over bounded SPSC rings to N worker shards. Each shard
+// owns a full EventAggregator plus a ShardDetectorSlice, so every
+// per-source quantity the paper's definitions need lives in exactly one
+// shard by construction. finish() joins the workers and runs a
+// deterministic merge — event-dataset concatenation under the dataset's
+// total (start, key) order plus detect::merge_shard_slices — whose output
+// is byte-identical to the single-threaded TelescopeCapture +
+// StreamingDetector path for ANY shard count and ANY batch/ring
+// interleaving (pinned by tests/parallel_test.cpp; argument in
+// DESIGN.md §9).
+//
+// Backpressure: a full ring blocks the dispatcher (spin/yield/nap, see
+// spsc_ring.hpp) — packets are never dropped, so the pipeline's health
+// ledger stays conservative: ingested == delivered after finish().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "orion/detect/shard_detector.hpp"
+#include "orion/netbase/prefix.hpp"
+#include "orion/telescope/aggregator.hpp"
+#include "orion/telescope/capture.hpp"
+#include "orion/telescope/health.hpp"
+#include "orion/telescope/spsc_ring.hpp"
+
+namespace orion::telescope {
+
+class CheckpointReader;
+class CheckpointWriter;
+
+struct ParallelConfig {
+  /// Worker shard count. 1 degenerates to the serial path behind one ring.
+  std::size_t shards = 4;
+  /// Packets per dispatched batch (amortizes ring traffic). Capacity
+  /// knob only — results are invariant to it.
+  std::size_t batch_size = 256;
+  /// Batches each shard's ring holds before the dispatcher blocks.
+  /// Capacity knob only — results are invariant to it.
+  std::size_t ring_capacity = 64;
+  AggregatorConfig aggregator;
+  detect::StreamingConfig detector;
+};
+
+/// The merged output: exactly what the serial path produces.
+struct ParallelResult {
+  EventDataset dataset;
+  std::vector<detect::StreamingDayResult> days;
+  std::array<detect::IpSet, 3> ips;
+  PipelineHealth health;
+};
+
+class ParallelPipeline {
+ public:
+  /// Spawns the worker threads immediately; they park on empty rings.
+  ParallelPipeline(net::PrefixSet dark_space, ParallelConfig config);
+
+  /// Joins workers (discarding any un-finished state) if finish() was
+  /// never called.
+  ~ParallelPipeline();
+
+  ParallelPipeline(const ParallelPipeline&) = delete;
+  ParallelPipeline& operator=(const ParallelPipeline&) = delete;
+
+  /// Feeds one packet. Timestamps must be non-decreasing (the same
+  /// contract as EventAggregator::observe); a regression throws
+  /// std::invalid_argument from the dispatcher before dispatch.
+  void observe(const pkt::Packet& packet);
+
+  /// Flushes, stops and joins the workers, then merges shard state into
+  /// the serial-identical result. Call at most once.
+  ParallelResult finish();
+
+  /// Packets accepted so far — the resume cursor used by live_monitor to
+  /// skip already-processed input after restore().
+  std::uint64_t packets_ingested() const { return health_.ingested; }
+  const ParallelConfig& config() const { return config_; }
+
+  /// Quiesces the shards (flushes pending batches, waits until every
+  /// ring drains) and snapshots the whole pipeline. The snapshot records
+  /// the shard count and echoes each shard's aggregator/detector
+  /// configuration; restore() rejects any mismatch (std::runtime_error),
+  /// since per-shard state is meaningless under a different partition.
+  void checkpoint(CheckpointWriter& writer);
+  void restore(CheckpointReader& reader);
+
+ private:
+  struct Batch {
+    std::vector<pkt::Packet> packets;
+    bool stop = false;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRing<Batch> ring;
+    /// Batches handed to the ring (dispatcher-owned).
+    std::uint64_t pushed = 0;
+    /// Batches fully processed (worker publishes with release; the
+    /// dispatcher's acquire read during quiesce therefore sees all shard
+    /// state the worker wrote).
+    std::atomic<std::uint64_t> consumed{0};
+    /// Packets delivered to the aggregator (worker-owned; read only
+    /// while quiesced).
+    std::uint64_t delivered = 0;
+
+    /// Shard-local capture state (worker-owned while batches are in
+    /// flight; dispatcher may touch it only when quiesced).
+    std::vector<DarknetEvent> events;
+    std::unique_ptr<EventAggregator> aggregator;
+    std::unique_ptr<detect::ShardDetectorSlice> slice;
+    std::vector<pkt::Packet> pending;  // dispatcher-side partial batch
+    std::thread worker;
+  };
+
+  void blocking_push(Shard& shard, Batch&& batch);
+  void flush_pending();
+  /// Blocks until every pushed batch has been consumed.
+  void quiesce();
+  void stop_workers();
+  void worker_loop(Shard& shard);
+
+  ParallelConfig config_;
+  net::PrefixSet dark_space_;
+  std::uint64_t darknet_size_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  PipelineHealth health_;
+  net::SimTime last_timestamp_;
+  bool saw_packet_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace orion::telescope

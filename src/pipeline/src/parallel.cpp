@@ -1,0 +1,251 @@
+#include "orion/telescope/parallel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "orion/netbase/shard.hpp"
+#include "orion/telescope/checkpoint.hpp"
+
+namespace orion::telescope {
+
+namespace {
+
+constexpr std::uint64_t kPipelineTag = checkpoint_tag('P', 'P', 'L', '1');
+
+void put_event(CheckpointWriter& w, const DarknetEvent& e) {
+  w.u64(e.key.src.value());
+  w.u64(e.key.dst_port);
+  w.u8(static_cast<std::uint8_t>(e.key.type));
+  w.i64(e.start.since_epoch().total_nanos());
+  w.i64(e.end.since_epoch().total_nanos());
+  w.u64(e.packets);
+  w.u64(e.unique_dests);
+  for (const std::uint64_t t : e.packets_by_tool) w.u64(t);
+}
+
+DarknetEvent get_event(CheckpointReader& r) {
+  DarknetEvent e;
+  e.key.src = net::Ipv4Address(static_cast<std::uint32_t>(r.u64("event src")));
+  e.key.dst_port = static_cast<std::uint16_t>(r.u64("event port"));
+  const std::uint8_t type = r.u8("event type");
+  if (type > static_cast<std::uint8_t>(pkt::TrafficType::Other)) {
+    throw std::runtime_error("checkpoint: bad traffic type");
+  }
+  e.key.type = static_cast<pkt::TrafficType>(type);
+  e.start = net::SimTime::at(net::Duration::nanos(r.i64("event start")));
+  e.end = net::SimTime::at(net::Duration::nanos(r.i64("event end")));
+  e.packets = r.u64("event packets");
+  e.unique_dests = r.u64("event dests");
+  for (std::uint64_t& t : e.packets_by_tool) t = r.u64("tool packets");
+  return e;
+}
+
+}  // namespace
+
+ParallelPipeline::ParallelPipeline(net::PrefixSet dark_space,
+                                   ParallelConfig config)
+    : config_(config),
+      dark_space_(std::move(dark_space)),
+      darknet_size_(dark_space_.total_addresses()) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("ParallelPipeline: zero shards");
+  }
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("ParallelPipeline: zero batch size");
+  }
+  if (config_.ring_capacity == 0) {
+    throw std::invalid_argument("ParallelPipeline: zero ring capacity");
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(config_.ring_capacity);
+    Shard* raw = shard.get();
+    raw->slice = std::make_unique<detect::ShardDetectorSlice>(config_.detector,
+                                                              darknet_size_);
+    raw->aggregator = std::make_unique<EventAggregator>(
+        dark_space_, config_.aggregator, [raw](const DarknetEvent& event) {
+          raw->events.push_back(event);
+          raw->slice->observe(event);
+        });
+    raw->pending.reserve(config_.batch_size);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
+  }
+}
+
+ParallelPipeline::~ParallelPipeline() {
+  if (!finished_) stop_workers();
+}
+
+void ParallelPipeline::worker_loop(Shard& shard) {
+  unsigned spins = 0;
+  Batch batch;
+  for (;;) {
+    if (!shard.ring.try_pop(batch)) {
+      spsc_backoff(spins);
+      continue;
+    }
+    spins = 0;
+    const bool stop = batch.stop;
+    for (const pkt::Packet& packet : batch.packets) {
+      shard.aggregator->observe(packet);
+      ++shard.delivered;
+    }
+    // Release-publish completion: the dispatcher's acquire read in
+    // quiesce() then sees every shard-state write this batch made.
+    shard.consumed.fetch_add(1, std::memory_order_release);
+    if (stop) return;
+  }
+}
+
+void ParallelPipeline::blocking_push(Shard& shard, Batch&& batch) {
+  unsigned spins = 0;
+  while (!shard.ring.try_push(batch)) spsc_backoff(spins);
+  ++shard.pushed;
+}
+
+void ParallelPipeline::flush_pending() {
+  for (auto& shard : shards_) {
+    if (shard->pending.empty()) continue;
+    Batch batch;
+    batch.packets = std::move(shard->pending);
+    shard->pending.clear();
+    shard->pending.reserve(config_.batch_size);
+    blocking_push(*shard, std::move(batch));
+  }
+}
+
+void ParallelPipeline::quiesce() {
+  for (auto& shard : shards_) {
+    unsigned spins = 0;
+    while (shard->consumed.load(std::memory_order_acquire) < shard->pushed) {
+      spsc_backoff(spins);
+    }
+  }
+}
+
+void ParallelPipeline::stop_workers() {
+  for (auto& shard : shards_) {
+    Batch stop;
+    stop.stop = true;
+    blocking_push(*shard, std::move(stop));
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ParallelPipeline::observe(const pkt::Packet& packet) {
+  if (finished_) {
+    throw std::logic_error("ParallelPipeline::observe after finish");
+  }
+  if (saw_packet_ && packet.timestamp < last_timestamp_) {
+    throw std::invalid_argument(
+        "ParallelPipeline::observe: timestamps must be non-decreasing");
+  }
+  saw_packet_ = true;
+  last_timestamp_ = packet.timestamp;
+  ++health_.ingested;
+
+  Shard& shard =
+      *shards_[net::shard_of(packet.tuple.src, config_.shards)];
+  shard.pending.push_back(packet);
+  if (shard.pending.size() >= config_.batch_size) {
+    Batch batch;
+    batch.packets = std::move(shard.pending);
+    shard.pending.clear();
+    shard.pending.reserve(config_.batch_size);
+    blocking_push(shard, std::move(batch));
+  }
+}
+
+ParallelResult ParallelPipeline::finish() {
+  if (finished_) {
+    throw std::logic_error("ParallelPipeline::finish called twice");
+  }
+  flush_pending();
+  stop_workers();
+  finished_ = true;
+
+  std::vector<DarknetEvent> events;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    shard->aggregator->finish();
+    total += shard->events.size();
+  }
+  events.reserve(total);
+  std::vector<const detect::ShardDetectorSlice*> slices;
+  slices.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    events.insert(events.end(), shard->events.begin(), shard->events.end());
+    health_.delivered += shard->delivered;
+    slices.push_back(shard->slice.get());
+  }
+
+  detect::MergedDetection merged = detect::merge_shard_slices(slices);
+  return ParallelResult{EventDataset(std::move(events), darknet_size_),
+                        std::move(merged.days), std::move(merged.ips),
+                        health_};
+}
+
+void ParallelPipeline::checkpoint(CheckpointWriter& writer) {
+  if (finished_) {
+    throw std::logic_error("ParallelPipeline::checkpoint after finish");
+  }
+  flush_pending();
+  quiesce();
+
+  writer.tag(kPipelineTag);
+  // Partition echo: a snapshot's per-shard state is meaningless under a
+  // different shard count, so restore() verifies it. The per-shard
+  // aggregator/detector sections echo their own configurations.
+  writer.u64(config_.shards);
+  writer.u64(darknet_size_);
+  writer.u8(saw_packet_ ? 1 : 0);
+  writer.i64(last_timestamp_.since_epoch().total_nanos());
+  writer.u64(health_.ingested);
+  for (const auto& shard : shards_) {
+    writer.u64(shard->delivered);
+    writer.u64(shard->events.size());
+    for (const DarknetEvent& e : shard->events) put_event(writer, e);
+    shard->aggregator->checkpoint(writer);
+    shard->slice->checkpoint(writer);
+  }
+}
+
+void ParallelPipeline::restore(CheckpointReader& reader) {
+  if (finished_ || saw_packet_) {
+    throw std::logic_error(
+        "ParallelPipeline::restore on a pipeline already in use");
+  }
+  reader.expect_tag(kPipelineTag, "ParallelPipeline");
+  if (reader.u64("shard count") != config_.shards) {
+    throw std::runtime_error("checkpoint: ParallelPipeline shard mismatch");
+  }
+  if (reader.u64("darknet size") != darknet_size_) {
+    throw std::runtime_error("checkpoint: ParallelPipeline darknet mismatch");
+  }
+  saw_packet_ = reader.u8("saw packet") != 0;
+  last_timestamp_ =
+      net::SimTime::at(net::Duration::nanos(reader.i64("last timestamp")));
+  health_.ingested = reader.u64("packets ingested");
+  for (auto& shard : shards_) {
+    // Workers are parked on empty rings (nothing was ever pushed), so the
+    // dispatcher may write shard state; the first pushed batch's release/
+    // acquire pair publishes it to the worker.
+    shard->delivered = reader.u64("shard delivered");
+    const std::uint64_t event_count = reader.u64("shard event count");
+    shard->events.clear();
+    shard->events.reserve(static_cast<std::size_t>(event_count));
+    for (std::uint64_t i = 0; i < event_count; ++i) {
+      shard->events.push_back(get_event(reader));
+    }
+    shard->aggregator->restore(reader);
+    shard->slice->restore(reader);
+  }
+}
+
+}  // namespace orion::telescope

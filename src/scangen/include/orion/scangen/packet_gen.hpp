@@ -27,6 +27,17 @@ struct PacketGenConfig {
   /// destinations uniformly per packet — cheaper, used for ISP spaces
   /// where only packet counts matter.
   bool exact_targets = true;
+  /// Opt-in deterministic per-scanner sub-stream seeding: session
+  /// sub-streams fork from a scanner-LOCAL stream index instead of the
+  /// global sub-stream count, so a scanner's packets are bit-identical
+  /// no matter which other scanners are generated alongside it. Required
+  /// for shard_count > 1; off by default to keep legacy streams stable.
+  bool stable_streams = false;
+  /// With shard_count > 1, generate only the scanners whose source IP
+  /// hashes to `shard` (net::shard_of — the ParallelPipeline partition),
+  /// letting N generators independently produce the N shard inputs.
+  std::size_t shard = 0;
+  std::size_t shard_count = 1;
 };
 
 class PacketStreamGenerator {
@@ -63,7 +74,8 @@ class PacketStreamGenerator {
   };
 
   void add_session_streams(const ScannerProfile& scanner,
-                           const SessionSpec& session, net::Rng& scanner_rng);
+                           const SessionSpec& session, net::Rng& scanner_rng,
+                           std::uint64_t& scanner_streams);
   void push_stream(std::size_t index);
   pkt::Packet make_packet(SubStream& stream, net::SimTime when);
 

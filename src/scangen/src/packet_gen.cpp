@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "orion/netbase/shard.hpp"
 #include "orion/scangen/arrivals.hpp"
 #include "orion/scangen/target_sampler.hpp"
 
@@ -15,11 +17,25 @@ PacketStreamGenerator::PacketStreamGenerator(
       window_start_(window_start),
       window_end_(window_end),
       config_(config) {
+  if (config_.shard_count > 1 && !config_.stable_streams) {
+    // Sharded generation only makes sense when a scanner's sub-streams
+    // don't depend on the rest of the population.
+    throw std::invalid_argument(
+        "PacketStreamGenerator: shard_count > 1 requires stable_streams");
+  }
+  if (config_.shard_count > 0 && config_.shard >= config_.shard_count) {
+    throw std::invalid_argument("PacketStreamGenerator: shard out of range");
+  }
   for (const ScannerProfile& scanner : scanners) {
+    if (config_.shard_count > 1 &&
+        net::shard_of(scanner.source, config_.shard_count) != config_.shard) {
+      continue;
+    }
     net::Rng scanner_rng = net::Rng(config.seed).fork(scanner.rng_stream);
+    std::uint64_t scanner_streams = 0;
     for (const SessionSpec& session : scanner.sessions) {
       if (session.end() <= window_start_ || session.start >= window_end_) continue;
-      add_session_streams(scanner, session, scanner_rng);
+      add_session_streams(scanner, session, scanner_rng, scanner_streams);
     }
   }
   for (std::size_t i = 0; i < streams_.size(); ++i) push_stream(i);
@@ -27,7 +43,8 @@ PacketStreamGenerator::PacketStreamGenerator(
 
 void PacketStreamGenerator::add_session_streams(const ScannerProfile& scanner,
                                                 const SessionSpec& session,
-                                                net::Rng& scanner_rng) {
+                                                net::Rng& scanner_rng,
+                                                std::uint64_t& scanner_streams) {
   const std::uint64_t space_size = space_.total_addresses();
 
   // Overlap of the session with the generation window.
@@ -59,8 +76,14 @@ void PacketStreamGenerator::add_session_streams(const ScannerProfile& scanner,
         frac >= 1.0 ? session_total : scanner_rng.binomial(session_total, frac);
     if (in_window == 0) continue;
 
-    SubStream stream(&scanner, scanner_rng.fork(streams_.size() + 1),
-                     scanner_rng.fork(streams_.size() + 0x10000));
+    // Legacy seeding forks from the global sub-stream count, which ties a
+    // scanner's packets to the whole population; stable mode forks from
+    // the scanner-local index so per-scanner streams survive filtering.
+    const std::uint64_t stream_id =
+        config_.stable_streams ? scanner_streams : streams_.size();
+    ++scanner_streams;
+    SubStream stream(&scanner, scanner_rng.fork(stream_id + 1),
+                     scanner_rng.fork(stream_id + 0x10000));
     stream.port = port;
     stream.repeats = std::max(1, session.repeats);
     stream.remaining = in_window;

@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "orion/netbase/flat_map.hpp"
 #include "orion/netbase/prefix.hpp"
 #include "orion/stats/hyperloglog.hpp"
 #include "orion/telescope/event.hpp"
@@ -26,6 +26,10 @@ struct AggregatorConfig {
   int hll_precision = 12;
   /// How often (in event time) the lazy expiry sweep runs.
   net::Duration sweep_interval = net::Duration::minutes(5);
+  /// Slots pre-reserved in the live-event table (hot per-packet map);
+  /// sized for the concurrent-scanner population, not total sources.
+  /// Capacity only — results are unaffected, so it is not config-echoed.
+  std::size_t live_reserve = 4096;
 };
 
 /// Turns a time-ordered stream of darknet packets into completed
@@ -90,7 +94,9 @@ class EventAggregator {
   net::PrefixSet dark_space_;
   AggregatorConfig config_;
   EventSink sink_;
-  std::unordered_map<EventKey, LiveEvent, EventKeyHash> live_;
+  /// Open-addressing flat table: probed once per scanning packet, so it
+  /// avoids unordered_map's per-node allocations and pointer chases.
+  net::FlatMap<EventKey, LiveEvent, EventKeyHash> live_;
 
   net::SimTime last_timestamp_;
   net::SimTime next_sweep_;

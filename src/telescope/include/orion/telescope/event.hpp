@@ -67,6 +67,8 @@ struct DarknetEvent {
   /// Zero-based scenario day the event is attributed to (its start day) —
   /// the paper computes daily statistics from event start times.
   std::int64_t day() const { return start.day(); }
+
+  friend bool operator==(const DarknetEvent&, const DarknetEvent&) = default;
 };
 
 using EventSink = std::function<void(const DarknetEvent&)>;

@@ -38,6 +38,9 @@ struct PipelineHealth {
 
   /// One-line operator summary.
   std::string to_string() const;
+
+  friend constexpr bool operator==(const PipelineHealth&,
+                                   const PipelineHealth&) = default;
 };
 
 }  // namespace orion::telescope

@@ -1,0 +1,82 @@
+// Bounded single-producer / single-consumer ring buffer: the only
+// cross-thread channel in the parallel telescope pipeline. The dispatcher
+// (producer) pushes packet batches, one worker shard (consumer) pops them.
+//
+// Lock-free in the steady state: head/tail are monotonically increasing
+// counters; the producer owns head, the consumer owns tail, and each side
+// publishes with a release store the other reads with an acquire load.
+// A full ring makes try_push fail — the pipeline's backpressure policy is
+// to *block the producer* (spin-then-yield-then-nap), never to drop, so
+// in-flight memory is bounded by ring_capacity × shards × batch_size
+// packets (DESIGN.md §9.3).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace orion::telescope {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False when the ring is full (value untouched).
+  bool try_push(T& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[static_cast<std::size_t>(head) & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[static_cast<std::size_t>(tail) & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact from either owning thread).
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 1;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+/// Shared wait strategy for both ring sides: brief spin for the
+/// low-latency case, then yield, then short naps so a starved side (or a
+/// single-core host) never burns the CPU the other side needs.
+inline void spsc_backoff(unsigned& spins) {
+  ++spins;
+  if (spins < 16) return;
+  if (spins < 64) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+}  // namespace orion::telescope

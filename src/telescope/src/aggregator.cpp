@@ -1,5 +1,6 @@
 #include "orion/telescope/aggregator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -21,6 +22,7 @@ EventAggregator::EventAggregator(net::PrefixSet dark_space,
   if (config_.timeout.total_nanos() <= 0) {
     throw std::invalid_argument("EventAggregator: non-positive timeout");
   }
+  live_.reserve(config_.live_reserve);
 }
 
 void EventAggregator::observe(const pkt::Packet& packet) {
@@ -52,28 +54,27 @@ void EventAggregator::observe(const pkt::Packet& packet) {
                      type == pkt::TrafficType::IcmpEchoReq ? std::uint16_t{0}
                                                            : packet.tuple.dst_port,
                      type};
-  auto it = live_.find(key);
-  if (it != live_.end() &&
-      packet.timestamp - it->second.last_seen > config_.timeout) {
+  LiveEvent* live = live_.find(key);
+  if (live != nullptr &&
+      packet.timestamp - live->last_seen > config_.timeout) {
     // The previous event for this key already expired; emit it and start a
     // fresh one. (The sweep usually does this, but a key can stay idle
     // across a sweep boundary when sweeps are coarse.)
-    emit(key, it->second);
-    live_.erase(it);
-    it = live_.end();
+    emit(key, *live);
+    live_.erase(key);
+    live = nullptr;
   }
-  if (it == live_.end()) {
-    it = live_
-             .emplace(key, LiveEvent(config_.exact_dest_limit,
-                                     config_.hll_precision))
-             .first;
-    it->second.start = packet.timestamp;
+  if (live == nullptr) {
+    live = live_
+               .try_emplace(key, LiveEvent(config_.exact_dest_limit,
+                                           config_.hll_precision))
+               .first;
+    live->start = packet.timestamp;
   }
-  LiveEvent& live = it->second;
-  live.last_seen = packet.timestamp;
-  ++live.packets;
-  ++live.packets_by_tool[tool_index(pkt::fingerprint_of(packet))];
-  live.dests.add(dark_space_.offset_of(packet.tuple.dst));
+  live->last_seen = packet.timestamp;
+  ++live->packets;
+  ++live->packets_by_tool[tool_index(pkt::fingerprint_of(packet))];
+  live->dests.add(dark_space_.offset_of(packet.tuple.dst));
 }
 
 void EventAggregator::advance_to(net::SimTime now) {
@@ -85,7 +86,9 @@ void EventAggregator::advance_to(net::SimTime now) {
 }
 
 void EventAggregator::finish() {
-  for (const auto& [key, live] : live_) emit(key, live);
+  live_.for_each([this](const EventKey& key, const LiveEvent& live) {
+    emit(key, live);
+  });
   live_.clear();
 }
 
@@ -123,9 +126,18 @@ void EventAggregator::checkpoint(CheckpointWriter& writer) const {
   writer.u64(ignored_out_of_space_);
   writer.u64(ignored_non_scanning_);
   writer.u64(events_emitted_);
-  // Live-event table.
+  // Live-event table, in key order so snapshots are byte-deterministic
+  // regardless of the table's probe-slot layout.
   writer.u64(live_.size());
-  for (const auto& [key, live] : live_) {
+  std::vector<std::pair<EventKey, const LiveEvent*>> ordered;
+  ordered.reserve(live_.size());
+  live_.for_each([&ordered](const EventKey& key, const LiveEvent& live) {
+    ordered.emplace_back(key, &live);
+  });
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, live_ptr] : ordered) {
+    const LiveEvent& live = *live_ptr;
     writer.u64(key.src.value());
     writer.u64(key.dst_port);
     writer.u8(static_cast<std::uint8_t>(key.type));
@@ -134,8 +146,11 @@ void EventAggregator::checkpoint(CheckpointWriter& writer) const {
     writer.u64(live.packets);
     for (const std::uint64_t t : live.packets_by_tool) writer.u64(t);
     writer.u8(live.dests.is_exact() ? 0 : 1);
-    writer.u64(live.dests.exact_keys().size());
-    for (const std::uint64_t k : live.dests.exact_keys()) writer.u64(k);
+    std::vector<std::uint64_t> exact(live.dests.exact_keys().begin(),
+                                     live.dests.exact_keys().end());
+    std::sort(exact.begin(), exact.end());
+    writer.u64(exact.size());
+    for (const std::uint64_t k : exact) writer.u64(k);
     writer.bytes(live.dests.sketch().registers());
   }
 }
@@ -205,19 +220,18 @@ void EventAggregator::restore(CheckpointReader& reader) {
     stats::HyperLogLog sketch(config_.hll_precision);
     sketch.set_registers(reader.bytes(sketch.registers().size(), "hll registers"));
     live.dests.restore(promoted, std::move(exact), std::move(sketch));
-    live_.emplace(key, std::move(live));
+    live_.try_emplace(key, std::move(live));
   }
 }
 
 void EventAggregator::sweep(net::SimTime now) {
-  for (auto it = live_.begin(); it != live_.end();) {
-    if (now - it->second.last_seen > config_.timeout) {
-      emit(it->first, it->second);
-      it = live_.erase(it);
-    } else {
-      ++it;
+  live_.erase_if([&](const EventKey& key, const LiveEvent& live) {
+    if (now - live.last_seen > config_.timeout) {
+      emit(key, live);
+      return true;
     }
-  }
+    return false;
+  });
   next_sweep_ = now + config_.sweep_interval;
 }
 

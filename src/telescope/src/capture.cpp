@@ -44,9 +44,13 @@ DarknetEvent get_event(CheckpointReader& r) {
 EventDataset::EventDataset(std::vector<DarknetEvent> events,
                            std::uint64_t darknet_size)
     : events_(std::move(events)), darknet_size_(darknet_size) {
+  // Total order (start, key): (start, key) is unique — one live event per
+  // key at a time — so dataset order is independent of emission order,
+  // which the sharded pipeline relies on for byte-identical merges.
   std::sort(events_.begin(), events_.end(),
             [](const DarknetEvent& a, const DarknetEvent& b) {
-              return a.start < b.start;
+              if (a.start != b.start) return a.start < b.start;
+              return a.key < b.key;
             });
   std::unordered_set<net::Ipv4Address> sources;
   for (const DarknetEvent& e : events_) {

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "orion/detect/detector.hpp"
 #include "orion/detect/lists.hpp"
+#include "orion/detect/port_set.hpp"
+#include "orion/netbase/rng.hpp"
 
 namespace orion::detect {
 namespace {
@@ -582,6 +586,62 @@ TEST(ListDiff, ChurnSeriesWalksConsecutiveDays) {
   EXPECT_EQ(series[0].second.removed.size(), 1u);
   EXPECT_EQ(series[1].first, 4);
   EXPECT_EQ(series[1].second.stable, 1u);
+}
+
+// ------------------------------------------------------------------ PortSet
+
+// Model check across the small-vector -> bitmap promotion boundary: the
+// flat set must agree with std::set<uint16_t> on every operation.
+TEST(PortSet, AgreesWithSetModelAcrossPromotion) {
+  PortSet flat;
+  std::set<std::uint16_t> model;
+  net::Rng rng(4);
+  for (int step = 0; step < 4000; ++step) {
+    const auto port = static_cast<std::uint16_t>(rng.bounded(200));
+    EXPECT_EQ(flat.insert(port), model.insert(port).second);
+    ASSERT_EQ(flat.size(), model.size());
+  }
+  for (std::uint16_t p = 0; p < 200; ++p) {
+    EXPECT_EQ(flat.contains(p), model.count(p) > 0);
+  }
+  // for_each must visit in ascending order, same as the model.
+  std::vector<std::uint16_t> visited;
+  flat.for_each([&](std::uint16_t p) { visited.push_back(p); });
+  EXPECT_EQ(visited, std::vector<std::uint16_t>(model.begin(), model.end()));
+}
+
+TEST(PortSet, SmallSetsStayInline) {
+  PortSet set;
+  for (std::uint16_t p : {80, 443, 22, 8080, 80, 443}) set.insert(p);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.contains(22));
+  EXPECT_FALSE(set.contains(23));
+  std::vector<std::uint16_t> visited;
+  set.for_each([&](std::uint16_t p) { visited.push_back(p); });
+  EXPECT_EQ(visited, (std::vector<std::uint16_t>{22, 80, 443, 8080}));
+}
+
+TEST(PortSet, CopiesAreIndependent) {
+  PortSet a;
+  for (std::uint16_t p = 0; p < 100; ++p) a.insert(p);  // promoted to bitmap
+  PortSet b = a;
+  EXPECT_EQ(a, b);
+  b.insert(60000);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.contains(60000));
+  EXPECT_TRUE(b.contains(60000));
+  EXPECT_EQ(b.size(), 101u);
+}
+
+TEST(PortSet, HandlesExtremePortValues) {
+  PortSet set;
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_TRUE(set.insert(65535));
+  EXPECT_FALSE(set.insert(65535));
+  for (std::uint16_t p = 1; p <= 30; ++p) set.insert(p);  // force promotion
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(65535));
+  EXPECT_EQ(set.size(), 32u);
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "orion/netbase/checksum.hpp"
 #include "orion/netbase/five_tuple.hpp"
+#include "orion/netbase/flat_map.hpp"
+#include "orion/netbase/shard.hpp"
 #include "orion/netbase/ipv4.hpp"
 #include "orion/netbase/prefix.hpp"
 #include "orion/netbase/rng.hpp"
@@ -348,6 +352,102 @@ TEST(FiveTuple, ProtoNames) {
   EXPECT_STREQ(to_string(IpProto::Tcp), "TCP");
   EXPECT_STREQ(to_string(IpProto::Udp), "UDP");
   EXPECT_STREQ(to_string(IpProto::Icmp), "ICMP");
+}
+
+// ------------------------------------------------------------------ FlatMap
+
+// Randomized model check: the open-addressing table must agree with
+// std::unordered_map under an arbitrary mix of inserts, erases, and
+// lookups (exercising growth, backward-shift deletion, and clustering).
+TEST(FlatMap, AgreesWithUnorderedMapModel) {
+  FlatMap<std::uint32_t, std::uint64_t> table;
+  std::unordered_map<std::uint32_t, std::uint64_t> model;
+  Rng rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint32_t key = static_cast<std::uint32_t>(rng.bounded(512));
+    const int op = static_cast<int>(rng.bounded(3));
+    if (op == 0) {
+      const auto [slot, inserted] = table.try_emplace(key, 0);
+      const auto [it, model_inserted] = model.try_emplace(key, 0);
+      EXPECT_EQ(inserted, model_inserted);
+      *slot += step;
+      it->second += step;
+    } else if (op == 1) {
+      EXPECT_EQ(table.erase(key), model.erase(key) > 0);
+    } else {
+      const std::uint64_t* found = table.find(key);
+      const auto it = model.find(key);
+      ASSERT_EQ(found != nullptr, it != model.end());
+      if (found != nullptr) EXPECT_EQ(*found, it->second);
+    }
+    ASSERT_EQ(table.size(), model.size());
+  }
+  std::unordered_map<std::uint32_t, std::uint64_t> dumped;
+  table.for_each([&](const std::uint32_t& k, const std::uint64_t& v) {
+    dumped.emplace(k, v);
+  });
+  EXPECT_EQ(dumped, model);
+}
+
+TEST(FlatMap, EraseIfRemovesMatchingEntries) {
+  FlatMap<std::uint32_t, std::uint32_t> table;
+  for (std::uint32_t i = 0; i < 1000; ++i) *table.try_emplace(i, i).first = i;
+  const std::size_t removed =
+      table.erase_if([](const std::uint32_t&, const std::uint32_t& v) {
+        return v % 3 == 0;
+      });
+  // erase_if may miss an entry that wraps into an already-visited slot in
+  // one sweep; callers rely only on idempotence, so re-run to a fixpoint.
+  std::size_t total = removed;
+  while (true) {
+    const std::size_t more =
+        table.erase_if([](const std::uint32_t&, const std::uint32_t& v) {
+          return v % 3 == 0;
+        });
+    if (more == 0) break;
+    total += more;
+  }
+  EXPECT_EQ(total, 334u);
+  EXPECT_EQ(table.size(), 666u);
+  table.for_each([](const std::uint32_t&, const std::uint32_t& v) {
+    EXPECT_NE(v % 3, 0u);
+  });
+}
+
+TEST(FlatMap, ReserveKeepsContents) {
+  FlatMap<std::uint32_t, std::uint32_t> table;
+  for (std::uint32_t i = 0; i < 100; ++i) *table.try_emplace(i, 0).first = i;
+  table.reserve(100000);
+  EXPECT_EQ(table.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const std::uint32_t* v = table.find(i);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+}
+
+// ----------------------------------------------------------------- shard_of
+
+TEST(Shard, StableAndInRange) {
+  const Ipv4Address a(0xC0000201u);
+  const std::size_t first = shard_of(a, 7);
+  EXPECT_LT(first, 7u);
+  EXPECT_EQ(shard_of(a, 7), first);  // pure function of (src, count)
+  EXPECT_EQ(shard_of(a, 1), 0u);
+  EXPECT_EQ(shard_of(a, 0), 0u);
+}
+
+TEST(Shard, SpreadsSourcesRoughlyEvenly) {
+  constexpr std::size_t kShards = 8;
+  std::array<std::size_t, kShards> counts{};
+  for (std::uint32_t i = 0; i < 80000; ++i) {
+    // Adjacent addresses (the adversarial case for naive modulo).
+    ++counts[shard_of(Ipv4Address(0x0A000000u + i), kShards)];
+  }
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, 80000 / kShards / 2);
+    EXPECT_LT(c, 80000 / kShards * 2);
+  }
 }
 
 }  // namespace

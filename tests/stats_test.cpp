@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "orion/stats/bottomk.hpp"
 #include "orion/stats/coverage.hpp"
 #include "orion/stats/ecdf.hpp"
 #include "orion/stats/hyperloglog.hpp"
@@ -405,6 +406,81 @@ TEST(P2Quantile, TracksHeavyTail) {
   const double exact = samples[static_cast<std::size_t>(0.99 * samples.size())];
   EXPECT_GT(p2.estimate(), exact * 0.5);
   EXPECT_LT(p2.estimate(), exact * 2.0);
+}
+
+// ----------------------------------------------------------- BottomKSampler
+
+// The property the parallel pipeline's determinism rests on: a bottom-k
+// sample is a pure function of the SET of identities seen — insertion
+// order cannot matter.
+TEST(BottomKSampler, OrderIndependent) {
+  BottomKSampler forward(50, 7);
+  BottomKSampler backward(50, 7);
+  for (std::uint64_t i = 0; i < 1000; ++i) forward.add(i, 0, i * 3);
+  for (std::uint64_t i = 1000; i-- > 0;) backward.add(i, 0, i * 3);
+  EXPECT_EQ(forward, backward);
+  // values() order reflects heap layout (callers sort — Ecdf does); the
+  // sampled multiset itself must be order-independent.
+  auto vf = forward.values(), vb = backward.values();
+  std::sort(vf.begin(), vf.end());
+  std::sort(vb.begin(), vb.end());
+  EXPECT_EQ(vf, vb);
+  EXPECT_EQ(forward.seen(), 1000u);
+  EXPECT_EQ(forward.sample_size(), 50u);
+}
+
+// Exact mergeability: bottom-k of a union equals the merge of per-part
+// bottom-k samples, for any partition.
+TEST(BottomKSampler, MergeEqualsWholeStreamSample) {
+  BottomKSampler whole(64, 42);
+  BottomKSampler parts[3] = {BottomKSampler(64, 42), BottomKSampler(64, 42),
+                             BottomKSampler(64, 42)};
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    whole.add(i, i ^ 17, i % 97);
+    parts[i % 3].add(i, i ^ 17, i % 97);
+  }
+  BottomKSampler merged(64, 42);
+  for (const BottomKSampler& part : parts) merged.merge(part);
+  EXPECT_EQ(merged, whole);
+  EXPECT_EQ(merged.seen(), whole.seen());
+  auto vm = merged.values(), vw = whole.values();
+  std::sort(vm.begin(), vm.end());
+  std::sort(vw.begin(), vw.end());
+  EXPECT_EQ(vm, vw);
+}
+
+TEST(BottomKSampler, KeepsEverythingBelowCapacity) {
+  BottomKSampler sampler(100, 1);
+  for (std::uint64_t i = 0; i < 60; ++i) sampler.add(i, 0, i + 1);
+  EXPECT_EQ(sampler.sample_size(), 60u);
+  auto values = sampler.values();
+  std::sort(values.begin(), values.end());
+  for (std::uint64_t i = 0; i < 60; ++i) EXPECT_EQ(values[i], i + 1);
+}
+
+TEST(BottomKSampler, SeedChangesTheSample) {
+  BottomKSampler a(20, 1);
+  BottomKSampler b(20, 2);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    a.add(i, 0, i);
+    b.add(i, 0, i);
+  }
+  auto va = a.values(), vb = b.values();
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  EXPECT_NE(va, vb);
+}
+
+TEST(BottomKSampler, RestoreRoundTrips) {
+  BottomKSampler sampler(30, 9);
+  for (std::uint64_t i = 0; i < 300; ++i) sampler.add(i, i + 1, i * 7);
+  BottomKSampler restored(30, 9);
+  restored.restore(sampler.seen(), sampler.sorted_entries());
+  EXPECT_EQ(restored, sampler);
+  // A restored sampler must keep evolving identically.
+  sampler.add(1000, 0, 5);
+  restored.add(1000, 0, 5);
+  EXPECT_EQ(restored, sampler);
 }
 
 }  // namespace
