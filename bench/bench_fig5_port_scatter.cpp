@@ -54,7 +54,9 @@ int main() {
     for (const net::Ipv4Address ip : detection.of(definition).daily[index]) {
       ah.insert(ip);
     }
-    const auto dark = impact::darknet_port_mix(world.dataset(2022), day, ah);
+    // Single-sweep per-day mixes instead of a full rescan per (day, set).
+    const impact::DailyDarknetMix mix(world.dataset(2022), ah);
+    const auto& dark = mix.ports(day);
     const auto flow = analyzer.port_mix(0, day, ah);
     const double dark_total = static_cast<double>(dark.total());
     const double flow_total = static_cast<double>(flow.total());

@@ -37,6 +37,9 @@ struct Measurement {
   std::size_t shards = 0;  // 0: serial reference path
   double seconds = 0;
   double pps = 0;
+  /// More worker shards than hardware threads: the numbers measure
+  /// context-switch overhead, not scaling.
+  bool oversubscribed = false;
 };
 
 double best_seconds(int reps, const std::function<std::uint64_t()>& run) {
@@ -56,6 +59,7 @@ double best_seconds(int reps, const std::function<std::uint64_t()>& run) {
 int main(int argc, char** argv) {
   std::int64_t days = 3;
   int reps = 3;
+  bool run_all = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,9 +69,11 @@ int main(int argc, char** argv) {
       reps = std::stoi(argv[++i]);
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--all") {
+      run_all = true;
     } else {
       std::cerr << "usage: bench_pipeline_scaling [--days N] [--reps R] "
-                   "[--json PATH]\n";
+                   "[--json PATH] [--all]\n";
       return 1;
     }
   }
@@ -125,9 +131,19 @@ int main(int argc, char** argv) {
     results.push_back(m);
   }
 
+  // Shard counts beyond the host's hardware threads measure scheduler
+  // thrash, not scaling; skip them unless --all asks for the full sweep,
+  // so 1-core CI hosts aren't dominated by meaningless slowdown rows.
+  std::vector<std::size_t> skipped;
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const bool oversubscribed = hw != 0 && shards > hw;
+    if (oversubscribed && !run_all) {
+      skipped.push_back(shards);
+      continue;
+    }
     Measurement m;
     m.shards = shards;
+    m.oversubscribed = oversubscribed;
     m.seconds = best_seconds(reps, [&]() {
       telescope::ParallelConfig config;
       config.shards = shards;
@@ -142,14 +158,15 @@ int main(int argc, char** argv) {
     results.push_back(m);
   }
 
-  const double base_pps = results[1].pps;  // 1 shard
+  const double base_pps = results[1].pps;  // 1 shard (never skipped)
   report::Table table({"configuration", "seconds (best)", "packets/sec",
                        "speedup vs 1 shard"});
   for (const Measurement& m : results) {
-    const std::string name =
+    std::string name =
         m.shards == 0 ? "serial reference"
                       : std::to_string(m.shards) + " shard" +
                             (m.shards == 1 ? "" : "s");
+    if (m.oversubscribed) name += " (oversubscribed)";
     char pps_buf[64], sec_buf[64], spd_buf[64];
     std::snprintf(sec_buf, sizeof sec_buf, "%.3f", m.seconds);
     std::snprintf(pps_buf, sizeof pps_buf, "%.0f", m.pps);
@@ -157,6 +174,12 @@ int main(int argc, char** argv) {
     table.add_row({name, sec_buf, pps_buf, spd_buf});
   }
   std::cout << table.to_ascii();
+  if (!skipped.empty()) {
+    std::cout << "skipped (oversubscribed on " << hw << " hardware thread"
+              << (hw == 1 ? "" : "s") << "; rerun with --all):";
+    for (const std::size_t s : skipped) std::cout << ' ' << s << "-shard";
+    std::cout << "\n";
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::trunc);
@@ -174,10 +197,15 @@ int main(int argc, char** argv) {
           << (m.shards == 0 ? std::string("\"serial\"")
                             : std::to_string(m.shards))
           << ", \"seconds\": " << m.seconds << ", \"pps\": " << m.pps
-          << ", \"speedup_vs_1shard\": " << m.pps / base_pps << "}"
-          << (i + 1 < results.size() ? "," : "") << "\n";
+          << ", \"speedup_vs_1shard\": " << m.pps / base_pps
+          << ", \"oversubscribed\": " << (m.oversubscribed ? "true" : "false")
+          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"skipped_oversubscribed\": [";
+    for (std::size_t i = 0; i < skipped.size(); ++i) {
+      out << skipped[i] << (i + 1 < skipped.size() ? ", " : "");
+    }
+    out << "]\n}\n";
     std::cout << "\nwrote " << json_path << "\n";
   }
   return 0;

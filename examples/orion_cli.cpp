@@ -7,9 +7,13 @@
 //                       [--dispersion 0.10] [--alpha2 0.028] [--alpha3 2e-4]
 //   orion_cli export    --in events.ode --csv events.csv
 //   orion_cli summary   --in events.ode
+//   orion_cli convert   --in events.ode --out events.ode2 [--format ode1|ode2]
+//   orion_cli inspect   --in events.ode2
 //
-// Event datasets travel in the ODE1 binary format (telescope/store.hpp);
-// daily AH lists in the CSV format of detect/lists.hpp.
+// Event datasets travel in the ODE1 binary format (telescope/store.hpp)
+// or the ODE2 columnar format (store/ode2.hpp); every --in flag sniffs
+// the magic and accepts either. Daily AH lists use the CSV format of
+// detect/lists.hpp.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,6 +28,8 @@
 #include "orion/report/table.hpp"
 #include "orion/scangen/event_synth.hpp"
 #include "orion/scangen/scenario.hpp"
+#include "orion/store/mapped.hpp"
+#include "orion/store/ode2.hpp"
 #include "orion/telescope/capture.hpp"
 #include "orion/telescope/store.hpp"
 
@@ -41,6 +47,8 @@ using namespace orion;
       "  detect    --in FILE [--lists FILE] [--dispersion F] [--alpha2 F] [--alpha3 F]\n"
       "  export    --in FILE --csv FILE\n"
       "  summary   --in FILE\n"
+      "  convert   --in FILE --out FILE [--format ode1|ode2] [--block-events N]\n"
+      "  inspect   --in FILE\n"
       "  diff      --old LISTS.csv --new LISTS.csv\n";
   std::exit(2);
 }
@@ -70,12 +78,13 @@ std::string get_or(const std::map<std::string, std::string>& flags,
 }
 
 telescope::EventDataset load_dataset(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::cerr << "error: cannot open " << path << "\n";
+  // Sniffs the magic: ODE1 row files and ODE2 columnar stores both work.
+  try {
+    return store::load_events_auto(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: cannot load " << path << ": " << e.what() << "\n";
     std::exit(1);
   }
-  return telescope::read_events_binary(in);
 }
 
 void save_dataset(const telescope::EventDataset& dataset, const std::string& path) {
@@ -227,6 +236,83 @@ int cmd_diff(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_convert(const std::map<std::string, std::string>& flags) {
+  const std::string in = require(flags, "in");
+  const std::string out = require(flags, "out");
+  const std::string format = get_or(flags, "format", "ode2");
+  if (format != "ode1" && format != "ode2") {
+    usage("--format must be ode1 or ode2");
+  }
+  const telescope::EventDataset dataset = load_dataset(in);
+  if (format == "ode1") {
+    save_dataset(dataset, out);
+  } else {
+    const std::uint64_t block_events =
+        std::stoull(get_or(flags, "block-events",
+                           std::to_string(store::kOde2DefaultBlockEvents)));
+    const std::uint64_t bytes =
+        store::write_events_ode2_file(dataset, out, block_events);
+    std::cout << "wrote " << dataset.event_count() << " events ("
+              << bytes << " bytes, " << block_events
+              << " events/block) to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_inspect(const std::map<std::string, std::string>& flags) {
+  const std::string in = require(flags, "in");
+  const std::string format = store::sniff_event_format(in);
+  std::cout << "format: " << format << "\n";
+  if (format == "ODE1") {
+    std::ifstream stream(in, std::ios::binary);
+    const auto salvage = telescope::read_events_binary_salvage(stream);
+    report::Table table({"metric", "value"});
+    table.add_row({"declared events", report::fmt_count(salvage.declared_count)});
+    table.add_row({"recovered events", report::fmt_count(salvage.recovered_count)});
+    table.add_row({"complete", salvage.complete ? "yes" : "NO"});
+    if (!salvage.error.empty()) table.add_row({"error", salvage.error});
+    std::cout << table.to_ascii();
+    return salvage.complete ? 0 : 1;
+  }
+  if (format != "ODE2") {
+    std::cerr << "error: " << in << " is not an ODE1/ODE2 archive\n";
+    return 1;
+  }
+  try {
+    const store::MappedEventStore store(in);
+    const std::size_t first_bad = store.verify_blocks();
+    report::Table table({"metric", "value"});
+    table.add_row({"darknet size", report::fmt_count(store.darknet_size())});
+    table.add_row({"events", report::fmt_count(store.event_count())});
+    table.add_row({"blocks", report::fmt_count(store.block_count()) + " x " +
+                                 report::fmt_count(store.block_events()) +
+                                 " events"});
+    table.add_row({"file bytes", report::fmt_count(store.file_bytes())});
+    table.add_row({"mapped", store.mapped() ? "mmap" : "buffered fallback"});
+    if (store.event_count() > 0) {
+      table.add_row({"first day", net::day_label(store.first_day())});
+      table.add_row({"last day", net::day_label(store.last_day())});
+    }
+    table.add_row({"block CRCs", first_bad == store.block_count()
+                                     ? "all clean"
+                                     : "FIRST BAD: block " +
+                                           std::to_string(first_bad)});
+    std::cout << table.to_ascii();
+    return first_bad == store.block_count() ? 0 : 1;
+  } catch (const std::exception& e) {
+    // Strict open failed; report what salvage can still recover.
+    const store::Ode2SalvageResult salvage = store::read_events_ode2_salvage(in);
+    report::Table table({"metric", "value"});
+    table.add_row({"strict open", std::string("FAILED: ") + e.what()});
+    table.add_row({"declared events", report::fmt_count(salvage.declared_count)});
+    table.add_row({"recovered events", report::fmt_count(salvage.recovered_count)});
+    table.add_row({"footer intact", salvage.footer_intact ? "yes" : "NO"});
+    if (!salvage.error.empty()) table.add_row({"error", salvage.error});
+    std::cout << table.to_ascii();
+    return 1;
+  }
+}
+
 int cmd_summary(const std::map<std::string, std::string>& flags) {
   const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
   report::Table table({"metric", "value"});
@@ -252,6 +338,8 @@ int main(int argc, char** argv) {
   if (command == "detect") return cmd_detect(flags);
   if (command == "export") return cmd_export(flags);
   if (command == "summary") return cmd_summary(flags);
+  if (command == "convert") return cmd_convert(flags);
+  if (command == "inspect") return cmd_inspect(flags);
   if (command == "diff") return cmd_diff(flags);
   usage("unknown command: " + command);
 }

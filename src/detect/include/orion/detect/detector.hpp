@@ -18,6 +18,10 @@
 #include "orion/telescope/capture.hpp"
 #include "orion/telescope/event.hpp"
 
+namespace orion::store {
+class MappedEventStore;
+}
+
 namespace orion::detect {
 
 enum class Definition : std::uint8_t {
@@ -98,6 +102,11 @@ class AggressiveScannerDetector {
   /// (ECDF quantiles) and detection happen on the same dataset, exactly as
   /// in the paper.
   DetectionResult detect(const telescope::EventDataset& dataset) const;
+
+  /// Same algorithm fed by zero-copy column scans of an mmap'ed ODE2
+  /// archive — no per-event materialization. Produces a result identical
+  /// to detecting on the materialized dataset (tests/store_test.cpp).
+  DetectionResult detect(const store::MappedEventStore& store) const;
 
   const DetectorConfig& config() const { return config_; }
 

@@ -1,11 +1,8 @@
 #include "orion/detect/detector.hpp"
 
-#include <algorithm>
-#include <map>
 #include <stdexcept>
-#include <unordered_map>
 
-#include "orion/stats/ecdf.hpp"
+#include "detector_core.hpp"
 
 namespace orion::detect {
 
@@ -18,10 +15,19 @@ double mean_size(const std::vector<std::vector<net::Ipv4Address>>& per_day) {
   return static_cast<double>(total) / static_cast<double>(per_day.size());
 }
 
-void sort_unique(std::vector<net::Ipv4Address>& v) {
-  std::sort(v.begin(), v.end());
-  v.erase(std::unique(v.begin(), v.end()), v.end());
-}
+/// Adapts EventDataset to detector_core's Source interface.
+struct DatasetSource {
+  const telescope::EventDataset& dataset;
+
+  std::uint64_t darknet_size() const { return dataset.darknet_size(); }
+  std::uint64_t event_count() const { return dataset.event_count(); }
+  std::int64_t first_day() const { return dataset.first_day(); }
+  std::int64_t last_day() const { return dataset.last_day(); }
+  template <typename Fn>
+  void for_each_event(Fn&& fn) const {
+    for (const telescope::DarknetEvent& e : dataset.events()) fn(e);
+  }
+};
 
 }  // namespace
 
@@ -41,102 +47,7 @@ AggressiveScannerDetector::AggressiveScannerDetector(DetectorConfig config)
 
 DetectionResult AggressiveScannerDetector::detect(
     const telescope::EventDataset& dataset) const {
-  DetectionResult result;
-  result.darknet_size = dataset.darknet_size();
-  result.total_events = dataset.event_count();
-  result.first_day = dataset.first_day();
-  result.last_day = dataset.last_day();
-  if (dataset.events().empty()) return result;
-
-  const auto day_count =
-      static_cast<std::size_t>(result.last_day - result.first_day + 1);
-  const auto day_index = [&](std::int64_t day) {
-    return static_cast<std::size_t>(day - result.first_day);
-  };
-
-  for (DefinitionResult& def : result.by_definition) {
-    def.daily.resize(day_count);
-    def.active.resize(day_count);
-    def.daily_ah_packets.assign(day_count, 0);
-  }
-  result.total_event_packets_per_day.assign(day_count, 0);
-
-  // --- Pass 1: calibrate ECDF thresholds (Definitions 2 and 3).
-  stats::Ecdf packet_ecdf;
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint16_t>> day_ports;
-  for (const telescope::DarknetEvent& e : dataset.events()) {
-    packet_ecdf.add(e.packets);
-    if (e.key.type != pkt::TrafficType::IcmpEchoReq) {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(e.key.src.value()) << 20) |
-          static_cast<std::uint64_t>(day_index(e.day()));
-      day_ports[key].insert(e.key.dst_port);
-    }
-  }
-  stats::Ecdf port_ecdf;
-  for (const auto& [key, ports] : day_ports) port_ecdf.add(ports.size());
-
-  DefinitionResult& d1 = result.of(Definition::AddressDispersion);
-  DefinitionResult& d2 = result.of(Definition::PacketVolume);
-  DefinitionResult& d3 = result.of(Definition::DistinctPorts);
-  d2.threshold = packet_ecdf.top_alpha_threshold(config_.packet_volume_alpha);
-  if (port_ecdf.sample_count() > 0) {
-    d3.threshold = port_ecdf.top_alpha_threshold(config_.port_count_alpha);
-  }
-
-  // --- Pass 2: event-level qualification (Definitions 1 and 2).
-  const double min_dispersion = config_.dispersion_threshold;
-  for (const telescope::DarknetEvent& e : dataset.events()) {
-    result.total_event_packets_per_day[day_index(e.day())] += e.packets;
-
-    const bool q1 = e.dispersion(result.darknet_size) >= min_dispersion;
-    const bool q2 = e.packets > d2.threshold;
-    const std::int64_t start_day = e.day();
-    const std::int64_t end_day = std::min(e.end.day(), result.last_day);
-    for (auto [def, qualifies] : {std::pair{&d1, q1}, std::pair{&d2, q2}}) {
-      if (!qualifies) continue;
-      ++def->qualifying_events;
-      def->ips.insert(e.key.src);
-      def->daily[day_index(start_day)].push_back(e.key.src);
-      for (std::int64_t day = start_day; day <= end_day; ++day) {
-        def->active[day_index(day)].push_back(e.key.src);
-      }
-    }
-  }
-
-  // --- Definition 3: per-(source, day) distinct-port qualification.
-  // Sources qualify on days where their port count crosses the threshold;
-  // the "event interval" of a D3 qualification is the day itself.
-  if (d3.threshold > 0) {
-    for (const auto& [key, ports] : day_ports) {
-      if (ports.size() < d3.threshold) continue;
-      const auto src =
-          net::Ipv4Address(static_cast<std::uint32_t>(key >> 20));
-      const auto index = static_cast<std::size_t>(key & 0xFFFFF);
-      ++d3.qualifying_events;
-      d3.ips.insert(src);
-      d3.daily[index].push_back(src);
-      d3.active[index].push_back(src);
-    }
-  }
-
-  for (DefinitionResult& def : result.by_definition) {
-    for (auto& day : def.daily) sort_unique(day);
-    for (auto& day : def.active) sort_unique(day);
-  }
-
-  // --- Daily-AH packet attribution (Fig 3 right): all packets of events
-  // starting on day d whose source is among that day's daily AH.
-  for (const telescope::DarknetEvent& e : dataset.events()) {
-    const std::size_t index = day_index(e.day());
-    for (DefinitionResult& def : result.by_definition) {
-      const auto& day = def.daily[index];
-      if (std::binary_search(day.begin(), day.end(), e.key.src)) {
-        def.daily_ah_packets[index] += e.packets;
-      }
-    }
-  }
-  return result;
+  return detail::detect_core(config_, DatasetSource{dataset});
 }
 
 }  // namespace orion::detect

@@ -1,0 +1,34 @@
+// Zero-copy detection over mmap'ed ODE2 archives: the same detector_core
+// algorithm, fed by column scans instead of a materialized event vector.
+#include "detector_core.hpp"
+#include "orion/detect/detector.hpp"
+#include "orion/store/mapped.hpp"
+
+namespace orion::detect {
+
+namespace {
+
+/// Adapts MappedEventStore to detector_core's Source interface. Rows are
+/// visited in dataset order, so the result is identical to detecting on
+/// the materialized EventDataset.
+struct StoreSource {
+  const store::MappedEventStore& store;
+
+  std::uint64_t darknet_size() const { return store.darknet_size(); }
+  std::uint64_t event_count() const { return store.event_count(); }
+  std::int64_t first_day() const { return store.first_day(); }
+  std::int64_t last_day() const { return store.last_day(); }
+  template <typename Fn>
+  void for_each_event(Fn&& fn) const {
+    store.for_each_event(fn);
+  }
+};
+
+}  // namespace
+
+DetectionResult AggressiveScannerDetector::detect(
+    const store::MappedEventStore& store) const {
+  return detail::detect_core(config_, StoreSource{store});
+}
+
+}  // namespace orion::detect

@@ -4,11 +4,17 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "orion/detect/detector.hpp"
 #include "orion/flowsim/flows.hpp"
 #include "orion/stats/topk.hpp"
+
+namespace orion::store {
+class MappedEventStore;
+}
 
 namespace orion::impact {
 
@@ -34,6 +40,11 @@ struct RouterDayImpact {
 /// (the flow side of Table 3); indices follow pkt::TrafficType.
 using ProtocolMix = std::array<std::uint64_t, 3>;
 
+/// Joins AH source sets against the flow dataset. Queries share a lazily
+/// built per-(router, day) index — flows grouped by source — so repeated
+/// queries against the same router-day (every table walks all definitions)
+/// skip the raw flow-map rescan after the first. The cache makes the
+/// analyzer single-threaded by design; share one per thread if needed.
 class FlowImpactAnalyzer {
  public:
   explicit FlowImpactAnalyzer(const flowsim::FlowDataset* flows);
@@ -59,7 +70,21 @@ class FlowImpactAnalyzer {
                                       const detect::IpSet& sources) const;
 
  private:
+  /// Flows of one router-day regrouped by source: `srcs` is sorted and
+  /// distinct, and entries[offsets[i] .. offsets[i+1]) are srcs[i]'s flow
+  /// keys with their sampled counts. Built once per router-day on first
+  /// query; every method then pays one membership test per distinct
+  /// source instead of one per flow, and visibility is a binary search.
+  struct RouterDayIndex {
+    std::vector<net::Ipv4Address> srcs;
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::pair<flowsim::FlowKey, std::uint64_t>> entries;
+  };
+
+  const RouterDayIndex& index_of(std::size_t router, std::int64_t day) const;
+
   const flowsim::FlowDataset* flows_;
+  mutable std::unordered_map<std::uint64_t, RouterDayIndex> index_cache_;
 };
 
 /// Darknet-side protocol mix of a set of sources on one day, from events
@@ -71,5 +96,49 @@ ProtocolMix darknet_protocol_mix(const telescope::EventDataset& dataset,
 stats::TopK<std::uint16_t> darknet_port_mix(const telescope::EventDataset& dataset,
                                             std::int64_t day,
                                             const detect::IpSet& sources);
+
+/// Zero-copy equivalents over an mmap'ed ODE2 archive: the day index
+/// narrows the scan to the day's row range, and only the src/type/port/
+/// packets columns are touched. Results are identical to the dataset
+/// versions (tests/store_test.cpp).
+ProtocolMix darknet_protocol_mix(const store::MappedEventStore& store,
+                                 std::int64_t day, const detect::IpSet& sources);
+stats::TopK<std::uint16_t> darknet_port_mix(const store::MappedEventStore& store,
+                                            std::int64_t day,
+                                            const detect::IpSet& sources);
+
+/// Darknet-side mixes for EVERY day of the dataset window, built in one
+/// sweep. Replaces the O(days x events) pattern of calling
+/// darknet_protocol_mix / darknet_port_mix per day (Table 3, Figure 5,
+/// and any longitudinal walk): one pass fills a day-indexed array of
+/// protocol mixes and per-port counters for the given source set, and
+/// each per-day query is then O(1) / O(ports of that day).
+class DailyDarknetMix {
+ public:
+  DailyDarknetMix(const telescope::EventDataset& dataset,
+                  const detect::IpSet& sources);
+  /// Same sweep over an ODE2 archive, reading columns in place.
+  DailyDarknetMix(const store::MappedEventStore& store,
+                  const detect::IpSet& sources);
+
+  std::int64_t first_day() const { return first_day_; }
+  std::int64_t last_day() const { return last_day_; }
+
+  /// Zeroed mix / empty counter for days outside the dataset window.
+  const ProtocolMix& protocols(std::int64_t day) const;
+  const stats::TopK<std::uint16_t>& ports(std::int64_t day) const;
+
+ private:
+  bool in_window(std::int64_t day) const {
+    return day >= first_day_ && day <= last_day_;
+  }
+  template <typename Event>
+  void fold(const Event& e, const detect::IpSet& sources);
+
+  std::int64_t first_day_ = 0;
+  std::int64_t last_day_ = -1;
+  std::vector<ProtocolMix> protocols_;
+  std::vector<stats::TopK<std::uint16_t>> ports_;
+};
 
 }  // namespace orion::impact

@@ -1,30 +1,69 @@
 #include "orion/impact/flow_join.hpp"
 
 #include <algorithm>
-#include <unordered_set>
+
+#include "orion/store/mapped.hpp"
 
 namespace orion::impact {
+
+namespace {
+
+std::size_t type_index(pkt::TrafficType t) {
+  switch (t) {
+    case pkt::TrafficType::TcpSyn: return 0;
+    case pkt::TrafficType::Udp: return 1;
+    case pkt::TrafficType::IcmpEchoReq: return 2;
+    case pkt::TrafficType::Other: break;
+  }
+  return 0;
+}
+
+}  // namespace
 
 FlowImpactAnalyzer::FlowImpactAnalyzer(const flowsim::FlowDataset* flows)
     : flows_(flows) {}
 
+const FlowImpactAnalyzer::RouterDayIndex& FlowImpactAnalyzer::index_of(
+    std::size_t router, std::int64_t day) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(router) << 32) |
+                            static_cast<std::uint64_t>(day - flows_->start_day());
+  const auto cached = index_cache_.find(key);
+  if (cached != index_cache_.end()) return cached->second;
+
+  const flowsim::RouterDay& rd = flows_->at(router, day);
+  RouterDayIndex index;
+  index.entries.assign(rd.sampled.begin(), rd.sampled.end());
+  std::sort(index.entries.begin(), index.entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < index.entries.size(); ++i) {
+    const net::Ipv4Address src = index.entries[i].first.src;
+    if (index.srcs.empty() || index.srcs.back() != src) {
+      index.srcs.push_back(src);
+      index.offsets.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  index.offsets.push_back(static_cast<std::uint32_t>(index.entries.size()));
+  return index_cache_.emplace(key, std::move(index)).first->second;
+}
+
 RouterDayImpact FlowImpactAnalyzer::impact(std::size_t router, std::int64_t day,
                                            const detect::IpSet& sources) const {
   const flowsim::RouterDay& rd = flows_->at(router, day);
+  const RouterDayIndex& index = index_of(router, day);
   RouterDayImpact out;
   out.router = router;
   out.day = day;
   out.total_packets = rd.total_packets;
 
-  std::unordered_set<net::Ipv4Address> seen;
   std::uint64_t sampled = 0;
-  for (const auto& [key, count] : rd.sampled) {
-    if (!sources.contains(key.src)) continue;
-    sampled += count;
-    seen.insert(key.src);
+  for (std::size_t g = 0; g + 1 < index.offsets.size(); ++g) {
+    if (!sources.contains(index.srcs[g])) continue;
+    ++out.matched_sources;
+    for (std::uint32_t i = index.offsets[g]; i < index.offsets[g + 1]; ++i) {
+      sampled += index.entries[i].second;
+    }
   }
   out.matched_packets = sampled * flows_->sampling_rate();
-  out.matched_sources = seen.size();
   return out;
 }
 
@@ -43,49 +82,39 @@ double FlowImpactAnalyzer::visibility_percent(
     std::size_t router, std::int64_t day,
     const std::vector<net::Ipv4Address>& sources) const {
   if (sources.empty()) return 0.0;
-  const flowsim::RouterDay& rd = flows_->at(router, day);
-  std::unordered_set<net::Ipv4Address> seen;
-  for (const auto& [key, count] : rd.sampled) seen.insert(key.src);
+  const RouterDayIndex& index = index_of(router, day);
   std::size_t matched = 0;
   for (const net::Ipv4Address ip : sources) {
-    if (seen.contains(ip)) ++matched;
+    if (std::binary_search(index.srcs.begin(), index.srcs.end(), ip)) ++matched;
   }
   return 100.0 * static_cast<double>(matched) /
          static_cast<double>(sources.size());
 }
 
-namespace {
-
-std::size_t type_index(pkt::TrafficType t) {
-  switch (t) {
-    case pkt::TrafficType::TcpSyn: return 0;
-    case pkt::TrafficType::Udp: return 1;
-    case pkt::TrafficType::IcmpEchoReq: return 2;
-    case pkt::TrafficType::Other: break;
-  }
-  return 0;
-}
-
-}  // namespace
-
 ProtocolMix FlowImpactAnalyzer::protocol_mix(std::size_t router, std::int64_t day,
                                              const detect::IpSet& sources) const {
-  const flowsim::RouterDay& rd = flows_->at(router, day);
+  const RouterDayIndex& index = index_of(router, day);
   ProtocolMix mix{};
-  for (const auto& [key, count] : rd.sampled) {
-    if (!sources.contains(key.src)) continue;
-    mix[type_index(key.type)] += count * flows_->sampling_rate();
+  for (std::size_t g = 0; g + 1 < index.offsets.size(); ++g) {
+    if (!sources.contains(index.srcs[g])) continue;
+    for (std::uint32_t i = index.offsets[g]; i < index.offsets[g + 1]; ++i) {
+      const auto& [key, count] = index.entries[i];
+      mix[type_index(key.type)] += count * flows_->sampling_rate();
+    }
   }
   return mix;
 }
 
 stats::TopK<std::uint16_t> FlowImpactAnalyzer::port_mix(
     std::size_t router, std::int64_t day, const detect::IpSet& sources) const {
-  const flowsim::RouterDay& rd = flows_->at(router, day);
+  const RouterDayIndex& index = index_of(router, day);
   stats::TopK<std::uint16_t> ports;
-  for (const auto& [key, count] : rd.sampled) {
-    if (!sources.contains(key.src)) continue;
-    ports.add(key.dst_port, count * flows_->sampling_rate());
+  for (std::size_t g = 0; g + 1 < index.offsets.size(); ++g) {
+    if (!sources.contains(index.srcs[g])) continue;
+    for (std::uint32_t i = index.offsets[g]; i < index.offsets[g + 1]; ++i) {
+      const auto& [key, count] = index.entries[i];
+      ports.add(key.dst_port, count * flows_->sampling_rate());
+    }
   }
   return ports;
 }
@@ -109,6 +138,68 @@ stats::TopK<std::uint16_t> darknet_port_mix(const telescope::EventDataset& datas
     ports.add(e.key.dst_port, e.packets);
   }
   return ports;
+}
+
+ProtocolMix darknet_protocol_mix(const store::MappedEventStore& store,
+                                 std::int64_t day, const detect::IpSet& sources) {
+  ProtocolMix mix{};
+  store.for_each_event_on_day(day, [&](const store::EventRow& e) {
+    if (!sources.contains(e.key.src)) return;
+    mix[type_index(e.key.type)] += e.packets;
+  });
+  return mix;
+}
+
+stats::TopK<std::uint16_t> darknet_port_mix(const store::MappedEventStore& store,
+                                            std::int64_t day,
+                                            const detect::IpSet& sources) {
+  stats::TopK<std::uint16_t> ports;
+  store.for_each_event_on_day(day, [&](const store::EventRow& e) {
+    if (!sources.contains(e.key.src)) return;
+    ports.add(e.key.dst_port, e.packets);
+  });
+  return ports;
+}
+
+template <typename Event>
+void DailyDarknetMix::fold(const Event& e, const detect::IpSet& sources) {
+  if (!sources.contains(e.key.src)) return;
+  const auto index = static_cast<std::size_t>(e.day() - first_day_);
+  protocols_[index][type_index(e.key.type)] += e.packets;
+  ports_[index].add(e.key.dst_port, e.packets);
+}
+
+DailyDarknetMix::DailyDarknetMix(const telescope::EventDataset& dataset,
+                                 const detect::IpSet& sources)
+    : first_day_(dataset.first_day()), last_day_(dataset.last_day()) {
+  if (last_day_ < first_day_) return;
+  const auto days = static_cast<std::size_t>(last_day_ - first_day_ + 1);
+  protocols_.assign(days, ProtocolMix{});
+  ports_.resize(days);
+  for (const telescope::DarknetEvent& e : dataset.events()) fold(e, sources);
+}
+
+DailyDarknetMix::DailyDarknetMix(const store::MappedEventStore& store,
+                                 const detect::IpSet& sources)
+    : first_day_(store.first_day()), last_day_(store.last_day()) {
+  if (last_day_ < first_day_) return;
+  const auto days = static_cast<std::size_t>(last_day_ - first_day_ + 1);
+  protocols_.assign(days, ProtocolMix{});
+  ports_.resize(days);
+  store.for_each_event(
+      [&](const store::EventRow& e) { fold(e, sources); });
+}
+
+const ProtocolMix& DailyDarknetMix::protocols(std::int64_t day) const {
+  static const ProtocolMix kEmpty{};
+  if (!in_window(day)) return kEmpty;
+  return protocols_[static_cast<std::size_t>(day - first_day_)];
+}
+
+const stats::TopK<std::uint16_t>& DailyDarknetMix::ports(std::int64_t day) const {
+  static const stats::TopK<std::uint16_t> kEmpty;
+  if (!in_window(day)) return kEmpty;
+  return ports_[static_cast<std::size_t>(day - first_day_)];
 }
 
 }  // namespace orion::impact

@@ -1,0 +1,233 @@
+// MappedEventStore — the zero-copy query engine over ODE2 archives.
+//
+// Opens an ODE2 file via mmap (falling back to a read-into-buffer when
+// mapping is unavailable) and exposes the column blocks as typed spans:
+// analyses scan columns in place, with no per-event materialization, no
+// istream parsing, and no upfront vector build. The per-day row index
+// answers day() predicates with a range lookup instead of a full-archive
+// rescan, the per-block (day, src) zone maps let scans skip whole blocks,
+// and parallel_scan() fans blocks out over threads with a deterministic
+// in-order merge — the same ordered-merge discipline the PR 2 sharded
+// pipeline uses, applied to at-rest data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "orion/store/ode2.hpp"
+#include "orion/telescope/event.hpp"
+
+namespace orion::store {
+
+/// A borrowed, typed view of one column's values inside a block. Points
+/// straight into the mapped file; valid while the store is alive.
+template <typename T>
+using ColumnSpan = std::span<const T>;
+
+/// One row group, viewed column-wise. `first_row` is the global index of
+/// the block's row 0, so day_range() results translate directly.
+struct BlockView {
+  std::size_t first_row = 0;
+  ColumnSpan<std::int64_t> start_ns;
+  ColumnSpan<std::int64_t> end_ns;
+  ColumnSpan<std::uint64_t> packets;
+  ColumnSpan<std::uint64_t> unique_dests;
+  std::array<ColumnSpan<std::uint64_t>, 4> tool_packets;
+  ColumnSpan<std::uint32_t> src;
+  ColumnSpan<std::uint16_t> dst_port;
+  ColumnSpan<std::uint8_t> type;
+
+  std::size_t rows() const { return src.size(); }
+
+  /// Gathers one row into a full DarknetEvent (the only materializing
+  /// accessor; scans should read the spans instead).
+  telescope::DarknetEvent event(std::size_t i) const;
+};
+
+/// Footer metadata for one block: where it lives and its zone map.
+struct BlockMeta {
+  std::uint64_t offset = 0;  // file offset of the block's first byte
+  std::int64_t min_day = 0;
+  std::int64_t max_day = 0;
+  std::uint32_t min_src = 0;
+  std::uint32_t max_src = 0;
+  std::uint32_t crc = 0;  // CRC-32 of the block's padded bytes
+};
+
+/// Row proxy handed to for_each_event callbacks: the DarknetEvent read
+/// interface (key/start/end/packets/unique_dests/day/dispersion) built
+/// from column loads on the stack — no heap, no tool columns touched.
+struct EventRow {
+  telescope::EventKey key;
+  net::SimTime start;
+  net::SimTime end;
+  std::uint64_t packets = 0;
+  std::uint64_t unique_dests = 0;
+
+  std::int64_t day() const { return start.day(); }
+  double dispersion(std::uint64_t darknet_size) const {
+    return darknet_size == 0 ? 0.0
+                             : static_cast<double>(unique_dests) /
+                                   static_cast<double>(darknet_size);
+  }
+};
+
+class MappedEventStore {
+ public:
+  /// Strict open: maps the file and verifies magic, header CRC, geometry
+  /// and footer CRC (block payloads stay lazy — verify_blocks() checks
+  /// them on demand). Throws std::runtime_error with context on any
+  /// mismatch, like telescope::read_events_binary.
+  explicit MappedEventStore(const std::string& path);
+  ~MappedEventStore();
+
+  MappedEventStore(MappedEventStore&& other) noexcept;
+  MappedEventStore& operator=(MappedEventStore&& other) noexcept;
+  MappedEventStore(const MappedEventStore&) = delete;
+  MappedEventStore& operator=(const MappedEventStore&) = delete;
+
+  std::uint64_t darknet_size() const { return darknet_size_; }
+  std::size_t event_count() const { return static_cast<std::size_t>(event_count_); }
+  std::int64_t first_day() const { return first_day_; }
+  std::int64_t last_day() const { return last_day_; }
+  std::uint64_t block_events() const { return block_events_; }
+  std::size_t block_count() const { return blocks_.size(); }
+  const std::vector<BlockMeta>& blocks() const { return blocks_; }
+  std::uint64_t file_bytes() const { return size_; }
+  /// False when the portable read-into-buffer fallback is serving reads.
+  bool mapped() const { return mapped_; }
+
+  BlockView block(std::size_t k) const;
+
+  /// Global row range [begin, end) of events starting on `day`; empty
+  /// range for days outside the dataset window. O(1).
+  std::pair<std::uint64_t, std::uint64_t> day_range(std::int64_t day) const;
+
+  /// CRC-checks every block payload; returns block_count() when clean,
+  /// else the index of the first corrupt block.
+  std::size_t verify_blocks() const;
+
+  /// Gathers one event by global row index (bounds-checked).
+  telescope::DarknetEvent event(std::uint64_t row) const;
+
+  /// Full materialization — the ODE2 -> ODE1 conversion path. The result
+  /// is byte-identical to the EventDataset the archive was written from.
+  telescope::EventDataset to_dataset() const;
+
+  /// Calls fn(const BlockView&) for blocks whose zone map intersects
+  /// [day_lo, day_hi] x [src_lo, src_hi]; pass the full ranges to visit
+  /// everything.
+  template <typename Fn>
+  void for_each_block(std::int64_t day_lo, std::int64_t day_hi,
+                      std::uint32_t src_lo, std::uint32_t src_hi,
+                      Fn&& fn) const {
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      const BlockMeta& meta = blocks_[k];
+      if (meta.max_day < day_lo || meta.min_day > day_hi) continue;
+      if (meta.max_src < src_lo || meta.min_src > src_hi) continue;
+      fn(block(k));
+    }
+  }
+
+  /// Calls fn(const EventRow&) for every event in row (= dataset) order.
+  template <typename Fn>
+  void for_each_event(Fn&& fn) const {
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      const BlockView view = block(k);
+      for (std::size_t i = 0; i < view.rows(); ++i) fn(row_of(view, i));
+    }
+  }
+
+  /// Calls fn(const EventRow&) for every event starting on `day`, using
+  /// the day index to touch only that row range.
+  template <typename Fn>
+  void for_each_event_on_day(std::int64_t day, Fn&& fn) const {
+    const auto [begin, end] = day_range(day);
+    if (begin >= end) return;
+    const std::uint64_t b = block_events_;
+    for (std::uint64_t k = begin / b; k * b < end; ++k) {
+      const BlockView view = block(static_cast<std::size_t>(k));
+      const std::uint64_t lo = begin > k * b ? begin - k * b : 0;
+      const std::uint64_t hi = std::min<std::uint64_t>(view.rows(), end - k * b);
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        fn(row_of(view, static_cast<std::size_t>(i)));
+      }
+    }
+  }
+
+  /// Chunked parallel scan: blocks are split into contiguous ranges, one
+  /// per thread; per_block(State&, const BlockView&) folds each block
+  /// into a thread-local State, and merge(State&, State&&) combines the
+  /// States in block order. Because the partition is a deterministic
+  /// function of (block_count, n_threads) and the merge is ordered, the
+  /// result is identical for every thread count whenever merge is
+  /// associative — the same ordered-merge argument as the PR 2 pipeline.
+  template <typename State, typename PerBlock, typename Merge>
+  State parallel_scan(std::size_t n_threads, PerBlock per_block,
+                      Merge merge) const {
+    const std::size_t nb = blocks_.size();
+    if (n_threads == 0) {
+      n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    n_threads = std::min(n_threads, std::max<std::size_t>(nb, 1));
+    if (n_threads <= 1) {
+      State state{};
+      for (std::size_t k = 0; k < nb; ++k) per_block(state, block(k));
+      return state;
+    }
+    std::vector<State> states(n_threads);
+    const std::size_t per = (nb + n_threads - 1) / n_threads;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(n_threads);
+      for (std::size_t t = 0; t < n_threads; ++t) {
+        const std::size_t lo = std::min(nb, t * per);
+        const std::size_t hi = std::min(nb, lo + per);
+        threads.emplace_back([this, &states, &per_block, t, lo, hi] {
+          for (std::size_t k = lo; k < hi; ++k) per_block(states[t], block(k));
+        });
+      }
+      for (std::thread& th : threads) th.join();
+    }
+    State out = std::move(states[0]);
+    for (std::size_t t = 1; t < n_threads; ++t) {
+      merge(out, std::move(states[t]));
+    }
+    return out;
+  }
+
+ private:
+  static EventRow row_of(const BlockView& view, std::size_t i) {
+    EventRow row;
+    row.key.src = net::Ipv4Address(view.src[i]);
+    row.key.dst_port = view.dst_port[i];
+    row.key.type = static_cast<pkt::TrafficType>(view.type[i]);
+    row.start = net::SimTime::at(net::Duration::nanos(view.start_ns[i]));
+    row.end = net::SimTime::at(net::Duration::nanos(view.end_ns[i]));
+    row.packets = view.packets[i];
+    row.unique_dests = view.unique_dests[i];
+    return row;
+  }
+
+  void close() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint64_t> fallback_;  // owns the bytes when !mapped_
+
+  std::uint64_t darknet_size_ = 0;
+  std::uint64_t event_count_ = 0;
+  std::uint64_t block_events_ = kOde2DefaultBlockEvents;
+  std::int64_t first_day_ = 0;
+  std::int64_t last_day_ = -1;
+  std::vector<std::uint64_t> day_start_;  // day_count + 1 boundaries
+  std::vector<BlockMeta> blocks_;
+};
+
+}  // namespace orion::store
