@@ -9,6 +9,9 @@
 
 #include "orion/detect/detector.hpp"
 #include "orion/flowsim/routing.hpp"
+#include "orion/netbase/checksum.hpp"
+#include "orion/netbase/crc32.hpp"
+#include "orion/packet/batch.hpp"
 #include "orion/flowsim/sampler.hpp"
 #include "orion/packet/builder.hpp"
 #include "orion/scangen/packet_gen.hpp"
@@ -64,6 +67,33 @@ void BM_AggregatorObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_AggregatorObserve)->Unit(benchmark::kMillisecond);
 
+/// The batched SoA engine on the same stream: pre-chunked columnar
+/// batches through observe_batch (byte-identical results; DESIGN.md §11).
+void BM_AggregatorObserveBatch(benchmark::State& state) {
+  const auto packets = make_probe_batch(1 << 16);
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  std::vector<pkt::PacketBatch> batches;
+  for (std::size_t i = 0; i < packets.size(); i += batch_size) {
+    pkt::PacketBatch b(batch_size);
+    for (std::size_t j = i; j < i + batch_size && j < packets.size(); ++j) {
+      b.push_back(packets[j]);
+    }
+    batches.push_back(std::move(b));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    telescope::EventCollector collector;
+    telescope::EventAggregator agg(dark_space(), {}, collector.sink());
+    state.ResumeTiming();
+    for (const pkt::PacketBatch& b : batches) agg.observe_batch(b);
+    agg.finish();
+    benchmark::DoNotOptimize(agg.events_emitted());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(packets.size()));
+}
+BENCHMARK(BM_AggregatorObserveBatch)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
 /// Ablation: sweep interval of the lazy expiry (DESIGN.md §7) — coarse
 /// sweeps amortize better until expiry latency dominates memory.
 void BM_AggregatorSweepInterval(benchmark::State& state) {
@@ -82,6 +112,58 @@ void BM_AggregatorSweepInterval(benchmark::State& state) {
                           static_cast<std::int64_t>(packets.size()));
 }
 BENCHMARK(BM_AggregatorSweepInterval)->Arg(1)->Arg(30)->Arg(300)->Unit(benchmark::kMillisecond);
+
+// --- checksums ---------------------------------------------------------------
+
+std::vector<std::uint8_t> checksum_payload() {
+  std::vector<std::uint8_t> data(1 << 20);
+  net::Rng rng(42);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  return data;
+}
+
+/// Byte-at-a-time CRC-32 reference vs slicing-by-8 (crc32.hpp).
+void BM_Crc32Scalar(benchmark::State& state) {
+  const auto data = checksum_payload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Crc32::of_scalar(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32Scalar)->Unit(benchmark::kMicrosecond);
+
+void BM_Crc32Sliced(benchmark::State& state) {
+  const auto data = checksum_payload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Crc32::of(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32Sliced)->Unit(benchmark::kMicrosecond);
+
+/// 16-bit-at-a-time RFC 1071 reference vs the 8-bytes-per-step fold
+/// (checksum.hpp).
+void BM_ChecksumScalar(benchmark::State& state) {
+  const auto data = checksum_payload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::InternetChecksum::of_scalar(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ChecksumScalar)->Unit(benchmark::kMicrosecond);
+
+void BM_ChecksumFolded(benchmark::State& state) {
+  const auto data = checksum_payload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::InternetChecksum::of(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ChecksumFolded)->Unit(benchmark::kMicrosecond);
 
 // --- cardinality sketches ----------------------------------------------------
 

@@ -159,6 +159,7 @@ int main(int argc, char** argv) {
   }
 
   const double base_pps = results[1].pps;  // 1 shard (never skipped)
+  const double serial_pps = results[0].pps;
   report::Table table({"configuration", "seconds (best)", "packets/sec",
                        "speedup vs 1 shard"});
   for (const Measurement& m : results) {
@@ -190,6 +191,8 @@ int main(int argc, char** argv) {
         << "  \"packets\": " << packets.size() << ",\n"
         << "  \"reps\": " << reps << ",\n"
         << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"batch_size\": " << telescope::ParallelConfig{}.batch_size
+        << ",\n"
         << "  \"runs\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Measurement& m = results[i];
@@ -198,6 +201,7 @@ int main(int argc, char** argv) {
                             : std::to_string(m.shards))
           << ", \"seconds\": " << m.seconds << ", \"pps\": " << m.pps
           << ", \"speedup_vs_1shard\": " << m.pps / base_pps
+          << ", \"speedup_vs_serial\": " << m.pps / serial_pps
           << ", \"oversubscribed\": " << (m.oversubscribed ? "true" : "false")
           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }

@@ -33,13 +33,30 @@ int main(int argc, char** argv) {
               << pcap_path << "\n";
   }
 
-  // 2. Read the capture back and feed it through the event aggregator.
+  // 2. Read the capture back and feed it through the event aggregator,
+  // re-batching the packet records into a reused columnar arena so the
+  // aggregator runs its batched engine (byte-identical to per-packet
+  // observe; DESIGN.md §11).
   telescope::AggregatorConfig config;
   config.timeout = scenario.event_timeout();
   telescope::TelescopeCapture capture(scenario.darknet(), config);
   {
+    constexpr std::size_t kReplayBatch = 256;
     pkt::PcapReader reader(pcap_path);
-    while (auto packet = reader.next()) capture.observe(*packet);
+    pkt::PacketBatch batch(kReplayBatch);
+    bool drained = false;
+    while (!drained) {
+      batch.clear();
+      while (batch.size() < kReplayBatch) {
+        auto packet = reader.next();
+        if (!packet) {
+          drained = true;
+          break;
+        }
+        batch.push_back(*packet);
+      }
+      capture.observe_batch(batch);
+    }
   }
   const telescope::EventDataset dataset = capture.finish();
   std::cout << "replayed " << capture.packets_captured() << " packets -> "

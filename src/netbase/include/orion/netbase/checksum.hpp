@@ -9,9 +9,17 @@ namespace orion::net {
 
 /// One's-complement sum accumulator used by IPv4/TCP/UDP/ICMP checksums.
 /// Feed byte ranges (and 16-bit words for pseudo-headers), then finalize().
+///
+/// add_bytes() folds 8 input bytes per step (two big-endian 32-bit words
+/// summed into the 64-bit accumulator; one's-complement addition is
+/// associative under the final fold, so the result is identical to the
+/// word-at-a-time form). The original word-wise accumulator is kept as
+/// add_bytes_scalar(), the reference the equivalence tests pin against.
 class InternetChecksum {
  public:
   void add_bytes(std::span<const std::uint8_t> data);
+  /// Word-at-a-time reference accumulator (the original implementation).
+  void add_bytes_scalar(std::span<const std::uint8_t> data);
   void add_word(std::uint16_t host_order_word) { sum_ += host_order_word; }
 
   /// Final folded, complemented checksum in host order.
@@ -19,6 +27,8 @@ class InternetChecksum {
 
   /// Convenience one-shot checksum over a buffer.
   static std::uint16_t of(std::span<const std::uint8_t> data);
+  /// One-shot reference checksum (equivalence-test baseline).
+  static std::uint16_t of_scalar(std::span<const std::uint8_t> data);
 
  private:
   std::uint64_t sum_ = 0;

@@ -1,6 +1,11 @@
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
 // guard on checkpoint snapshots and any other on-disk state the live
 // pipeline must be able to trust after a crash.
+//
+// The default update() runs slicing-by-8 (eight table lookups per 8 input
+// bytes, tables derived from the same polynomial at first use); the
+// byte-at-a-time form is kept as update_scalar() — it is the reference
+// implementation the equivalence tests pin the sliced path against.
 #pragma once
 
 #include <cstddef>
@@ -12,13 +17,21 @@ namespace orion::net {
 /// Streaming CRC-32 accumulator. Feed byte ranges, then read value().
 class Crc32 {
  public:
+  /// Slicing-by-8 update: identical results to update_scalar() for any
+  /// input and any chunking, ~8x fewer table-lookup dependency chains.
   void update(std::span<const std::uint8_t> data);
+  /// Byte-wise reference update (the original implementation). Kept so
+  /// tests can interleave/compare the two forms on the same stream.
+  void update_scalar(std::span<const std::uint8_t> data);
+
   /// Final (complemented) CRC over everything fed so far. Reading the
   /// value does not reset the accumulator.
   std::uint32_t value() const { return ~state_; }
 
   /// Convenience one-shot CRC over a buffer.
   static std::uint32_t of(std::span<const std::uint8_t> data);
+  /// One-shot byte-wise reference CRC (equivalence-test baseline).
+  static std::uint32_t of_scalar(std::span<const std::uint8_t> data);
 
  private:
   std::uint32_t state_ = 0xFFFFFFFFu;

@@ -44,15 +44,47 @@ class FlatMap {
     size_ = 0;
   }
 
-  V* find(const K& key) {
+  /// The raw Hash of a key, for the precomputed-hash entry points below.
+  /// Batch consumers hash a whole batch of keys up front, prefetch() each
+  /// home slot, then probe — by the time find_hashed() runs, the bucket
+  /// line is already in flight.
+  static std::size_t hash_of(const K& key) { return Hash{}(key); }
+
+  /// Issues a software prefetch for the home slot of a key with
+  /// precomputed hash `h`. No-op on an empty table or without builtins.
+  void prefetch(std::size_t h) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!slots_.empty()) __builtin_prefetch(&slots_[index_of_hash(h)], 0, 1);
+#else
+    (void)h;
+#endif
+  }
+
+  V* find(const K& key) { return find_hashed(key, Hash{}(key)); }
+  const V* find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// find() with the Hash{}(key) value already computed by the caller.
+  V* find_hashed(const K& key, std::size_t h) {
     if (slots_.empty()) return nullptr;
-    for (std::size_t i = index_of(key);; i = next(i)) {
+    for (std::size_t i = index_of_hash(h);; i = next(i)) {
       if (!slots_[i]) return nullptr;
       if (slots_[i]->first == key) return &slots_[i]->second;
     }
   }
-  const V* find(const K& key) const {
-    return const_cast<FlatMap*>(this)->find(key);
+
+  /// Current slot index of a key, or npos if absent. Only meaningful until
+  /// the next mutation — erase's backward shift and rehash both move
+  /// elements — but that transient index is exactly what erase_if-order
+  /// emulation needs (see EventAggregator::batch_sweep).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t slot_index_hashed(const K& key, std::size_t h) const {
+    if (slots_.empty()) return npos;
+    for (std::size_t i = index_of_hash(h);; i = next(i)) {
+      if (!slots_[i]) return npos;
+      if (slots_[i]->first == key) return i;
+    }
   }
 
   /// Inserts `key` with a value constructed from `args` unless present.
@@ -60,10 +92,17 @@ class FlatMap {
   /// are invalidated by any later insertion (the table may grow).
   template <typename... Args>
   std::pair<V*, bool> try_emplace(const K& key, Args&&... args) {
+    return try_emplace_hashed(key, Hash{}(key), std::forward<Args>(args)...);
+  }
+
+  /// try_emplace() with the Hash{}(key) value already computed.
+  template <typename... Args>
+  std::pair<V*, bool> try_emplace_hashed(const K& key, std::size_t h,
+                                         Args&&... args) {
     if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
       rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
     }
-    for (std::size_t i = index_of(key);; i = next(i)) {
+    for (std::size_t i = index_of_hash(h);; i = next(i)) {
       if (!slots_[i]) {
         slots_[i].emplace(std::piecewise_construct, std::forward_as_tuple(key),
                           std::forward_as_tuple(std::forward<Args>(args)...));
@@ -74,9 +113,12 @@ class FlatMap {
     }
   }
 
-  bool erase(const K& key) {
+  bool erase(const K& key) { return erase_hashed(key, Hash{}(key)); }
+
+  /// erase() with the Hash{}(key) value already computed.
+  bool erase_hashed(const K& key, std::size_t h) {
     if (slots_.empty()) return false;
-    for (std::size_t i = index_of(key);; i = next(i)) {
+    for (std::size_t i = index_of_hash(h);; i = next(i)) {
       if (!slots_[i]) return false;
       if (slots_[i]->first == key) {
         erase_slot(i);
@@ -120,11 +162,12 @@ class FlatMap {
 
   using Slot = std::optional<std::pair<K, V>>;
 
-  std::size_t index_of(const K& key) const {
+  std::size_t index_of(const K& key) const { return index_of_hash(Hash{}(key)); }
+  std::size_t index_of_hash(std::size_t h) const {
     // Fibonacci spreading tolerates weak (even identity) Hash.
-    const std::uint64_t h =
-        static_cast<std::uint64_t>(Hash{}(key)) * 0x9E3779B97F4A7C15ull;
-    return static_cast<std::size_t>(h >> shift_);
+    const std::uint64_t spread =
+        static_cast<std::uint64_t>(h) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(spread >> shift_);
   }
   std::size_t next(std::size_t i) const { return (i + 1) & mask_; }
 

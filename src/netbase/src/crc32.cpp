@@ -20,9 +20,37 @@ constexpr std::array<std::uint32_t, 256> make_table() {
 
 constexpr std::array<std::uint32_t, 256> kTable = make_table();
 
+/// Slicing-by-8 tables: kSliced[k][b] is the CRC of byte b followed by k
+/// zero bytes, so eight lookups fold eight input bytes at once. Derived
+/// from kTable (same polynomial) on first use; the magic static keeps
+/// initialization thread-safe without paying for it at startup.
+struct SlicedTables {
+  std::uint32_t t[8][256];
+  SlicedTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) t[0][i] = kTable[i];
+    for (int k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        const std::uint32_t prev = t[k - 1][i];
+        t[k][i] = kTable[prev & 0xFFu] ^ (prev >> 8);
+      }
+    }
+  }
+};
+
+const SlicedTables& sliced_tables() {
+  static const SlicedTables tables;
+  return tables;
+}
+
+/// Portable little-endian 32-bit load (folds to a single mov on LE hosts).
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
 }  // namespace
 
-void Crc32::update(std::span<const std::uint8_t> data) {
+void Crc32::update_scalar(std::span<const std::uint8_t> data) {
   std::uint32_t c = state_;
   for (const std::uint8_t byte : data) {
     c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
@@ -30,9 +58,38 @@ void Crc32::update(std::span<const std::uint8_t> data) {
   state_ = c;
 }
 
+void Crc32::update(std::span<const std::uint8_t> data) {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  std::uint32_t c = state_;
+  if (n >= 8) {
+    const SlicedTables& tb = sliced_tables();
+    do {
+      const std::uint32_t lo = c ^ load_le32(p);
+      const std::uint32_t hi = load_le32(p + 4);
+      c = tb.t[7][lo & 0xFFu] ^ tb.t[6][(lo >> 8) & 0xFFu] ^
+          tb.t[5][(lo >> 16) & 0xFFu] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][hi & 0xFFu] ^ tb.t[2][(hi >> 8) & 0xFFu] ^
+          tb.t[1][(hi >> 16) & 0xFFu] ^ tb.t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    } while (n >= 8);
+  }
+  for (; n > 0; ++p, --n) {
+    c = kTable[(c ^ *p) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
 std::uint32_t Crc32::of(std::span<const std::uint8_t> data) {
   Crc32 crc;
   crc.update(data);
+  return crc.value();
+}
+
+std::uint32_t Crc32::of_scalar(std::span<const std::uint8_t> data) {
+  Crc32 crc;
+  crc.update_scalar(data);
   return crc.value();
 }
 

@@ -34,10 +34,25 @@ constexpr std::uint16_t masscan_ip_id(net::Ipv4Address dst, std::uint16_t dst_po
   return static_cast<std::uint16_t>((dst.value() ^ dst_port ^ tcp_seq) & 0xFFFF);
 }
 
-/// Identifies the tool that produced a probe from its header artifacts.
+/// Classifier core shared by fingerprint_of() and the columnar PacketBatch
+/// accessor — one definition, so scalar and batch attribution cannot drift.
 /// Mirai is checked before Masscan: a Mirai probe's seq equals the
 /// destination address, which almost never also satisfies the Masscan
 /// IP-ID relation, but the Mirai artifact is the stronger signal.
+constexpr ScanTool classify_tool(net::IpProto proto, net::Ipv4Address dst,
+                                 std::uint16_t dst_port, std::uint16_t ip_id,
+                                 std::uint32_t tcp_seq) {
+  if (proto == net::IpProto::Tcp && tcp_seq == dst.value()) {
+    return ScanTool::Mirai;
+  }
+  if (ip_id == kZmapIpId) return ScanTool::ZMap;
+  if (proto == net::IpProto::Tcp && ip_id == masscan_ip_id(dst, dst_port, tcp_seq)) {
+    return ScanTool::Masscan;
+  }
+  return ScanTool::Other;
+}
+
+/// Identifies the tool that produced a probe from its header artifacts.
 ScanTool fingerprint_of(const Packet& p);
 
 /// Stamps the given tool's artifact onto a probe (mutating IP-ID / seq).

@@ -28,6 +28,26 @@ constexpr const char* to_string(TrafficType t) {
   return "?";
 }
 
+/// Classifier core shared by Packet::traffic_type() and the columnar
+/// PacketBatch accessor — one definition, so the scalar and batch paths
+/// cannot drift apart.
+constexpr TrafficType classify_traffic(net::IpProto proto, std::uint8_t tcp_flags,
+                                       std::uint8_t icmp_type) {
+  switch (proto) {
+    case net::IpProto::Tcp:
+      // A scanning SYN has SYN set and ACK clear; SYN-ACK is backscatter.
+      return (tcp_flags & TcpFlags::kSyn) != 0 && (tcp_flags & TcpFlags::kAck) == 0
+                 ? TrafficType::TcpSyn
+                 : TrafficType::Other;
+    case net::IpProto::Udp:
+      return TrafficType::Udp;
+    case net::IpProto::Icmp:
+      return icmp_type == IcmpHeader::kEchoRequest ? TrafficType::IcmpEchoReq
+                                                   : TrafficType::Other;
+  }
+  return TrafficType::Other;
+}
+
 /// One captured packet. This is a parsed, header-level view — the pipeline
 /// never needs payload bytes (mirroring the paper's ethics constraint of
 /// header-only processing); serialize()/parse() round-trip the wire format

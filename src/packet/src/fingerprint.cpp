@@ -3,15 +3,8 @@
 namespace orion::pkt {
 
 ScanTool fingerprint_of(const Packet& p) {
-  if (p.tuple.proto == net::IpProto::Tcp && p.tcp_seq == p.tuple.dst.value()) {
-    return ScanTool::Mirai;
-  }
-  if (p.ip_id == kZmapIpId) return ScanTool::ZMap;
-  if (p.tuple.proto == net::IpProto::Tcp &&
-      p.ip_id == masscan_ip_id(p.tuple.dst, p.tuple.dst_port, p.tcp_seq)) {
-    return ScanTool::Masscan;
-  }
-  return ScanTool::Other;
+  return classify_tool(p.tuple.proto, p.tuple.dst, p.tuple.dst_port, p.ip_id,
+                       p.tcp_seq);
 }
 
 void apply_fingerprint(Packet& p, ScanTool tool) {

@@ -3,19 +3,7 @@
 namespace orion::pkt {
 
 TrafficType Packet::traffic_type() const {
-  switch (tuple.proto) {
-    case net::IpProto::Tcp:
-      // A scanning SYN has SYN set and ACK clear; SYN-ACK is backscatter.
-      return (tcp_flags & TcpFlags::kSyn) != 0 && (tcp_flags & TcpFlags::kAck) == 0
-                 ? TrafficType::TcpSyn
-                 : TrafficType::Other;
-    case net::IpProto::Udp:
-      return TrafficType::Udp;
-    case net::IpProto::Icmp:
-      return icmp_type == IcmpHeader::kEchoRequest ? TrafficType::IcmpEchoReq
-                                                   : TrafficType::Other;
-  }
-  return TrafficType::Other;
+  return classify_traffic(tuple.proto, tcp_flags, icmp_type);
 }
 
 std::vector<std::uint8_t> Packet::serialize() const {

@@ -1,16 +1,21 @@
 // Sharded parallel telescope pipeline with a deterministic merge.
 //
-// Packets are batched and dispatched by hash of source IP
-// (net::shard_of) over bounded SPSC rings to N worker shards. Each shard
-// owns a full EventAggregator plus a ShardDetectorSlice, so every
-// per-source quantity the paper's definitions need lives in exactly one
-// shard by construction. finish() joins the workers and runs a
-// deterministic merge — event-dataset concatenation under the dataset's
-// total (start, key) order plus detect::merge_shard_slices — whose output
-// is byte-identical to the single-threaded TelescopeCapture +
-// StreamingDetector path for ANY shard count and ANY batch/ring
-// interleaving (pinned by tests/parallel_test.cpp; argument in
-// DESIGN.md §9).
+// Packets are gathered into columnar PacketBatch arenas and dispatched by
+// hash of source IP (net::shard_of) over bounded SPSC rings to N worker
+// shards; workers drain whole spans of batches per ring handshake
+// (SpscRing::try_pop_n) and feed them to the shard aggregator's batched
+// engine (EventAggregator::observe_batch). Each shard owns a full
+// EventAggregator plus a ShardDetectorSlice, so every per-source quantity
+// the paper's definitions need lives in exactly one shard by
+// construction. Drained batch arenas flow back to the dispatcher on a
+// per-shard recycle ring, so the steady-state hot path allocates nothing.
+// finish() joins the workers and runs a deterministic merge —
+// event-dataset concatenation under the dataset's total (start, key)
+// order plus detect::merge_shard_slices — whose output is byte-identical
+// to the single-threaded TelescopeCapture + StreamingDetector path for
+// ANY shard count and ANY batch/ring interleaving (pinned by
+// tests/parallel_test.cpp and tests/hotpath_test.cpp; argument in
+// DESIGN.md §9 and §11).
 //
 // Backpressure: a full ring blocks the dispatcher (spin/yield/nap, see
 // spsc_ring.hpp) — packets are never dropped, so the pipeline's health
@@ -26,6 +31,7 @@
 
 #include "orion/detect/shard_detector.hpp"
 #include "orion/netbase/prefix.hpp"
+#include "orion/packet/batch.hpp"
 #include "orion/telescope/aggregator.hpp"
 #include "orion/telescope/capture.hpp"
 #include "orion/telescope/health.hpp"
@@ -74,6 +80,12 @@ class ParallelPipeline {
   /// std::invalid_argument from the dispatcher before dispatch.
   void observe(const pkt::Packet& packet);
 
+  /// Feeds a whole columnar batch: each record is scattered into its
+  /// shard's pending batch without reassembling Packet structs. Results
+  /// are identical to calling observe() per record; the whole batch is
+  /// validated for monotonicity before any record is dispatched.
+  void observe_batch(const pkt::PacketBatch& batch);
+
   /// Flushes, stops and joins the workers, then merges shard state into
   /// the serial-identical result. Call at most once.
   ParallelResult finish();
@@ -93,14 +105,18 @@ class ParallelPipeline {
 
  private:
   struct Batch {
-    std::vector<pkt::Packet> packets;
+    pkt::PacketBatch records;
     bool stop = false;
   };
 
   struct Shard {
-    explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
+    explicit Shard(std::size_t ring_capacity)
+        : ring(ring_capacity), recycle(ring_capacity) {}
 
     SpscRing<Batch> ring;
+    /// Drained batch arenas flowing back worker → dispatcher so pending
+    /// batches reuse warmed column capacity (full ring = arena dropped).
+    SpscRing<pkt::PacketBatch> recycle;
     /// Batches handed to the ring (dispatcher-owned).
     std::uint64_t pushed = 0;
     /// Batches fully processed (worker publishes with release; the
@@ -116,11 +132,12 @@ class ParallelPipeline {
     std::vector<DarknetEvent> events;
     std::unique_ptr<EventAggregator> aggregator;
     std::unique_ptr<detect::ShardDetectorSlice> slice;
-    std::vector<pkt::Packet> pending;  // dispatcher-side partial batch
+    pkt::PacketBatch pending;  // dispatcher-side partial batch
     std::thread worker;
   };
 
   void blocking_push(Shard& shard, Batch&& batch);
+  void dispatch_pending(Shard& shard);
   void flush_pending();
   /// Blocks until every pushed batch has been consumed.
   void quiesce();

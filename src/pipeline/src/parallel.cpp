@@ -1,5 +1,8 @@
 #include "orion/telescope/parallel.hpp"
 
+#include <array>
+#include <limits>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -81,40 +84,61 @@ ParallelPipeline::~ParallelPipeline() {
 }
 
 void ParallelPipeline::worker_loop(Shard& shard) {
+  // Drain up to a small span of batches per ring handshake: one acquire /
+  // release pair covers all of them (spsc_ring.hpp).
+  constexpr std::size_t kPopSpan = 4;
   unsigned spins = 0;
-  Batch batch;
+  std::array<Batch, kPopSpan> batches;
   for (;;) {
-    if (!shard.ring.try_pop(batch)) {
+    const std::size_t n = shard.ring.try_pop_n(std::span<Batch>(batches));
+    if (n == 0) {
       spsc_backoff(spins);
       continue;
     }
     spins = 0;
-    const bool stop = batch.stop;
-    for (const pkt::Packet& packet : batch.packets) {
-      shard.aggregator->observe(packet);
-      ++shard.delivered;
+    bool stop = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      Batch& batch = batches[i];
+      stop = stop || batch.stop;
+      if (!batch.records.empty()) {
+        shard.aggregator->observe_batch(batch.records);
+        shard.delivered += batch.records.size();
+        // Hand the drained arena back for reuse; a full recycle ring just
+        // means the dispatcher is ahead, so the arena is dropped.
+        batch.records.clear();
+        shard.recycle.try_push(batch.records);
+        batch.records = pkt::PacketBatch();
+      }
     }
     // Release-publish completion: the dispatcher's acquire read in
-    // quiesce() then sees every shard-state write this batch made.
-    shard.consumed.fetch_add(1, std::memory_order_release);
+    // quiesce() then sees every shard-state write these batches made.
+    shard.consumed.fetch_add(n, std::memory_order_release);
     if (stop) return;
   }
 }
 
 void ParallelPipeline::blocking_push(Shard& shard, Batch&& batch) {
   unsigned spins = 0;
-  while (!shard.ring.try_push(batch)) spsc_backoff(spins);
+  while (shard.ring.try_push_n(std::span<Batch>(&batch, 1)) == 0) {
+    spsc_backoff(spins);
+  }
   ++shard.pushed;
+}
+
+void ParallelPipeline::dispatch_pending(Shard& shard) {
+  Batch batch;
+  batch.records = std::move(shard.pending);
+  // Prefer a recycled arena (warm column capacity) for the next batch.
+  if (!shard.recycle.try_pop(shard.pending)) {
+    shard.pending = pkt::PacketBatch(config_.batch_size);
+  }
+  blocking_push(shard, std::move(batch));
 }
 
 void ParallelPipeline::flush_pending() {
   for (auto& shard : shards_) {
     if (shard->pending.empty()) continue;
-    Batch batch;
-    batch.packets = std::move(shard->pending);
-    shard->pending.clear();
-    shard->pending.reserve(config_.batch_size);
-    blocking_push(*shard, std::move(batch));
+    dispatch_pending(*shard);
   }
 }
 
@@ -153,12 +177,36 @@ void ParallelPipeline::observe(const pkt::Packet& packet) {
   Shard& shard =
       *shards_[net::shard_of(packet.tuple.src, config_.shards)];
   shard.pending.push_back(packet);
-  if (shard.pending.size() >= config_.batch_size) {
-    Batch batch;
-    batch.packets = std::move(shard.pending);
-    shard.pending.clear();
-    shard.pending.reserve(config_.batch_size);
-    blocking_push(shard, std::move(batch));
+  if (shard.pending.size() >= config_.batch_size) dispatch_pending(shard);
+}
+
+void ParallelPipeline::observe_batch(const pkt::PacketBatch& batch) {
+  if (finished_) {
+    throw std::logic_error("ParallelPipeline::observe after finish");
+  }
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  // Whole-batch monotonicity validation before any record is dispatched
+  // (the same strengthening as EventAggregator::observe_batch).
+  std::int64_t prev = saw_packet_
+                          ? last_timestamp_.since_epoch().total_nanos()
+                          : std::numeric_limits<std::int64_t>::min();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t ts = batch.timestamp_nanos(i);
+    if (ts < prev) {
+      throw std::invalid_argument(
+          "ParallelPipeline::observe: timestamps must be non-decreasing");
+    }
+    prev = ts;
+  }
+  saw_packet_ = true;
+  last_timestamp_ = batch.timestamp(n - 1);
+  health_.ingested += n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Shard& shard = *shards_[net::shard_of(batch.src(i), config_.shards)];
+    shard.pending.append_record(batch, i);
+    if (shard.pending.size() >= config_.batch_size) dispatch_pending(shard);
   }
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "orion/netbase/prefix.hpp"
+#include "orion/packet/batch.hpp"
 #include "orion/packet/builder.hpp"
 #include "orion/scangen/population.hpp"
 
@@ -49,8 +50,26 @@ class PacketStreamGenerator {
   /// Next packet in timestamp order; nullopt when the stream is drained.
   std::optional<pkt::Packet> next();
 
+  /// Timestamp (ns since epoch) of the next packet without emitting it;
+  /// nullopt when the stream is drained. Lets batching callers cut a
+  /// batch cleanly at a boundary (e.g. a UTC day edge) before it is
+  /// crossed.
+  std::optional<std::int64_t> peek_time() const;
+
+  /// Appends up to `max` packets in timestamp order directly onto `out`
+  /// (the batch is NOT cleared first) and returns how many were emitted —
+  /// 0 when the stream is drained. The columnar append performs no
+  /// per-packet allocations once the batch's arena is warm.
+  std::size_t next_batch(pkt::PacketBatch& out, std::size_t max);
+
   /// Drains the stream into a sink; returns the packet count.
   std::uint64_t run(const std::function<void(const pkt::Packet&)>& sink);
+
+  /// Drains the stream batch-wise: fills a reused arena with up to
+  /// `batch_size` packets per sink call. Returns the packet count.
+  std::uint64_t run_batched(
+      std::size_t batch_size,
+      const std::function<void(const pkt::PacketBatch&)>& sink);
 
   std::uint64_t packets_emitted() const { return packets_emitted_; }
 

@@ -135,12 +135,49 @@ std::optional<pkt::Packet> PacketStreamGenerator::next() {
   return packet;
 }
 
+std::optional<std::int64_t> PacketStreamGenerator::peek_time() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().first;
+}
+
+std::size_t PacketStreamGenerator::next_batch(pkt::PacketBatch& out,
+                                              std::size_t max) {
+  std::size_t emitted = 0;
+  while (emitted < max && !heap_.empty()) {
+    const auto [nanos, index] = heap_.top();
+    heap_.pop();
+    SubStream& stream = streams_[index];
+    const net::SimTime when = net::SimTime::at(net::Duration::nanos(nanos));
+    out.push_back(make_packet(stream, when));
+    push_stream(index);
+    ++packets_emitted_;
+    ++emitted;
+  }
+  return emitted;
+}
+
 std::uint64_t PacketStreamGenerator::run(
     const std::function<void(const pkt::Packet&)>& sink) {
   std::uint64_t count = 0;
   while (auto packet = next()) {
     sink(*packet);
     ++count;
+  }
+  return count;
+}
+
+std::uint64_t PacketStreamGenerator::run_batched(
+    std::size_t batch_size,
+    const std::function<void(const pkt::PacketBatch&)>& sink) {
+  if (batch_size == 0) batch_size = 1;
+  pkt::PacketBatch batch(batch_size);
+  std::uint64_t count = 0;
+  for (;;) {
+    batch.clear();
+    const std::size_t n = next_batch(batch, batch_size);
+    if (n == 0) break;
+    sink(batch);
+    count += n;
   }
   return count;
 }

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 namespace orion::stats {
@@ -38,6 +37,13 @@ std::uint64_t hll_hash(std::uint64_t key);
 /// to an HLL sketch. Per-event unique-destination tracking needs exactness
 /// for small events (most events touch a handful of dark IPs) but bounded
 /// memory for Internet-wide sweeps, which is exactly this trade-off.
+///
+/// The exact phase uses a flat open-addressing u64 set (zero is the empty
+/// sentinel, tracked by a side flag) rather than std::unordered_set — the
+/// per-insert node allocation dominated the aggregator's per-packet cost.
+/// Observationally this changes nothing: checkpoints sort the exact keys,
+/// estimate() is the distinct count, and HLL promotion takes a register
+/// max over the same key set in any order.
 class CardinalityEstimator {
  public:
   explicit CardinalityEstimator(std::size_t exact_limit = 4096,
@@ -49,18 +55,24 @@ class CardinalityEstimator {
   bool is_exact() const { return !promoted_; }
 
   /// Checkpoint support: expose and reinstate the full estimator state.
+  /// Keys come back in unspecified order — checkpoint writers sort them.
   /// The restored estimator keeps this instance's limit and precision;
   /// `restore` throws std::invalid_argument on a precision mismatch.
-  const std::unordered_set<std::uint64_t>& exact_keys() const { return exact_; }
+  std::vector<std::uint64_t> exact_keys() const;
   const HyperLogLog& sketch() const { return sketch_; }
-  void restore(bool promoted, std::unordered_set<std::uint64_t> exact,
+  void restore(bool promoted, const std::vector<std::uint64_t>& exact,
                HyperLogLog sketch);
 
  private:
+  void insert_exact(std::uint64_t key);
+  void promote();
+
   std::size_t exact_limit_;
   int hll_precision_;
   bool promoted_ = false;
-  std::unordered_set<std::uint64_t> exact_;
+  bool has_zero_ = false;          // key 0 lives here, not in slots_
+  std::size_t exact_size_ = 0;     // distinct keys, including a zero key
+  std::vector<std::uint64_t> slots_;  // open addressing; 0 = empty slot
   HyperLogLog sketch_;
 };
 

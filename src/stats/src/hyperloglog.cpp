@@ -74,33 +74,94 @@ CardinalityEstimator::CardinalityEstimator(std::size_t exact_limit,
       hll_precision_(hll_precision),
       sketch_(hll_precision) {}
 
+void CardinalityEstimator::insert_exact(std::uint64_t key) {
+  // Grow at 3/4 load (counting only the keys stored in slots_).
+  const std::size_t stored = exact_size_ - (has_zero_ ? 1 : 0);
+  if (slots_.empty() || (stored + 1) * 4 > slots_.size() * 3) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, 0);
+    const std::size_t mask = slots_.size() - 1;
+    for (const std::uint64_t k : old) {
+      if (k == 0) continue;
+      std::size_t i = hll_hash(k) & mask;
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = k;
+    }
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hll_hash(key) & mask;
+  while (slots_[i] != 0) {
+    if (slots_[i] == key) return;
+    i = (i + 1) & mask;
+  }
+  slots_[i] = key;
+  ++exact_size_;
+}
+
+void CardinalityEstimator::promote() {
+  for (const std::uint64_t k : slots_) {
+    if (k != 0) sketch_.add(hll_hash(k));
+  }
+  if (has_zero_) sketch_.add(hll_hash(0));
+  slots_.clear();
+  slots_.shrink_to_fit();
+  has_zero_ = false;
+  exact_size_ = 0;
+  promoted_ = true;
+}
+
 void CardinalityEstimator::add(std::uint64_t key) {
   if (promoted_) {
     sketch_.add(hll_hash(key));
     return;
   }
-  exact_.insert(key);
-  if (exact_.size() > exact_limit_) {
-    for (const std::uint64_t k : exact_) sketch_.add(hll_hash(k));
-    exact_.clear();
-    promoted_ = true;
+  if (key == 0) {
+    if (!has_zero_) {
+      has_zero_ = true;
+      ++exact_size_;
+    }
+  } else {
+    insert_exact(key);
   }
+  if (exact_size_ > exact_limit_) promote();
+}
+
+std::vector<std::uint64_t> CardinalityEstimator::exact_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(exact_size_);
+  if (has_zero_) keys.push_back(0);
+  for (const std::uint64_t k : slots_) {
+    if (k != 0) keys.push_back(k);
+  }
+  return keys;
 }
 
 void CardinalityEstimator::restore(bool promoted,
-                                   std::unordered_set<std::uint64_t> exact,
+                                   const std::vector<std::uint64_t>& exact,
                                    HyperLogLog sketch) {
   if (sketch.precision() != hll_precision_) {
     throw std::invalid_argument(
         "CardinalityEstimator::restore: precision mismatch");
   }
   promoted_ = promoted;
-  exact_ = std::move(exact);
+  slots_.clear();
+  has_zero_ = false;
+  exact_size_ = 0;
+  for (const std::uint64_t k : exact) {
+    if (k == 0) {
+      if (!has_zero_) {
+        has_zero_ = true;
+        ++exact_size_;
+      }
+    } else {
+      insert_exact(k);
+    }
+  }
   sketch_ = std::move(sketch);
 }
 
 std::uint64_t CardinalityEstimator::estimate() const {
-  if (!promoted_) return exact_.size();
+  if (!promoted_) return exact_size_;
   return static_cast<std::uint64_t>(std::llround(sketch_.estimate()));
 }
 

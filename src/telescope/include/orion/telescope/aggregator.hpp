@@ -1,11 +1,13 @@
 // Streaming aggregation of darknet packets into darknet events.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "orion/netbase/flat_map.hpp"
 #include "orion/netbase/prefix.hpp"
+#include "orion/packet/batch.hpp"
 #include "orion/stats/hyperloglog.hpp"
 #include "orion/telescope/event.hpp"
 
@@ -51,6 +53,18 @@ class EventAggregator {
   /// streams, so a violation is a programming error worth failing loudly).
   void observe(const pkt::Packet& packet);
 
+  /// Feeds a whole columnar batch. State after the call is byte-identical
+  /// to calling observe() on each record in order — same events in the
+  /// same order, same counters, same checkpoint bytes — for any batch
+  /// size (DESIGN.md §11). The batch engine pre-classifies and pre-hashes
+  /// every record, software-prefetches the live-table buckets, and skips
+  /// (only) expiry sweeps it can prove would emit nothing.
+  ///
+  /// One deliberate strengthening: timestamps are validated for the whole
+  /// batch up front, so a mid-batch regression throws *before* any record
+  /// is applied (the scalar loop would have applied the valid prefix).
+  void observe_batch(const pkt::PacketBatch& batch);
+
   /// Expires everything idle at `now` without feeding a packet (used at
   /// day boundaries by the longitudinal driver).
   void advance_to(net::SimTime now);
@@ -90,6 +104,10 @@ class EventAggregator {
 
   void emit(const EventKey& key, const LiveEvent& live);
   void sweep(net::SimTime now);
+  void batch_sweep(net::SimTime now);
+  void rebuild_aux();
+  void aux_rebase(std::int64_t top_granule);
+  std::size_t aux_bucket_of(std::int64_t last_seen_ns) const;
 
   net::PrefixSet dark_space_;
   AggregatorConfig config_;
@@ -101,6 +119,36 @@ class EventAggregator {
   net::SimTime last_timestamp_;
   net::SimTime next_sweep_;
   bool saw_packet_ = false;
+
+  // --- batch-path expiry wheel (DESIGN.md §11.3) ---
+  // A lazy timing wheel over last_seen, in coarse granules of
+  // aux_granule_ns_: wheel bucket i holds (key, hash) stamps for events
+  // whose last_seen entered granule aux_base_granule_ + i; bucket 0 also
+  // absorbs everything older than the base (rebases fold entries down).
+  // Stamps are append-only — touching an event leaves its old stamp
+  // stale — and a sweep validates only the stamps in buckets at or below
+  // the expiry cutoff against the live table. In the common case those
+  // buckets are empty and the sweep is a clock update; when stamps are
+  // present, the few truly-expired events are emitted in an order provably
+  // identical to the scalar erase_if scan (smallest current slot index
+  // first, re-queried after every erase), so the batch path never walks
+  // the full live table on a sweep at all.
+  // Maintained only by observe_batch; the scalar entry points just flip
+  // aux_valid_ and the next batch call rebuilds from the live table.
+  static constexpr std::size_t kAuxBuckets = 64;
+  using AuxStamp = std::pair<EventKey, std::size_t>;  // key + its hash
+  bool aux_valid_ = false;
+  std::int64_t aux_granule_ns_ = 1;
+  std::int64_t aux_base_granule_ = 0;
+  std::array<std::vector<AuxStamp>, kAuxBuckets> aux_wheel_;
+  std::vector<AuxStamp> aux_candidates_;  // sweep scratch
+  // Per-record scratch columns reused across batches (kept as members so
+  // a steady-state observe_batch call performs zero allocations).
+  std::vector<std::uint8_t> scratch_kind_;
+  std::vector<std::uint8_t> scratch_tool_;
+  std::vector<EventKey> scratch_key_;
+  std::vector<std::size_t> scratch_hash_;
+  std::vector<std::uint64_t> scratch_offset_;
 
   std::uint64_t packets_seen_ = 0;
   std::uint64_t scanning_packets_ = 0;

@@ -43,6 +43,10 @@ class TelescopeCapture {
   TelescopeCapture(net::PrefixSet dark_space, AggregatorConfig config);
 
   void observe(const pkt::Packet& packet);
+  /// Batched equivalent of observe() — identical state for any batch size
+  /// (the per-record work is delegated to EventAggregator::observe_batch).
+  /// On an invalid batch (timestamp regression) nothing is applied.
+  void observe_batch(const pkt::PacketBatch& batch);
   /// Closes all live events and returns the accumulated dataset.
   EventDataset finish();
 

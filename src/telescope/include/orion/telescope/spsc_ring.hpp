@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -43,6 +44,22 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side, span variant: moves up to values.size() items into the
+  /// ring and returns how many were taken (0 when full). One acquire load
+  /// of tail and one release store of head amortized over the whole span —
+  /// the per-item cost of the cross-core handshake shrinks with span size.
+  std::size_t try_push_n(std::span<T> values) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free_slots = slots_.size() - static_cast<std::size_t>(head - tail);
+    const std::size_t n = values.size() < free_slots ? values.size() : free_slots;
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[static_cast<std::size_t>(head + i) & mask_] = std::move(values[i]);
+    }
+    if (n > 0) head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
   /// Consumer side. False when the ring is empty.
   bool try_pop(T& out) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
@@ -50,6 +67,21 @@ class SpscRing {
     out = std::move(slots_[static_cast<std::size_t>(tail) & mask_]);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer side, span variant: moves up to out.size() items out of the
+  /// ring and returns how many were delivered (0 when empty). Mirrors
+  /// try_push_n: one acquire load of head, one release store of tail.
+  std::size_t try_pop_n(std::span<T> out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::size_t avail = static_cast<std::size_t>(head - tail);
+    const std::size_t n = out.size() < avail ? out.size() : avail;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[static_cast<std::size_t>(tail + i) & mask_]);
+    }
+    if (n > 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
   }
 
   /// Approximate occupancy (exact from either owning thread).

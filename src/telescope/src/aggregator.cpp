@@ -1,6 +1,7 @@
 #include "orion/telescope/aggregator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -30,6 +31,7 @@ void EventAggregator::observe(const pkt::Packet& packet) {
     throw std::invalid_argument(
         "EventAggregator::observe: timestamps must be non-decreasing");
   }
+  aux_valid_ = false;  // scalar path does not maintain the batch aux state
   if (!saw_packet_) {
     next_sweep_ = packet.timestamp + config_.sweep_interval;
     saw_packet_ = true;
@@ -77,10 +79,276 @@ void EventAggregator::observe(const pkt::Packet& packet) {
   live->dests.add(dark_space_.offset_of(packet.tuple.dst));
 }
 
+void EventAggregator::observe_batch(const pkt::PacketBatch& batch) {
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+
+  // Whole-batch monotonicity validation before any record is applied.
+  {
+    std::int64_t prev = saw_packet_
+                            ? last_timestamp_.since_epoch().total_nanos()
+                            : std::numeric_limits<std::int64_t>::min();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t ts = batch.timestamp_nanos(i);
+      if (ts < prev) {
+        throw std::invalid_argument(
+            "EventAggregator::observe: timestamps must be non-decreasing");
+      }
+      prev = ts;
+    }
+  }
+
+  if (!saw_packet_) {
+    next_sweep_ = batch.timestamp(0) + config_.sweep_interval;
+    saw_packet_ = true;
+  }
+  if (!aux_valid_) rebuild_aux();
+
+  // Pass 1: classify every record and precompute key hashes / dark-space
+  // offsets into the scratch columns. kind: 0 = outside the dark space,
+  // 1 = non-scanning, 2 = scanning.
+  scratch_kind_.resize(n);
+  scratch_tool_.resize(n);
+  scratch_key_.resize(n);
+  scratch_hash_.resize(n);
+  scratch_offset_.resize(n);
+  std::uint64_t out_of_space = 0;
+  std::uint64_t non_scanning = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dark_space_.contains(batch.dst(i))) {
+      scratch_kind_[i] = 0;
+      ++out_of_space;
+      continue;
+    }
+    const pkt::TrafficType type = batch.traffic_type(i);
+    if (type == pkt::TrafficType::Other) {
+      scratch_kind_[i] = 1;
+      ++non_scanning;
+      continue;
+    }
+    scratch_kind_[i] = 2;
+    scratch_tool_[i] = static_cast<std::uint8_t>(batch.tool(i));
+    scratch_key_[i] =
+        EventKey{batch.src(i),
+                 type == pkt::TrafficType::IcmpEchoReq ? std::uint16_t{0}
+                                                       : batch.dst_port(i),
+                 type};
+    scratch_hash_[i] = EventKeyHash{}(scratch_key_[i]);
+    scratch_offset_[i] = dark_space_.offset_of(batch.dst(i));
+  }
+
+  // Pass 2: apply the records in order. Sweep scheduling is identical to
+  // the scalar loop — a sweep fires before applying the first record whose
+  // timestamp reaches next_sweep_ — but the `maybe_sweep` flag hoists the
+  // per-record comparison: timestamps are non-decreasing, so if the last
+  // record is still before next_sweep_, no record in the batch can fire.
+  constexpr std::size_t kPrefetchAhead = 8;
+  const std::int64_t timeout_ns = config_.timeout.total_nanos();
+  bool maybe_sweep = batch.timestamp(n - 1) >= next_sweep_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::SimTime ts = batch.timestamp(i);
+    if (maybe_sweep && ts >= next_sweep_) {
+      batch_sweep(ts);
+      maybe_sweep = batch.timestamp(n - 1) >= next_sweep_;
+    }
+    if (scratch_kind_[i] != 2) continue;
+    if (i + kPrefetchAhead < n && scratch_kind_[i + kPrefetchAhead] == 2) {
+      live_.prefetch(scratch_hash_[i + kPrefetchAhead]);
+    }
+    const EventKey& key = scratch_key_[i];
+    const std::size_t hash = scratch_hash_[i];
+    const std::int64_t ts_ns = ts.since_epoch().total_nanos();
+    LiveEvent* live = live_.find_hashed(key, hash);
+    if (live != nullptr &&
+        ts_ns - live->last_seen.since_epoch().total_nanos() > timeout_ns) {
+      // Same expired-on-touch handling as the scalar path. The wheel stamp
+      // for this key goes stale and is dropped at validation time.
+      emit(key, *live);
+      live_.erase_hashed(key, hash);
+      live = nullptr;
+    }
+    // Slide the wheel window before this record's stamp is laid down;
+    // records land at the stream head, so the new bucket is the top one.
+    const std::int64_t g = ts_ns / aux_granule_ns_;
+    if (g - aux_base_granule_ >= static_cast<std::int64_t>(kAuxBuckets)) {
+      aux_rebase(g);
+    }
+    const std::size_t new_bucket =
+        static_cast<std::size_t>(g - aux_base_granule_);
+    if (live == nullptr) {
+      live = live_
+                 .try_emplace_hashed(key, hash,
+                                     LiveEvent(config_.exact_dest_limit,
+                                               config_.hll_precision))
+                 .first;
+      live->start = ts;
+      aux_wheel_[new_bucket].emplace_back(key, hash);
+    } else {
+      const std::size_t old_bucket =
+          aux_bucket_of(live->last_seen.since_epoch().total_nanos());
+      if (old_bucket != new_bucket) {
+        // The event migrated a granule; its old stamp goes stale in place.
+        aux_wheel_[new_bucket].emplace_back(key, hash);
+      }
+    }
+    live->last_seen = ts;
+    ++live->packets;
+    ++live->packets_by_tool[scratch_tool_[i]];
+    live->dests.add(scratch_offset_[i]);
+  }
+
+  last_timestamp_ = batch.timestamp(n - 1);
+  packets_seen_ += n;
+  ignored_out_of_space_ += out_of_space;
+  ignored_non_scanning_ += non_scanning;
+  scanning_packets_ += n - out_of_space - non_scanning;
+}
+
+std::size_t EventAggregator::aux_bucket_of(std::int64_t last_seen_ns) const {
+  const std::int64_t g = last_seen_ns / aux_granule_ns_ - aux_base_granule_;
+  if (g <= 0) return 0;
+  return g >= static_cast<std::int64_t>(kAuxBuckets)
+             ? kAuxBuckets - 1  // unreachable when rebased before increments
+             : static_cast<std::size_t>(g);
+}
+
+/// Slides the wheel window so `top_granule` maps to the last bucket,
+/// folding every bucket that falls off the bottom into bucket 0 (whose
+/// freshness test has no lower bound, so folded stamps stay valid).
+/// Only runs when stream time crosses a granule boundary past the window
+/// top; vectors are swapped, not copied, so capacities are recycled.
+void EventAggregator::aux_rebase(std::int64_t top_granule) {
+  const std::int64_t new_base =
+      top_granule - (static_cast<std::int64_t>(kAuxBuckets) - 1);
+  const std::int64_t shift = new_base - aux_base_granule_;
+  if (shift <= 0) return;
+  // Ascending order guarantees every swap target was already vacated.
+  for (std::size_t i = 1; i < kAuxBuckets; ++i) {
+    if (aux_wheel_[i].empty()) continue;
+    const std::int64_t j = static_cast<std::int64_t>(i) - shift;
+    if (j <= 0) {
+      aux_wheel_[0].insert(aux_wheel_[0].end(), aux_wheel_[i].begin(),
+                           aux_wheel_[i].end());
+      aux_wheel_[i].clear();
+    } else {
+      std::swap(aux_wheel_[static_cast<std::size_t>(j)], aux_wheel_[i]);
+      aux_wheel_[i].clear();
+    }
+  }
+  aux_base_granule_ = new_base;
+}
+
+void EventAggregator::rebuild_aux() {
+  // Granule width: the live window (timeout + one sweep interval) spread
+  // over the non-saturating buckets, so steady-state events never land in
+  // bucket 0 and the expiry bound has ~granule resolution.
+  const std::int64_t window =
+      config_.timeout.total_nanos() + config_.sweep_interval.total_nanos();
+  aux_granule_ns_ = window / static_cast<std::int64_t>(kAuxBuckets - 2) + 1;
+  aux_base_granule_ =
+      last_timestamp_.since_epoch().total_nanos() / aux_granule_ns_ -
+      (static_cast<std::int64_t>(kAuxBuckets) - 1);
+  for (auto& bucket : aux_wheel_) bucket.clear();
+  live_.for_each([this](const EventKey& key, const LiveEvent& live) {
+    aux_wheel_[aux_bucket_of(live.last_seen.since_epoch().total_nanos())]
+        .emplace_back(key, EventKeyHash{}(key));
+  });
+  aux_valid_ = true;
+}
+
+void EventAggregator::batch_sweep(net::SimTime now) {
+  const std::int64_t now_ns = now.since_epoch().total_nanos();
+  const std::int64_t timeout_ns = config_.timeout.total_nanos();
+  const std::int64_t cutoff_ns = now_ns - timeout_ns;
+  // Phase 1 — gather candidates. An event expires iff last_seen < cutoff.
+  // Bucket i >= 1 only holds stamps laid down at last_seen >=
+  // (base+i) * granule, and those lower bounds grow with i, so the walk
+  // stops at the first bucket that clears the cutoff; bucket 0 has no
+  // lower bound and is always inspected. Each stamp is validated against
+  // the live table: it is stale (dropped) when its key is gone, or when
+  // the event was touched into a different granule since the stamp was
+  // laid down (a fresher stamp exists in a later bucket). Fresh stamps of
+  // not-yet-expired events are compacted back into their bucket.
+  aux_candidates_.clear();
+  for (std::size_t i = 0; i < kAuxBuckets; ++i) {
+    if (i > 0 &&
+        (aux_base_granule_ + static_cast<std::int64_t>(i)) * aux_granule_ns_ >=
+            cutoff_ns) {
+      break;
+    }
+    std::vector<AuxStamp>& bucket = aux_wheel_[i];
+    if (bucket.empty()) continue;
+    std::size_t kept = 0;
+    for (const AuxStamp& stamp : bucket) {
+      const LiveEvent* live = live_.find_hashed(stamp.first, stamp.second);
+      if (live == nullptr) continue;  // stale: event ended or was re-keyed
+      const std::int64_t ls_ns = live->last_seen.since_epoch().total_nanos();
+      const std::int64_t g = ls_ns / aux_granule_ns_;
+      const bool fresh =
+          i == 0 ? g <= aux_base_granule_
+                 : g == aux_base_granule_ + static_cast<std::int64_t>(i);
+      if (!fresh) continue;  // stale: touched since the stamp was laid down
+      if (now_ns - ls_ns > timeout_ns) {
+        aux_candidates_.push_back(stamp);
+      } else {
+        bucket[kept++] = stamp;
+      }
+    }
+    bucket.resize(kept);
+  }
+  // Phase 2 — emit in the scalar erase_if order without scanning the
+  // table: repeatedly the candidate at the smallest current slot index at
+  // or past the previous emission's slot (erase's backward shift refills
+  // the emptied slot, which erase_if re-tests before advancing, hence
+  // ">=" not ">"). Slot indices move under erasure, so every survivor is
+  // re-queried each round. A candidate shifted below the frontier is
+  // exactly the element the scalar scan wraps past: it is re-stamped so
+  // the *next* sweep emits it, matching the scalar path's deferral.
+  constexpr std::size_t kNoSlot =
+      net::FlatMap<EventKey, LiveEvent, EventKeyHash>::npos;
+  std::size_t pos = 0;
+  while (!aux_candidates_.empty()) {
+    std::size_t best = aux_candidates_.size();
+    std::size_t best_slot = kNoSlot;
+    for (std::size_t j = 0; j < aux_candidates_.size();) {
+      const std::size_t slot = live_.slot_index_hashed(
+          aux_candidates_[j].first, aux_candidates_[j].second);
+      if (slot == kNoSlot) {
+        // Duplicate stamp (rebases can fold two stamps of one key into
+        // bucket 0); its event was already emitted this round.
+        aux_candidates_[j] = aux_candidates_.back();
+        aux_candidates_.pop_back();
+        continue;
+      }
+      if (slot >= pos && slot < best_slot) {
+        best = j;
+        best_slot = slot;
+      }
+      ++j;
+    }
+    if (best == aux_candidates_.size()) {
+      for (const AuxStamp& stamp : aux_candidates_) {
+        const LiveEvent* live = live_.find_hashed(stamp.first, stamp.second);
+        aux_wheel_[aux_bucket_of(live->last_seen.since_epoch().total_nanos())]
+            .push_back(stamp);
+      }
+      break;
+    }
+    const AuxStamp stamp = aux_candidates_[best];
+    aux_candidates_[best] = aux_candidates_.back();
+    aux_candidates_.pop_back();
+    emit(stamp.first, *live_.find_hashed(stamp.first, stamp.second));
+    live_.erase_hashed(stamp.first, stamp.second);
+    pos = best_slot;
+  }
+  next_sweep_ = now + config_.sweep_interval;
+}
+
 void EventAggregator::advance_to(net::SimTime now) {
   if (saw_packet_ && now < last_timestamp_) {
     throw std::invalid_argument("EventAggregator::advance_to: time regression");
   }
+  aux_valid_ = false;
   last_timestamp_ = now;
   sweep(now);
 }
@@ -90,6 +358,7 @@ void EventAggregator::finish() {
     emit(key, live);
   });
   live_.clear();
+  aux_valid_ = false;
 }
 
 void EventAggregator::emit(const EventKey& key, const LiveEvent& live) {
@@ -146,8 +415,7 @@ void EventAggregator::checkpoint(CheckpointWriter& writer) const {
     writer.u64(live.packets);
     for (const std::uint64_t t : live.packets_by_tool) writer.u64(t);
     writer.u8(live.dests.is_exact() ? 0 : 1);
-    std::vector<std::uint64_t> exact(live.dests.exact_keys().begin(),
-                                     live.dests.exact_keys().end());
+    std::vector<std::uint64_t> exact = live.dests.exact_keys();
     std::sort(exact.begin(), exact.end());
     writer.u64(exact.size());
     for (const std::uint64_t k : exact) writer.u64(k);
@@ -157,6 +425,7 @@ void EventAggregator::checkpoint(CheckpointWriter& writer) const {
 
 void EventAggregator::restore(CheckpointReader& reader) {
   reader.expect_tag(kAggregatorTag, "EventAggregator");
+  aux_valid_ = false;
   const bool config_matches =
       net::Duration::nanos(reader.i64("timeout")) == config_.timeout &&
       reader.u64("exact dest limit") == config_.exact_dest_limit &&
@@ -212,14 +481,14 @@ void EventAggregator::restore(CheckpointReader& reader) {
     if (exact_count > config_.exact_dest_limit) {
       throw std::runtime_error("checkpoint: exact key count over limit");
     }
-    std::unordered_set<std::uint64_t> exact;
+    std::vector<std::uint64_t> exact;
     exact.reserve(static_cast<std::size_t>(exact_count));
     for (std::uint64_t k = 0; k < exact_count; ++k) {
-      exact.insert(reader.u64("exact key"));
+      exact.push_back(reader.u64("exact key"));
     }
     stats::HyperLogLog sketch(config_.hll_precision);
     sketch.set_registers(reader.bytes(sketch.registers().size(), "hll registers"));
-    live.dests.restore(promoted, std::move(exact), std::move(sketch));
+    live.dests.restore(promoted, exact, std::move(sketch));
     live_.try_emplace(key, std::move(live));
   }
 }

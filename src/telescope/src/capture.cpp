@@ -78,6 +78,18 @@ void TelescopeCapture::observe(const pkt::Packet& packet) {
   aggregator_.observe(packet);
 }
 
+void TelescopeCapture::observe_batch(const pkt::PacketBatch& batch) {
+  // Aggregator first: it validates the whole batch before applying any
+  // record, so a throw leaves this capture untouched too. Sources are then
+  // inserted in record order — the same order the scalar loop would use —
+  // keeping the checkpoint's source enumeration byte-identical.
+  aggregator_.observe_batch(batch);
+  packets_captured_ += batch.size();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    sources_.insert(batch.src(i));
+  }
+}
+
 EventDataset TelescopeCapture::finish() {
   aggregator_.finish();
   return EventDataset(collector_.take(), darknet_size_);
