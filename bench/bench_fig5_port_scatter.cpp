@@ -57,7 +57,7 @@ int main() {
     // Single-sweep per-day mixes instead of a full rescan per (day, set).
     const impact::DailyDarknetMix mix(world.dataset(2022), ah);
     const auto& dark = mix.ports(day);
-    const auto flow = analyzer.port_mix(0, day, ah);
+    const auto flow = analyzer.query(0, day, ah).ports;
     const double dark_total = static_cast<double>(dark.total());
     const double flow_total = static_cast<double>(flow.total());
 

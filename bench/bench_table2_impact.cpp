@@ -15,8 +15,9 @@ int main() {
       "(Europe/Asia peering); weekends higher than weekdays; Oct 1 lower "
       "than the January week");
 
-  const detect::IpSet& ah =
-      world.detection(2022).of(detect::Definition::AddressDispersion).ips;
+  // Hash the definition list once; every router-day cell reuses it.
+  const impact::SourceSet ah(
+      world.detection(2022).of(detect::Definition::AddressDispersion).ips);
 
   const auto flows1 =
       bench::merit_flows(world, 2022, bench::flows1_start(), bench::flows1_end());
@@ -34,7 +35,8 @@ int main() {
       std::vector<std::string> row{net::day_label(day) + " (" +
                                    to_string(net::weekday_of(day)) + ")"};
       for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
-        const impact::RouterDayImpact cell = analyzer.impact(router, day, ah);
+        const impact::RouterDayImpact cell =
+            analyzer.query(router, day, ah).impact;
         row.push_back(report::fmt_double(cell.matched_packets / 1e6, 1) + "M (" +
                       report::fmt_double(cell.percentage(), 2) + "%)");
         pct_sum[router] += cell.percentage();

@@ -38,7 +38,7 @@ int main() {
     // One dataset sweep gives every day's mix; the day query is then O(1).
     const impact::DailyDarknetMix mix(world.dataset(2022), ah);
     dark[d] = percentages(mix.protocols(day));
-    flow[d] = percentages(analyzer.protocol_mix(0, day, ah));
+    flow[d] = percentages(analyzer.query(0, day, ah).protocols);
   }
   const std::array<const char*, 3> names = {"TCP-SYN", "UDP", "ICMP Ech Rqst"};
   for (std::size_t proto = 0; proto < 3; ++proto) {

@@ -31,8 +31,10 @@ int main() {
     std::vector<std::string> row{std::string("Definition #") +
                                  std::to_string(d + 1) + " (" +
                                  std::to_string(acked_ah.size()) + " IPs)"};
+    const impact::SourceSet acked_set(acked_ah);
     for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
-      const impact::RouterDayImpact cell = analyzer.impact(router, day, acked_ah);
+      const impact::RouterDayImpact cell =
+          analyzer.query(router, day, acked_set).impact;
       row.push_back(report::fmt_double(cell.matched_packets / 1e6, 2) + "M (" +
                     report::fmt_double(cell.percentage(), 2) + "%)");
       if (d == 0) d1_pct[router] = cell.percentage();
@@ -44,7 +46,7 @@ int main() {
   // Compare against the full-AH impact from Table 2's machinery.
   const detect::IpSet& all_ah =
       world.detection(2022).of(detect::Definition::AddressDispersion).ips;
-  const double all_r1 = analyzer.impact(0, day, all_ah).percentage();
+  const double all_r1 = analyzer.query(0, day, all_ah).impact.percentage();
   std::cout << "\nshape checks vs paper:\n"
             << "  ACKed D1 impact at router-1 is a nontrivial share of all-AH "
                "impact ("

@@ -32,16 +32,18 @@ int main() {
     for (std::int64_t day = flows.start_day(); day < flows.end_day(); ++day) {
       const auto index = static_cast<std::size_t>(day - detection.first_day);
       std::vector<std::string> row{net::day_label(day)};
-      std::array<const std::vector<net::Ipv4Address>*, 3> active{};
+      // One pre-hashed SourceSet per definition, reused across routers.
+      std::array<impact::SourceSet, 3> active;
       for (std::size_t d = 0; d < 3; ++d) {
-        active[d] =
-            &detection.of(static_cast<detect::Definition>(d)).active[index];
-        row.push_back(report::fmt_count(active[d]->size()));
+        active[d] = impact::SourceSet(
+            detection.of(static_cast<detect::Definition>(d)).active[index]);
+        row.push_back(report::fmt_count(active[d].size()));
       }
       for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
         std::string cell;
         for (std::size_t d = 0; d < 3; ++d) {
-          const double pct = analyzer.visibility_percent(router, day, *active[d]);
+          const double pct =
+              analyzer.query(router, day, active[d]).visibility_percent();
           if (d) cell += " / ";
           cell += report::fmt_double(pct, 1);
           if (router == 0 && d == 0) r1_d1_sum += pct;

@@ -9,6 +9,8 @@
 //   orion_cli summary   --in events.ode
 //   orion_cli convert   --in events.ode --out events.ode2 [--format ode1|ode2]
 //   orion_cli inspect   --in events.ode2
+//   orion_cli flow-impact --in events.ode [--scenario tiny|paper] [--year 2021|2022]
+//                       [--days N] [--sampling-rate N]
 //
 // Event datasets travel in the ODE1 binary format (telescope/store.hpp)
 // or the ODE2 columnar format (store/ode2.hpp); every --in flag sniffs
@@ -24,6 +26,7 @@
 #include "orion/detect/list_diff.hpp"
 #include "orion/detect/lists.hpp"
 #include "orion/detect/spoof_filter.hpp"
+#include "orion/impact/flow_join.hpp"
 #include "orion/packet/pcap.hpp"
 #include "orion/report/table.hpp"
 #include "orion/scangen/event_synth.hpp"
@@ -49,7 +52,9 @@ using namespace orion;
       "  summary   --in FILE\n"
       "  convert   --in FILE --out FILE [--format ode1|ode2] [--block-events N]\n"
       "  inspect   --in FILE\n"
-      "  diff      --old LISTS.csv --new LISTS.csv\n";
+      "  diff      --old LISTS.csv --new LISTS.csv\n"
+      "  flow-impact --in FILE [--scenario tiny|paper] [--year 2021|2022]\n"
+      "              [--days N] [--sampling-rate N] [--dispersion F]\n";
   std::exit(2);
 }
 
@@ -313,6 +318,73 @@ int cmd_inspect(const std::map<std::string, std::string>& flags) {
   }
 }
 
+int cmd_flow_impact(const std::map<std::string, std::string>& flags) {
+  const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
+  if (dataset.event_count() == 0) {
+    std::cerr << "error: empty event dataset\n";
+    return 1;
+  }
+
+  const std::string which = get_or(flags, "scenario", "tiny");
+  if (which != "tiny" && which != "paper") {
+    usage("--scenario must be tiny or paper");
+  }
+  const int year = std::stoi(get_or(flags, "year", "2021"));
+  if (year != 2021 && year != 2022) usage("--year must be 2021 or 2022");
+  const scangen::Scenario scenario{which == "paper" ? scangen::paper_scaled()
+                                                    : scangen::tiny()};
+  const auto& population = year == 2021 ? scenario.population_2021()
+                                        : scenario.population_2022();
+
+  // AH from the darknet's perspective of the given events.
+  detect::DetectorConfig detector;
+  detector.dispersion_threshold =
+      std::stod(get_or(flags, "dispersion", "0.10"));
+  const detect::DetectionResult result =
+      detect::AggressiveScannerDetector(detector).detect(dataset);
+  const detect::IpSet& ah =
+      result.of(detect::Definition::AddressDispersion).ips;
+  std::cout << ah.size() << " definition-1 AH sources detected\n";
+
+  // Simulated sampled NetFlow at the ISP border over the event window.
+  flowsim::FlowSimConfig config;
+  config.isp_space = scenario.merit();
+  config.start_day = dataset.first_day();
+  const std::int64_t days = std::stoll(get_or(flags, "days", "7"));
+  config.end_day =
+      std::min(dataset.last_day() + 1, config.start_day + days);
+  if (config.end_day <= config.start_day) config.end_day = config.start_day + 1;
+  config.sampling_rate = static_cast<std::uint32_t>(
+      std::stoul(get_or(flags, "sampling-rate", "100")));
+  config.user.base_pps = 4000;
+  config.user.cache_fraction = 0.55;
+  const flowsim::FlowDataset flows =
+      generate_flows(population, scenario.registry(),
+                     flowsim::PeeringPolicy::merit_like(), config);
+
+  // The Table 2 rows: one query() per (router, day) cell fills impact,
+  // mixes and visibility in a single index probe.
+  const impact::FlowImpactAnalyzer analyzer(&flows);
+  const impact::SourceSet sources(ah);
+  report::Table table({"date", "router-1", "router-2", "router-3",
+                       "visibility % (r1/r2/r3)"});
+  for (std::int64_t day = config.start_day; day < config.end_day; ++day) {
+    std::vector<std::string> row{net::day_label(day)};
+    std::string visibility;
+    for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
+      const impact::RouterDayReport report = analyzer.query(router, day, sources);
+      row.push_back(report::fmt_count(report.impact.matched_packets) + " (" +
+                    report::fmt_double(report.impact.percentage(), 2) + "%)");
+      if (router) visibility += " / ";
+      visibility += report::fmt_double(report.visibility_percent(), 1);
+    }
+    row.push_back(visibility);
+    table.add_row(row);
+  }
+  std::cout << table.to_ascii();
+  return 0;
+}
+
 int cmd_summary(const std::map<std::string, std::string>& flags) {
   const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
   report::Table table({"metric", "value"});
@@ -341,5 +413,6 @@ int main(int argc, char** argv) {
   if (command == "convert") return cmd_convert(flags);
   if (command == "inspect") return cmd_inspect(flags);
   if (command == "diff") return cmd_diff(flags);
+  if (command == "flow-impact") return cmd_flow_impact(flags);
   usage("unknown command: " + command);
 }

@@ -14,6 +14,8 @@
 
 namespace orion::flowsim {
 
+class FlowBatch;
+
 struct NetflowV5Record {
   net::Ipv4Address src;
   net::Ipv4Address dst;
@@ -58,5 +60,15 @@ struct NetflowV5Packet {
 /// Decodes one export packet; nullopt on wrong version, bad count or
 /// truncation.
 std::optional<NetflowV5Packet> decode_netflow_v5(std::span<const std::uint8_t> data);
+
+/// Batched decode: appends the packet's records straight into `out`'s
+/// column arenas (no per-record NetflowV5Packet materialization),
+/// stamping `router` and `ts_ns` on every row. Returns the header;
+/// nullopt — with NOTHING appended — on wrong version, bad count or
+/// truncation. Row-for-row equivalent to decode_netflow_v5 followed by
+/// per-record push_back (tests/flowjoin_test.cpp).
+std::optional<NetflowV5Header> decode_netflow_v5_into(
+    std::span<const std::uint8_t> data, FlowBatch& out,
+    std::uint16_t router = 0, std::int64_t ts_ns = 0);
 
 }  // namespace orion::flowsim

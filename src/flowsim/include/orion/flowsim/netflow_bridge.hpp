@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "orion/flowsim/flow_batch.hpp"
 #include "orion/flowsim/flows.hpp"
 #include "orion/flowsim/netflow5.hpp"
 
@@ -23,5 +24,28 @@ std::vector<std::vector<std::uint8_t>> export_router_day(
 RouterDay ingest_router_day(
     const std::vector<std::vector<std::uint8_t>>& packets,
     std::size_t& rejected);
+
+/// Collector side, batched: decodes every export packet straight into one
+/// columnar FlowBatch arena (rows appear in wire order; export_router_day
+/// emits them sorted by (src, dst_port, type), with oversized flows split
+/// across adjacent rows). Packets failing to decode are counted in
+/// `rejected` and contribute no rows.
+FlowBatch ingest_flow_batch(const std::vector<std::vector<std::uint8_t>>& packets,
+                            std::size_t& rejected, std::uint16_t router = 0,
+                            std::int64_t ts_ns = 0);
+
+/// Folds batch rows back into a RouterDay flow table (duplicate keys —
+/// e.g. split oversized flows — merge by summing). For any packet set,
+/// router_day_from_batch(ingest_flow_batch(p)) has the same sampled table
+/// as ingest_router_day(p) (tests/flowjoin_test.cpp).
+RouterDay router_day_from_batch(const FlowBatch& batch);
+
+/// Deterministic columnar view of a simulated router-day: the sampled
+/// flow table regrouped as ONE sorted FlowBatch — rows ordered by
+/// (src, dst_port, type), timestamped at the day start, 40 bytes per
+/// SYN-sized packet. This is the span feed for the batched impact join
+/// (FlowSourceIndex builds from chunks of it in any slicing).
+FlowBatch flow_batch_of(const RouterDay& day, std::uint16_t router,
+                        std::int64_t day_index);
 
 }  // namespace orion::flowsim

@@ -22,6 +22,16 @@ class PacketSampler {
   /// True if this packet is exported.
   bool sample();
 
+  /// Number of exported packets among the next `count` arrivals, advancing
+  /// the sampler state past all of them. Deterministic mode is EXACTLY
+  /// equivalent to `count` scalar sample() calls under any call slicing
+  /// (closed-form phase arithmetic, no loop). Random mode draws one
+  /// binomial with the same distribution as `count` Bernoulli trials; the
+  /// RNG stream then differs from the scalar path, so mixing scalar and
+  /// batched calls on one Random sampler changes which packets hit (never
+  /// the distribution).
+  std::uint64_t sample_n(std::uint64_t count);
+
   /// Number of sampled packets among a batch of `count` arrivals, without
   /// iterating them (used by the analytic flow generator).
   std::uint64_t sample_batch(std::uint64_t count, net::Rng& rng) const;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "orion/flowsim/flow_batch.hpp"
+
 namespace orion::flowsim {
 
 namespace {
@@ -105,6 +107,42 @@ std::optional<NetflowV5Packet> decode_netflow_v5(
     packet.records.push_back(r);
   }
   return packet;
+}
+
+std::optional<NetflowV5Header> decode_netflow_v5_into(
+    std::span<const std::uint8_t> data, FlowBatch& out, std::uint16_t router,
+    std::int64_t ts_ns) {
+  if (data.size() < kNetflowV5HeaderSize) return std::nullopt;
+  if (get_u16(data, 0) != 5) return std::nullopt;
+  const std::uint16_t count = get_u16(data, 2);
+  if (count > kNetflowV5MaxRecords) return std::nullopt;
+  if (data.size() < kNetflowV5HeaderSize + count * kNetflowV5RecordSize) {
+    return std::nullopt;
+  }
+
+  NetflowV5Header header;
+  header.sys_uptime_ms = get_u32(data, 4);
+  header.unix_secs = get_u32(data, 8);
+  header.flow_sequence = get_u32(data, 16);
+  header.engine_id = data[21];
+  header.sampling_interval = get_u16(data, 22);
+
+  out.reserve(out.size() + count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::size_t base = kNetflowV5HeaderSize + i * kNetflowV5RecordSize;
+    FlowRecord r;
+    r.ts_ns = ts_ns;
+    r.src = net::Ipv4Address(get_u32(data, base + 0));
+    r.dst = net::Ipv4Address(get_u32(data, base + 4));
+    r.packets = get_u32(data, base + 16);
+    r.bytes = get_u32(data, base + 20);
+    r.src_port = get_u16(data, base + 32);
+    r.dst_port = get_u16(data, base + 34);
+    r.proto = data[base + 38];
+    r.router = router;
+    out.push_back(r);
+  }
+  return header;
 }
 
 }  // namespace orion::flowsim

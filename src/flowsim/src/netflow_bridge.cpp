@@ -4,29 +4,6 @@
 
 namespace orion::flowsim {
 
-namespace {
-
-std::uint8_t protocol_number(pkt::TrafficType type) {
-  switch (type) {
-    case pkt::TrafficType::TcpSyn: return 6;
-    case pkt::TrafficType::Udp: return 17;
-    case pkt::TrafficType::IcmpEchoReq: return 1;
-    case pkt::TrafficType::Other: break;
-  }
-  return 6;
-}
-
-pkt::TrafficType traffic_type(std::uint8_t protocol) {
-  switch (protocol) {
-    case 6: return pkt::TrafficType::TcpSyn;
-    case 17: return pkt::TrafficType::Udp;
-    case 1: return pkt::TrafficType::IcmpEchoReq;
-    default: return pkt::TrafficType::Other;
-  }
-}
-
-}  // namespace
-
 std::vector<std::vector<std::uint8_t>> export_router_day(
     const RouterDay& day, std::uint32_t sampling_rate, std::uint8_t engine_id) {
   // Deterministic record order (flow tables hash-order otherwise).
@@ -56,7 +33,7 @@ std::vector<std::vector<std::uint8_t>> export_router_day(
     NetflowV5Record record;
     record.src = key.src;
     record.dst_port = key.dst_port;
-    record.protocol = protocol_number(key.type);
+    record.protocol = protocol_number_of(key.type);
     // v5 counters are 32-bit; split oversized flows across records.
     std::uint64_t remaining = sampled_packets;
     while (remaining > 0) {
@@ -85,11 +62,61 @@ RouterDay ingest_router_day(
       continue;
     }
     for (const NetflowV5Record& record : decoded->records) {
-      day.sampled[{record.src, record.dst_port, traffic_type(record.protocol)}] +=
+      day.sampled[{record.src, record.dst_port, traffic_type_of(record.protocol)}] +=
           record.packets;
     }
   }
   return day;
+}
+
+FlowBatch ingest_flow_batch(const std::vector<std::vector<std::uint8_t>>& packets,
+                            std::size_t& rejected, std::uint16_t router,
+                            std::int64_t ts_ns) {
+  FlowBatch batch;
+  rejected = 0;
+  for (const auto& wire : packets) {
+    if (!decode_netflow_v5_into(wire, batch, router, ts_ns)) ++rejected;
+  }
+  return batch;
+}
+
+RouterDay router_day_from_batch(const FlowBatch& batch) {
+  RouterDay day;
+  day.sampled.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    day.sampled[{batch.src(i), batch.dst_port(i), batch.traffic_type(i)}] +=
+        batch.packets(i);
+  }
+  return day;
+}
+
+FlowBatch flow_batch_of(const RouterDay& day, std::uint16_t router,
+                        std::int64_t day_index) {
+  // Same deterministic (src, dst_port, type) order the exporter uses, so
+  // the columnar view, the wire round trip and the join index all agree
+  // on row order.
+  std::vector<std::pair<FlowKey, std::uint64_t>> flows(day.sampled.begin(),
+                                                       day.sampled.end());
+  std::sort(flows.begin(), flows.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.src, a.first.dst_port, a.first.type) <
+           std::tie(b.first.src, b.first.dst_port, b.first.type);
+  });
+
+  FlowBatch batch(flows.size());
+  const std::int64_t ts_ns =
+      day_index * std::int64_t{86'400} * std::int64_t{1'000'000'000};
+  for (const auto& [key, sampled_packets] : flows) {
+    FlowRecord r;
+    r.ts_ns = ts_ns;
+    r.src = key.src;
+    r.dst_port = key.dst_port;
+    r.proto = protocol_number_of(key.type);
+    r.packets = sampled_packets;
+    r.bytes = sampled_packets * 40;  // SYN-sized, matching the exporter
+    r.router = router;
+    batch.push_back(r);
+  }
+  return batch;
 }
 
 }  // namespace orion::flowsim

@@ -27,6 +27,23 @@ bool PacketSampler::sample() {
   return false;
 }
 
+std::uint64_t PacketSampler::sample_n(std::uint64_t count) {
+  switch (mode_) {
+    case SamplingMode::Deterministic: {
+      // Scalar sample() hits whenever the running counter wraps at rate_;
+      // over `count` calls from phase counter_ that is (counter_+count)/rate_
+      // wraps, leaving phase (counter_+count)%rate_ — u64 math so huge
+      // batches cannot overflow the u32 phase.
+      const std::uint64_t advanced = std::uint64_t{counter_} + count;
+      counter_ = static_cast<std::uint32_t>(advanced % rate_);
+      return advanced / rate_;
+    }
+    case SamplingMode::Random:
+      return rng_.binomial(count, 1.0 / static_cast<double>(rate_));
+  }
+  return 0;
+}
+
 std::uint64_t PacketSampler::sample_batch(std::uint64_t count,
                                           net::Rng& rng) const {
   switch (mode_) {

@@ -1,5 +1,15 @@
 // Network-impact analysis: joining AH lists against border flow data
 // (Section 4 — Tables 2, 3, 4, 8 and Figure 5).
+//
+// The join is columnar end to end (DESIGN.md §12): router-day flow tables
+// arrive as sorted flowsim::FlowBatch spans, FlowSourceIndex regroups
+// them by source into flat columns, and one query() probe — sorted,
+// pre-hashed sources with prefetch-ahead, mirroring
+// telescope::EventAggregator::observe_batch — fills every per-table
+// number (impact, protocol mix, port mix, visibility) at once. The
+// legacy one-table-per-call methods survive as deprecated wrappers, and
+// join_flow_index_scalar() pins their original scalar algorithm as the
+// equivalence/timing baseline (bench_flowjoin's gate).
 #pragma once
 
 #include <array>
@@ -9,7 +19,9 @@
 #include <vector>
 
 #include "orion/detect/detector.hpp"
+#include "orion/flowsim/flow_batch.hpp"
 #include "orion/flowsim/flows.hpp"
+#include "orion/netbase/flat_map.hpp"
 #include "orion/stats/topk.hpp"
 
 namespace orion::store {
@@ -40,18 +52,139 @@ struct RouterDayImpact {
 /// (the flow side of Table 3); indices follow pkt::TrafficType.
 using ProtocolMix = std::array<std::uint64_t, 3>;
 
+/// Everything the Section 4 tables need from one (router, day, sources)
+/// join, filled by a single index probe: Table 2/4's impact row, Table 3's
+/// flow-side protocol mix, Figure 5's port estimates and Table 8's
+/// visibility. `impact.matched_sources` doubles as the visibility
+/// numerator — a source is "visible" exactly when it has >= 1 sampled
+/// flow, which is the same predicate impact counts.
+struct RouterDayReport {
+  RouterDayImpact impact;
+  ProtocolMix protocols{};
+  stats::TopK<std::uint16_t> ports;
+  /// Distinct sources probed (the visibility denominator).
+  std::size_t probed_sources = 0;
+
+  /// Table 8: percent of probed sources seen at this router-day.
+  double visibility_percent() const {
+    return probed_sources == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(impact.matched_sources) /
+                     static_cast<double>(probed_sources);
+  }
+};
+
+/// A probe-ready AH source list: sorted distinct addresses with their
+/// index hashes precomputed once. Tables walk every router-day with the
+/// same definition list, so hashing is hoisted out of the join loop —
+/// build one SourceSet per definition and reuse it for every query().
+class SourceSet {
+ public:
+  SourceSet() = default;
+  explicit SourceSet(const detect::IpSet& ips);
+  /// Duplicates are collapsed (the paper's active lists are unique).
+  explicit SourceSet(const std::vector<net::Ipv4Address>& ips);
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  net::Ipv4Address value(std::size_t i) const { return values_[i]; }
+  std::size_t hash(std::size_t i) const { return hashes_[i]; }
+  const std::vector<net::Ipv4Address>& values() const { return values_; }
+
+ private:
+  std::vector<net::Ipv4Address> values_;  // sorted, distinct
+  std::vector<std::size_t> hashes_;       // FlowSourceIndex::hash_of each
+};
+
+/// Flows of one router-day regrouped by source, built from sorted
+/// FlowBatch spans: `srcs` is sorted and distinct, and the entry columns
+/// [offsets[g], offsets[g+1]) hold source g's (port, type, sampled count)
+/// rows. A flat hash table maps source -> group so a probe is one
+/// prefetchable lookup instead of a binary search. append() accepts the
+/// batch in any chunking — rows must keep the (src, dst_port, type) order
+/// flow_batch_of/export_router_day emit (std::invalid_argument otherwise),
+/// and consecutive duplicate keys (NetFlow's split oversized flows) merge
+/// by summing. finalize() seals the offsets and builds the group table.
+class FlowSourceIndex {
+ public:
+  void append(const flowsim::FlowBatch& batch);
+  void finalize();
+
+  std::size_t source_count() const { return srcs_.size(); }
+  const std::vector<net::Ipv4Address>& srcs() const { return srcs_; }
+  const std::vector<std::uint32_t>& offsets() const { return offsets_; }
+  const std::vector<std::uint16_t>& entry_ports() const { return entry_port_; }
+  /// Raw pkt::TrafficType values (0..3), not collapsed type indices.
+  const std::vector<std::uint8_t>& entry_types() const { return entry_type_; }
+  const std::vector<std::uint64_t>& entry_counts() const { return entry_count_; }
+
+  static std::size_t hash_of(net::Ipv4Address src) {
+    return GroupMap::hash_of(src);
+  }
+  void prefetch_group(std::size_t hash) const { groups_.prefetch(hash); }
+  /// Group number of a source, or nullptr if it has no sampled flow here.
+  const std::uint32_t* find_group(net::Ipv4Address src,
+                                  std::size_t hash) const {
+    return groups_.find_hashed(src, hash);
+  }
+
+ private:
+  using GroupMap =
+      net::FlatMap<net::Ipv4Address, std::uint32_t, net::Ipv4AddressHash>;
+
+  std::vector<net::Ipv4Address> srcs_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint16_t> entry_port_;
+  std::vector<std::uint8_t> entry_type_;
+  std::vector<std::uint64_t> entry_count_;
+  GroupMap groups_;
+  bool finalized_ = false;
+  bool has_last_ = false;
+  net::Ipv4Address last_src_;
+  std::uint16_t last_port_ = 0;
+  std::uint8_t last_type_ = 0;
+};
+
+/// The batched join core: one pass over the source set, hashes
+/// precomputed, group buckets prefetched 8 ahead, all four table outputs
+/// accumulated per matched group. Byte-identical to
+/// join_flow_index_scalar for every input (tests/flowjoin_test.cpp).
+RouterDayReport join_flow_index(const FlowSourceIndex& index,
+                                const SourceSet& sources,
+                                std::uint32_t sampling_rate,
+                                std::uint64_t total_packets, std::size_t router,
+                                std::int64_t day);
+
+/// The pinned scalar reference: the pre-redesign algorithm verbatim —
+/// four independent passes (impact, protocols, ports, visibility), each
+/// probing `sources` per group with the std hash. Kept as the equivalence
+/// gate and timing baseline for bench_flowjoin; not for production use.
+RouterDayReport join_flow_index_scalar(const FlowSourceIndex& index,
+                                       const detect::IpSet& sources,
+                                       std::uint32_t sampling_rate,
+                                       std::uint64_t total_packets,
+                                       std::size_t router, std::int64_t day);
+
 /// Joins AH source sets against the flow dataset. Queries share a lazily
-/// built per-(router, day) index — flows grouped by source — so repeated
-/// queries against the same router-day (every table walks all definitions)
-/// skip the raw flow-map rescan after the first. The cache makes the
-/// analyzer single-threaded by design; share one per thread if needed.
+/// built per-(router, day) FlowSourceIndex, so repeated queries against
+/// the same router-day (every table walks all definitions) skip the raw
+/// flow-map rescan after the first. The cache makes the analyzer
+/// single-threaded by design; share one per thread if needed.
 class FlowImpactAnalyzer {
  public:
   explicit FlowImpactAnalyzer(const flowsim::FlowDataset* flows);
 
-  /// Impact of the given source set at one router-day (Table 2/4 cells).
-  RouterDayImpact impact(std::size_t router, std::int64_t day,
-                         const detect::IpSet& sources) const;
+  /// THE query API: every Section 4 number for one (router, day, sources)
+  /// cell from a single batched index probe.
+  RouterDayReport query(std::size_t router, std::int64_t day,
+                        const SourceSet& sources) const;
+  /// Convenience overload; builds the SourceSet per call — hoist a
+  /// SourceSet out of the loop when walking many router-days.
+  RouterDayReport query(std::size_t router, std::int64_t day,
+                        const detect::IpSet& sources) const;
+  /// Scalar reference path (join_flow_index_scalar); identical results.
+  RouterDayReport query_scalar(std::size_t router, std::int64_t day,
+                               const detect::IpSet& sources) const;
 
   /// All router-days in the dataset window for one source set.
   std::vector<RouterDayImpact> impact_table(const detect::IpSet& sources) const;
@@ -59,53 +192,84 @@ class FlowImpactAnalyzer {
   /// Fraction (0-100) of `sources` that appear (>= 1 sampled flow) at a
   /// router-day — Table 8's visibility percentages.
   double visibility_percent(std::size_t router, std::int64_t day,
+                            const detect::IpSet& sources) const;
+
+  /// Impact of the given source set at one router-day (Table 2/4 cells).
+  [[deprecated("use query(); it fills every table in one probe")]]
+  RouterDayImpact impact(std::size_t router, std::int64_t day,
+                         const detect::IpSet& sources) const;
+
+  /// Deprecated asymmetric overload (every sibling takes an IpSet).
+  /// Duplicates no longer count twice: the list is collapsed to distinct
+  /// addresses, matching the IpSet overload. The paper's active lists are
+  /// sorted-unique, so their percentages are unchanged.
+  [[deprecated("use the detect::IpSet overload")]]
+  double visibility_percent(std::size_t router, std::int64_t day,
                             const std::vector<net::Ipv4Address>& sources) const;
 
   /// Flow-side protocol mix for matched sources (Table 3).
+  [[deprecated("use query(); it fills every table in one probe")]]
   ProtocolMix protocol_mix(std::size_t router, std::int64_t day,
                            const detect::IpSet& sources) const;
 
   /// Flow-side per-port packet estimates for matched sources (Figure 5).
+  [[deprecated("use query(); it fills every table in one probe")]]
   stats::TopK<std::uint16_t> port_mix(std::size_t router, std::int64_t day,
                                       const detect::IpSet& sources) const;
 
  private:
-  /// Flows of one router-day regrouped by source: `srcs` is sorted and
-  /// distinct, and entries[offsets[i] .. offsets[i+1]) are srcs[i]'s flow
-  /// keys with their sampled counts. Built once per router-day on first
-  /// query; every method then pays one membership test per distinct
-  /// source instead of one per flow, and visibility is a binary search.
-  struct RouterDayIndex {
-    std::vector<net::Ipv4Address> srcs;
-    std::vector<std::uint32_t> offsets;
-    std::vector<std::pair<flowsim::FlowKey, std::uint64_t>> entries;
+  /// (router, day) as a real pair key. The previous cache packed both
+  /// into one uint64 as (router << 32) | (day - start_day) and consulted
+  /// the cache BEFORE range validation, so adversarial values that
+  /// overflow either half (router = 2^32, day = start_day + 2^32) aliased
+  /// a warm entry and silently returned the wrong index instead of
+  /// throwing (regression: tests/flowjoin_test.cpp).
+  struct RouterDayKey {
+    std::size_t router = 0;
+    std::int64_t day = 0;
+    friend bool operator==(const RouterDayKey&, const RouterDayKey&) = default;
+  };
+  struct RouterDayKeyHash {
+    std::size_t operator()(const RouterDayKey& k) const {
+      const std::size_t h = std::hash<std::size_t>{}(k.router);
+      return h ^ (std::hash<std::int64_t>{}(k.day) + 0x9E3779B97F4A7C15ull +
+                  (h << 6) + (h >> 2));
+    }
   };
 
-  const RouterDayIndex& index_of(std::size_t router, std::int64_t day) const;
+  const FlowSourceIndex& index_of(std::size_t router, std::int64_t day) const;
 
   const flowsim::FlowDataset* flows_;
-  mutable std::unordered_map<std::uint64_t, RouterDayIndex> index_cache_;
+  mutable std::unordered_map<RouterDayKey, FlowSourceIndex, RouterDayKeyHash>
+      index_cache_;
 };
 
 /// Darknet-side protocol mix of a set of sources on one day, from events
-/// started that day (the "D" columns of Table 3).
-ProtocolMix darknet_protocol_mix(const telescope::EventDataset& dataset,
-                                 std::int64_t day, const detect::IpSet& sources);
+/// started that day (the "D" columns of Table 3). Templated over the
+/// event source like detect_core<Source>: instantiated for
+/// telescope::EventDataset (in-memory) and store::MappedEventStore (ODE2,
+/// zero-copy day-range scan) — one signature, identical results
+/// (tests/store_test.cpp).
+template <typename EventSource>
+ProtocolMix darknet_protocol_mix(const EventSource& source, std::int64_t day,
+                                 const detect::IpSet& sources);
 
 /// Darknet-side per-port packet counts (Figure 5's x-axis).
-stats::TopK<std::uint16_t> darknet_port_mix(const telescope::EventDataset& dataset,
+template <typename EventSource>
+stats::TopK<std::uint16_t> darknet_port_mix(const EventSource& source,
                                             std::int64_t day,
                                             const detect::IpSet& sources);
 
-/// Zero-copy equivalents over an mmap'ed ODE2 archive: the day index
-/// narrows the scan to the day's row range, and only the src/type/port/
-/// packets columns are touched. Results are identical to the dataset
-/// versions (tests/store_test.cpp).
-ProtocolMix darknet_protocol_mix(const store::MappedEventStore& store,
-                                 std::int64_t day, const detect::IpSet& sources);
-stats::TopK<std::uint16_t> darknet_port_mix(const store::MappedEventStore& store,
-                                            std::int64_t day,
-                                            const detect::IpSet& sources);
+extern template ProtocolMix darknet_protocol_mix<telescope::EventDataset>(
+    const telescope::EventDataset&, std::int64_t, const detect::IpSet&);
+extern template ProtocolMix darknet_protocol_mix<store::MappedEventStore>(
+    const store::MappedEventStore&, std::int64_t, const detect::IpSet&);
+extern template stats::TopK<std::uint16_t>
+darknet_port_mix<telescope::EventDataset>(const telescope::EventDataset&,
+                                          std::int64_t, const detect::IpSet&);
+extern template stats::TopK<std::uint16_t>
+darknet_port_mix<store::MappedEventStore>(const store::MappedEventStore&,
+                                          std::int64_t, const detect::IpSet&);
 
 /// Darknet-side mixes for EVERY day of the dataset window, built in one
 /// sweep. Replaces the O(days x events) pattern of calling
@@ -115,11 +279,10 @@ stats::TopK<std::uint16_t> darknet_port_mix(const store::MappedEventStore& store
 /// each per-day query is then O(1) / O(ports of that day).
 class DailyDarknetMix {
  public:
-  DailyDarknetMix(const telescope::EventDataset& dataset,
-                  const detect::IpSet& sources);
-  /// Same sweep over an ODE2 archive, reading columns in place.
-  DailyDarknetMix(const store::MappedEventStore& store,
-                  const detect::IpSet& sources);
+  /// One templated sweep for both event sources (EventDataset in memory,
+  /// MappedEventStore reading ODE2 columns in place).
+  template <typename EventSource>
+  DailyDarknetMix(const EventSource& source, const detect::IpSet& sources);
 
   std::int64_t first_day() const { return first_day_; }
   std::int64_t last_day() const { return last_day_; }
@@ -140,5 +303,10 @@ class DailyDarknetMix {
   std::vector<ProtocolMix> protocols_;
   std::vector<stats::TopK<std::uint16_t>> ports_;
 };
+
+extern template DailyDarknetMix::DailyDarknetMix(const telescope::EventDataset&,
+                                                 const detect::IpSet&);
+extern template DailyDarknetMix::DailyDarknetMix(const store::MappedEventStore&,
+                                                 const detect::IpSet&);
 
 }  // namespace orion::impact

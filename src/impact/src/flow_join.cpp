@@ -1,7 +1,9 @@
 #include "orion/impact/flow_join.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "orion/flowsim/netflow_bridge.hpp"
 #include "orion/store/mapped.hpp"
 
 namespace orion::impact {
@@ -20,146 +22,313 @@ std::size_t type_index(pkt::TrafficType t) {
 
 }  // namespace
 
+SourceSet::SourceSet(const detect::IpSet& ips)
+    : values_(ips.begin(), ips.end()) {
+  std::sort(values_.begin(), values_.end());
+  hashes_.reserve(values_.size());
+  for (const net::Ipv4Address ip : values_) {
+    hashes_.push_back(FlowSourceIndex::hash_of(ip));
+  }
+}
+
+SourceSet::SourceSet(const std::vector<net::Ipv4Address>& ips) : values_(ips) {
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+  hashes_.reserve(values_.size());
+  for (const net::Ipv4Address ip : values_) {
+    hashes_.push_back(FlowSourceIndex::hash_of(ip));
+  }
+}
+
+void FlowSourceIndex::append(const flowsim::FlowBatch& batch) {
+  if (finalized_) {
+    throw std::logic_error("FlowSourceIndex: append after finalize");
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const net::Ipv4Address src = batch.src(i);
+    const std::uint16_t port = batch.dst_port(i);
+    const auto type = static_cast<std::uint8_t>(batch.traffic_type(i));
+    const std::uint64_t count = batch.packets(i);
+    if (has_last_) {
+      const auto last = std::tie(last_src_, last_port_, last_type_);
+      const auto cur = std::tie(src, port, type);
+      if (cur < last) {
+        throw std::invalid_argument(
+            "FlowSourceIndex: rows out of (src, dst_port, type) order");
+      }
+      if (cur == last) {  // split oversized flow: same key, merge
+        entry_count_.back() += count;
+        continue;
+      }
+    }
+    if (srcs_.empty() || srcs_.back() != src) {
+      srcs_.push_back(src);
+      offsets_.push_back(static_cast<std::uint32_t>(entry_count_.size()));
+    }
+    entry_port_.push_back(port);
+    entry_type_.push_back(type);
+    entry_count_.push_back(count);
+    last_src_ = src;
+    last_port_ = port;
+    last_type_ = type;
+    has_last_ = true;
+  }
+}
+
+void FlowSourceIndex::finalize() {
+  if (finalized_) return;
+  offsets_.push_back(static_cast<std::uint32_t>(entry_count_.size()));
+  groups_.reserve(srcs_.size());
+  for (std::size_t g = 0; g < srcs_.size(); ++g) {
+    groups_.try_emplace(srcs_[g], static_cast<std::uint32_t>(g));
+  }
+  finalized_ = true;
+}
+
+RouterDayReport join_flow_index(const FlowSourceIndex& index,
+                                const SourceSet& sources,
+                                std::uint32_t sampling_rate,
+                                std::uint64_t total_packets, std::size_t router,
+                                std::int64_t day) {
+  RouterDayReport report;
+  report.impact.router = router;
+  report.impact.day = day;
+  report.impact.total_packets = total_packets;
+  report.probed_sources = sources.size();
+
+  const std::vector<std::uint32_t>& offsets = index.offsets();
+  const std::vector<std::uint16_t>& ports = index.entry_ports();
+  const std::vector<std::uint8_t>& types = index.entry_types();
+  const std::vector<std::uint64_t>& counts = index.entry_counts();
+
+  // Same shape as EventAggregator::observe_batch: hashes were precomputed
+  // by the SourceSet, so probe i can have probe i+8's bucket line already
+  // in flight while it scans its entry span.
+  constexpr std::size_t kPrefetchAhead = 8;
+  const std::size_t n = sources.size();
+  std::uint64_t sampled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchAhead < n) {
+      index.prefetch_group(sources.hash(i + kPrefetchAhead));
+    }
+    const std::uint32_t* group =
+        index.find_group(sources.value(i), sources.hash(i));
+    if (group == nullptr) continue;
+    ++report.impact.matched_sources;
+    for (std::uint32_t e = offsets[*group]; e < offsets[*group + 1]; ++e) {
+      const std::uint64_t estimate = counts[e] * sampling_rate;
+      sampled += counts[e];
+      report.protocols[type_index(static_cast<pkt::TrafficType>(types[e]))] +=
+          estimate;
+      report.ports.add(ports[e], estimate);
+    }
+  }
+  report.impact.matched_packets = sampled * sampling_rate;
+  return report;
+}
+
+RouterDayReport join_flow_index_scalar(const FlowSourceIndex& index,
+                                       const detect::IpSet& sources,
+                                       std::uint32_t sampling_rate,
+                                       std::uint64_t total_packets,
+                                       std::size_t router, std::int64_t day) {
+  RouterDayReport report;
+  report.impact.router = router;
+  report.impact.day = day;
+  report.impact.total_packets = total_packets;
+  report.probed_sources = sources.size();
+
+  const std::vector<net::Ipv4Address>& srcs = index.srcs();
+  const std::vector<std::uint32_t>& offsets = index.offsets();
+  const std::vector<std::uint16_t>& ports = index.entry_ports();
+  const std::vector<std::uint8_t>& types = index.entry_types();
+  const std::vector<std::uint64_t>& counts = index.entry_counts();
+  const std::size_t groups = srcs.size();
+
+  // The pre-redesign algorithm, preserved pass for pass: the legacy API
+  // forced one full probe sweep per table.
+
+  // Pass 1 — impact (legacy impact()).
+  std::uint64_t sampled = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (!sources.contains(srcs[g])) continue;
+    ++report.impact.matched_sources;
+    for (std::uint32_t e = offsets[g]; e < offsets[g + 1]; ++e) {
+      sampled += counts[e];
+    }
+  }
+  report.impact.matched_packets = sampled * sampling_rate;
+
+  // Pass 2 — protocol mix (legacy protocol_mix()).
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (!sources.contains(srcs[g])) continue;
+    for (std::uint32_t e = offsets[g]; e < offsets[g + 1]; ++e) {
+      report.protocols[type_index(static_cast<pkt::TrafficType>(types[e]))] +=
+          counts[e] * sampling_rate;
+    }
+  }
+
+  // Pass 3 — port mix (legacy port_mix()).
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (!sources.contains(srcs[g])) continue;
+    for (std::uint32_t e = offsets[g]; e < offsets[g + 1]; ++e) {
+      report.ports.add(ports[e], counts[e] * sampling_rate);
+    }
+  }
+
+  // Pass 4 — visibility (legacy visibility_percent()): one binary search
+  // per probed source. Its count is the same "has >= 1 sampled flow"
+  // predicate pass 1 already counted, which is exactly why query() can
+  // fold all four tables into one probe.
+  std::size_t visible = 0;
+  for (const net::Ipv4Address ip : sources) {
+    if (std::binary_search(srcs.begin(), srcs.end(), ip)) ++visible;
+  }
+  if (visible != report.impact.matched_sources) {
+    throw std::logic_error("join_flow_index_scalar: visibility disagrees");
+  }
+  return report;
+}
+
 FlowImpactAnalyzer::FlowImpactAnalyzer(const flowsim::FlowDataset* flows)
     : flows_(flows) {}
 
-const FlowImpactAnalyzer::RouterDayIndex& FlowImpactAnalyzer::index_of(
-    std::size_t router, std::int64_t day) const {
-  const std::uint64_t key = (static_cast<std::uint64_t>(router) << 32) |
-                            static_cast<std::uint64_t>(day - flows_->start_day());
+const FlowSourceIndex& FlowImpactAnalyzer::index_of(std::size_t router,
+                                                    std::int64_t day) const {
+  const RouterDayKey key{router, day};
   const auto cached = index_cache_.find(key);
   if (cached != index_cache_.end()) return cached->second;
 
+  // at() range-validates (throws std::out_of_range) before anything is
+  // cached under this key.
   const flowsim::RouterDay& rd = flows_->at(router, day);
-  RouterDayIndex index;
-  index.entries.assign(rd.sampled.begin(), rd.sampled.end());
-  std::sort(index.entries.begin(), index.entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (std::size_t i = 0; i < index.entries.size(); ++i) {
-    const net::Ipv4Address src = index.entries[i].first.src;
-    if (index.srcs.empty() || index.srcs.back() != src) {
-      index.srcs.push_back(src);
-      index.offsets.push_back(static_cast<std::uint32_t>(i));
-    }
-  }
-  index.offsets.push_back(static_cast<std::uint32_t>(index.entries.size()));
+  FlowSourceIndex index;
+  index.append(
+      flowsim::flow_batch_of(rd, static_cast<std::uint16_t>(router), day));
+  index.finalize();
   return index_cache_.emplace(key, std::move(index)).first->second;
 }
 
-RouterDayImpact FlowImpactAnalyzer::impact(std::size_t router, std::int64_t day,
-                                           const detect::IpSet& sources) const {
+RouterDayReport FlowImpactAnalyzer::query(std::size_t router, std::int64_t day,
+                                          const SourceSet& sources) const {
   const flowsim::RouterDay& rd = flows_->at(router, day);
-  const RouterDayIndex& index = index_of(router, day);
-  RouterDayImpact out;
-  out.router = router;
-  out.day = day;
-  out.total_packets = rd.total_packets;
+  return join_flow_index(index_of(router, day), sources,
+                         flows_->sampling_rate(), rd.total_packets, router,
+                         day);
+}
 
-  std::uint64_t sampled = 0;
-  for (std::size_t g = 0; g + 1 < index.offsets.size(); ++g) {
-    if (!sources.contains(index.srcs[g])) continue;
-    ++out.matched_sources;
-    for (std::uint32_t i = index.offsets[g]; i < index.offsets[g + 1]; ++i) {
-      sampled += index.entries[i].second;
-    }
-  }
-  out.matched_packets = sampled * flows_->sampling_rate();
-  return out;
+RouterDayReport FlowImpactAnalyzer::query(std::size_t router, std::int64_t day,
+                                          const detect::IpSet& sources) const {
+  return query(router, day, SourceSet(sources));
+}
+
+RouterDayReport FlowImpactAnalyzer::query_scalar(
+    std::size_t router, std::int64_t day, const detect::IpSet& sources) const {
+  const flowsim::RouterDay& rd = flows_->at(router, day);
+  return join_flow_index_scalar(index_of(router, day), sources,
+                                flows_->sampling_rate(), rd.total_packets,
+                                router, day);
 }
 
 std::vector<RouterDayImpact> FlowImpactAnalyzer::impact_table(
     const detect::IpSet& sources) const {
+  const SourceSet set(sources);  // hash once, reuse across every cell
   std::vector<RouterDayImpact> out;
   for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
-    for (std::int64_t day = flows_->start_day(); day < flows_->end_day(); ++day) {
-      out.push_back(impact(router, day, sources));
+    for (std::int64_t day = flows_->start_day(); day < flows_->end_day();
+         ++day) {
+      out.push_back(query(router, day, set).impact);
     }
   }
   return out;
 }
 
 double FlowImpactAnalyzer::visibility_percent(
-    std::size_t router, std::int64_t day,
-    const std::vector<net::Ipv4Address>& sources) const {
-  if (sources.empty()) return 0.0;
-  const RouterDayIndex& index = index_of(router, day);
-  std::size_t matched = 0;
-  for (const net::Ipv4Address ip : sources) {
-    if (std::binary_search(index.srcs.begin(), index.srcs.end(), ip)) ++matched;
-  }
-  return 100.0 * static_cast<double>(matched) /
-         static_cast<double>(sources.size());
+    std::size_t router, std::int64_t day, const detect::IpSet& sources) const {
+  return query(router, day, sources).visibility_percent();
 }
 
-ProtocolMix FlowImpactAnalyzer::protocol_mix(std::size_t router, std::int64_t day,
+RouterDayImpact FlowImpactAnalyzer::impact(std::size_t router, std::int64_t day,
+                                           const detect::IpSet& sources) const {
+  return query(router, day, sources).impact;
+}
+
+double FlowImpactAnalyzer::visibility_percent(
+    std::size_t router, std::int64_t day,
+    const std::vector<net::Ipv4Address>& sources) const {
+  return query(router, day, SourceSet(sources)).visibility_percent();
+}
+
+ProtocolMix FlowImpactAnalyzer::protocol_mix(std::size_t router,
+                                             std::int64_t day,
                                              const detect::IpSet& sources) const {
-  const RouterDayIndex& index = index_of(router, day);
-  ProtocolMix mix{};
-  for (std::size_t g = 0; g + 1 < index.offsets.size(); ++g) {
-    if (!sources.contains(index.srcs[g])) continue;
-    for (std::uint32_t i = index.offsets[g]; i < index.offsets[g + 1]; ++i) {
-      const auto& [key, count] = index.entries[i];
-      mix[type_index(key.type)] += count * flows_->sampling_rate();
-    }
-  }
-  return mix;
+  return query(router, day, sources).protocols;
 }
 
 stats::TopK<std::uint16_t> FlowImpactAnalyzer::port_mix(
     std::size_t router, std::int64_t day, const detect::IpSet& sources) const {
-  const RouterDayIndex& index = index_of(router, day);
-  stats::TopK<std::uint16_t> ports;
-  for (std::size_t g = 0; g + 1 < index.offsets.size(); ++g) {
-    if (!sources.contains(index.srcs[g])) continue;
-    for (std::uint32_t i = index.offsets[g]; i < index.offsets[g + 1]; ++i) {
-      const auto& [key, count] = index.entries[i];
-      ports.add(key.dst_port, count * flows_->sampling_rate());
-    }
-  }
-  return ports;
+  return query(router, day, sources).ports;
 }
 
-ProtocolMix darknet_protocol_mix(const telescope::EventDataset& dataset,
-                                 std::int64_t day, const detect::IpSet& sources) {
-  ProtocolMix mix{};
+namespace detail {
+
+template <typename Fn>
+void for_each_event_on_day(const telescope::EventDataset& dataset,
+                           std::int64_t day, Fn&& fn) {
   for (const telescope::DarknetEvent& e : dataset.events()) {
-    if (e.day() != day || !sources.contains(e.key.src)) continue;
-    mix[type_index(e.key.type)] += e.packets;
+    if (e.day() == day) fn(e);
   }
-  return mix;
 }
 
-stats::TopK<std::uint16_t> darknet_port_mix(const telescope::EventDataset& dataset,
-                                            std::int64_t day,
-                                            const detect::IpSet& sources) {
-  stats::TopK<std::uint16_t> ports;
-  for (const telescope::DarknetEvent& e : dataset.events()) {
-    if (e.day() != day || !sources.contains(e.key.src)) continue;
-    ports.add(e.key.dst_port, e.packets);
-  }
-  return ports;
+template <typename Fn>
+void for_each_event_on_day(const store::MappedEventStore& store,
+                           std::int64_t day, Fn&& fn) {
+  store.for_each_event_on_day(day, std::forward<Fn>(fn));
 }
 
-ProtocolMix darknet_protocol_mix(const store::MappedEventStore& store,
-                                 std::int64_t day, const detect::IpSet& sources) {
+template <typename Fn>
+void for_each_event(const telescope::EventDataset& dataset, Fn&& fn) {
+  for (const telescope::DarknetEvent& e : dataset.events()) fn(e);
+}
+
+template <typename Fn>
+void for_each_event(const store::MappedEventStore& store, Fn&& fn) {
+  store.for_each_event(std::forward<Fn>(fn));
+}
+
+}  // namespace detail
+
+template <typename EventSource>
+ProtocolMix darknet_protocol_mix(const EventSource& source, std::int64_t day,
+                                 const detect::IpSet& sources) {
   ProtocolMix mix{};
-  store.for_each_event_on_day(day, [&](const store::EventRow& e) {
+  detail::for_each_event_on_day(source, day, [&](const auto& e) {
     if (!sources.contains(e.key.src)) return;
     mix[type_index(e.key.type)] += e.packets;
   });
   return mix;
 }
 
-stats::TopK<std::uint16_t> darknet_port_mix(const store::MappedEventStore& store,
+template <typename EventSource>
+stats::TopK<std::uint16_t> darknet_port_mix(const EventSource& source,
                                             std::int64_t day,
                                             const detect::IpSet& sources) {
   stats::TopK<std::uint16_t> ports;
-  store.for_each_event_on_day(day, [&](const store::EventRow& e) {
+  detail::for_each_event_on_day(source, day, [&](const auto& e) {
     if (!sources.contains(e.key.src)) return;
     ports.add(e.key.dst_port, e.packets);
   });
   return ports;
 }
+
+template ProtocolMix darknet_protocol_mix<telescope::EventDataset>(
+    const telescope::EventDataset&, std::int64_t, const detect::IpSet&);
+template ProtocolMix darknet_protocol_mix<store::MappedEventStore>(
+    const store::MappedEventStore&, std::int64_t, const detect::IpSet&);
+template stats::TopK<std::uint16_t> darknet_port_mix<telescope::EventDataset>(
+    const telescope::EventDataset&, std::int64_t, const detect::IpSet&);
+template stats::TopK<std::uint16_t> darknet_port_mix<store::MappedEventStore>(
+    const store::MappedEventStore&, std::int64_t, const detect::IpSet&);
 
 template <typename Event>
 void DailyDarknetMix::fold(const Event& e, const detect::IpSet& sources) {
@@ -169,26 +338,21 @@ void DailyDarknetMix::fold(const Event& e, const detect::IpSet& sources) {
   ports_[index].add(e.key.dst_port, e.packets);
 }
 
-DailyDarknetMix::DailyDarknetMix(const telescope::EventDataset& dataset,
+template <typename EventSource>
+DailyDarknetMix::DailyDarknetMix(const EventSource& source,
                                  const detect::IpSet& sources)
-    : first_day_(dataset.first_day()), last_day_(dataset.last_day()) {
+    : first_day_(source.first_day()), last_day_(source.last_day()) {
   if (last_day_ < first_day_) return;
   const auto days = static_cast<std::size_t>(last_day_ - first_day_ + 1);
   protocols_.assign(days, ProtocolMix{});
   ports_.resize(days);
-  for (const telescope::DarknetEvent& e : dataset.events()) fold(e, sources);
+  detail::for_each_event(source, [&](const auto& e) { fold(e, sources); });
 }
 
-DailyDarknetMix::DailyDarknetMix(const store::MappedEventStore& store,
-                                 const detect::IpSet& sources)
-    : first_day_(store.first_day()), last_day_(store.last_day()) {
-  if (last_day_ < first_day_) return;
-  const auto days = static_cast<std::size_t>(last_day_ - first_day_ + 1);
-  protocols_.assign(days, ProtocolMix{});
-  ports_.resize(days);
-  store.for_each_event(
-      [&](const store::EventRow& e) { fold(e, sources); });
-}
+template DailyDarknetMix::DailyDarknetMix(const telescope::EventDataset&,
+                                          const detect::IpSet&);
+template DailyDarknetMix::DailyDarknetMix(const store::MappedEventStore&,
+                                          const detect::IpSet&);
 
 const ProtocolMix& DailyDarknetMix::protocols(std::int64_t day) const {
   static const ProtocolMix kEmpty{};

@@ -73,6 +73,9 @@ class FlatMap {
       if (slots_[i]->first == key) return &slots_[i]->second;
     }
   }
+  const V* find_hashed(const K& key, std::size_t h) const {
+    return const_cast<FlatMap*>(this)->find_hashed(key, h);
+  }
 
   /// Current slot index of a key, or npos if absent. Only meaningful until
   /// the next mutation — erase's backward shift and rehash both move

@@ -6,6 +6,11 @@
 #include "orion/impact/stream_join.hpp"
 #include "orion/scangen/scenario.hpp"
 
+// This suite deliberately exercises the deprecated one-table-per-call
+// wrappers: they must keep compiling and returning query()-identical
+// values (tests/flowjoin_test.cpp checks the equivalence directly).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace orion::impact {
 namespace {
 
@@ -66,7 +71,12 @@ TEST(FlowImpact, VisibilityPercent) {
   const std::vector<net::Ipv4Address> ah = {ip("203.0.113.1"), ip("203.0.113.9")};
   EXPECT_DOUBLE_EQ(analyzer.visibility_percent(0, 10, ah), 50.0);
   EXPECT_DOUBLE_EQ(analyzer.visibility_percent(1, 10, ah), 0.0);
-  EXPECT_DOUBLE_EQ(analyzer.visibility_percent(0, 10, {}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      analyzer.visibility_percent(0, 10, std::vector<net::Ipv4Address>{}), 0.0);
+  // The unified IpSet overload agrees with the legacy vector one.
+  EXPECT_DOUBLE_EQ(
+      analyzer.visibility_percent(0, 10, detect::IpSet(ah.begin(), ah.end())),
+      50.0);
 }
 
 TEST(FlowImpact, ProtocolMixScalesSampledCounts) {
