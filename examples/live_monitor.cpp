@@ -15,30 +15,62 @@
 // recorded shard count) and --resume skips the already-ingested prefix of
 // the deterministic packet feed.
 //
+// Supervised crash-safe mode: --supervise runs the sharded pipeline with
+// self-healing workers (panic capture + snapshot/replay restart), and
+// --archive DIR replaces plain checkpoint files with the crash-safe
+// archive: every snapshot and the final event dataset are published as
+// atomic generation swaps behind the CRC-guarded MANIFEST, and startup
+// runs the recover_archive() sweep before resuming from the live
+// checkpoint generation.
+//
 //   $ ./live_monitor
 //   $ ./live_monitor --checkpoint /tmp/monitor.ocp          # crash...
 //   $ ./live_monitor --checkpoint /tmp/monitor.ocp --resume /tmp/monitor.ocp
 //   $ ./live_monitor --shards 4 --checkpoint /tmp/monitor.ocp
+//   $ ./live_monitor --supervise --archive /tmp/telescope.archive
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "orion/detect/list_diff.hpp"
 #include "orion/detect/streaming.hpp"
+#include "orion/netbase/io.hpp"
 #include "orion/report/table.hpp"
 #include "orion/scangen/event_synth.hpp"
 #include "orion/scangen/packet_gen.hpp"
 #include "orion/scangen/scenario.hpp"
+#include "orion/store/archive.hpp"
 #include "orion/telescope/checkpoint.hpp"
 #include "orion/telescope/parallel.hpp"
+
+namespace {
+
+// A refused resume is an operator error, not a corrupt snapshot: the
+// checkpoint's config echo does not match the current flags. Distinct
+// exit code so scripts can tell "fix your flags" from "snapshot is bad".
+constexpr int kExitConfigMismatch = 2;
+
+int refuse_config_mismatch(const char* what) {
+  std::cerr << "resume refused: the checkpoint was written under a different "
+               "configuration than the current flags (" << what << ").\n"
+            << "rerun with the settings the checkpoint was taken under "
+               "(e.g. the same --shards N), or start fresh without --resume.\n";
+  return kExitConfigMismatch;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace orion;
 
   std::string checkpoint_path;
   std::string resume_path;
+  std::string archive_dir;
+  bool supervise = false;
   std::size_t shards = 0;  // 0: serial event-driven mode
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,12 +80,18 @@ int main(int argc, char** argv) {
       resume_path = argv[++i];
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--supervise") {
+      supervise = true;
+    } else if (arg == "--archive" && i + 1 < argc) {
+      archive_dir = argv[++i];
     } else {
-      std::cerr << "usage: live_monitor [--shards N] [--checkpoint FILE] "
-                   "[--resume FILE]\n";
+      std::cerr << "usage: live_monitor [--shards N] [--supervise] "
+                   "[--archive DIR] [--checkpoint FILE] [--resume FILE]\n";
       return 1;
     }
   }
+  // Supervision and archive publication are pipeline-mode features.
+  if ((supervise || !archive_dir.empty()) && shards == 0) shards = 4;
 
   const scangen::Scenario scenario{scangen::tiny()};
 
@@ -103,22 +141,55 @@ int main(int argc, char** argv) {
     pconfig.shards = shards;
     pconfig.aggregator.timeout = scenario.event_timeout();
     pconfig.detector = config;
+    pconfig.supervisor.enabled = supervise;
     telescope::ParallelPipeline pipeline(scenario.darknet(), pconfig);
 
+    // Crash-safe archive mode: sweep partial generations first, then open
+    // through the recovered manifest.
+    std::optional<store::ArchiveDir> archive;
+    if (!archive_dir.empty()) {
+      const store::RecoverReport swept = store::recover_archive(archive_dir);
+      if (!swept.clean()) {
+        std::cout << "archive recovery: swept " << swept.removed_temporaries
+                  << " temporaries, " << swept.removed_orphans << " orphans, "
+                  << swept.quarantined << " quarantined ("
+                  << (swept.detail.empty() ? "no detail" : swept.detail)
+                  << ")\n";
+      }
+      archive.emplace(archive_dir);
+    }
+
     std::uint64_t skip_packets = 0;
-    if (!resume_path.empty()) {
+    const auto restore_from = [&](std::istream& in) -> std::optional<int> {
+      try {
+        telescope::CheckpointReader reader(in);
+        pipeline.restore(reader);
+      } catch (const telescope::ConfigMismatchError& err) {
+        return refuse_config_mismatch(err.what());
+      } catch (const std::exception& err) {
+        std::cerr << "resume failed: " << err.what() << "\n";
+        return 1;
+      }
+      return std::nullopt;
+    };
+    if (archive) {
+      // Resume automatically from the live checkpoint generation, if one
+      // was ever published; orphaned temporaries are invisible here.
+      if (const auto live = archive->find("checkpoint")) {
+        const auto bytes = net::io::read_file(archive->path_of(*live));
+        std::istringstream in(std::string(bytes.begin(), bytes.end()));
+        if (const auto exit_code = restore_from(in)) return *exit_code;
+        skip_packets = pipeline.packets_ingested();
+        std::cout << "resumed from archive generation " << live->generation
+                  << " (" << skip_packets << " packets already ingested)\n";
+      }
+    } else if (!resume_path.empty()) {
       std::ifstream in(resume_path, std::ios::binary);
       if (!in) {
         std::cerr << "cannot open resume checkpoint: " << resume_path << "\n";
         return 1;
       }
-      try {
-        telescope::CheckpointReader reader(in);
-        pipeline.restore(reader);
-      } catch (const std::exception& err) {
-        std::cerr << "resume failed: " << err.what() << "\n";
-        return 1;
-      }
+      if (const auto exit_code = restore_from(in)) return *exit_code;
       skip_packets = pipeline.packets_ingested();
       std::cout << "resumed from " << resume_path << " (" << skip_packets
                 << " packets already ingested)\n";
@@ -126,6 +197,15 @@ int main(int argc, char** argv) {
 
     std::uint64_t checkpoints_written = 0;
     const auto save_checkpoint = [&]() {
+      if (archive) {
+        telescope::CheckpointWriter writer;
+        pipeline.checkpoint(writer);
+        archive->publish("checkpoint", [&](net::io::File& out) {
+          writer.finish(out);
+        });
+        ++checkpoints_written;
+        return;
+      }
       if (checkpoint_path.empty()) return;
       telescope::CheckpointWriter writer;
       pipeline.checkpoint(writer);
@@ -170,10 +250,19 @@ int main(int argc, char** argv) {
     const std::uint64_t ingested = pipeline.packets_ingested();
     save_checkpoint();
     const telescope::ParallelResult result = pipeline.finish();
+    if (archive) {
+      // The closed dataset becomes the live "events" generation: an
+      // atomic swap, so a concurrent reader sees the old complete
+      // dataset or the new complete one, never a partial file.
+      const store::ManifestEntry entry =
+          store::publish_events_ode2(*archive, "events", result.dataset);
+      std::cout << "published " << entry.file << " (" << entry.bytes
+                << " bytes) to " << archive->dir() << "\n";
+    }
 
     std::cout << "sharded " << ingested << " darknet packets over " << shards
-              << " worker shards -> " << result.dataset.event_count()
-              << " events\n\n";
+              << " worker shards" << (supervise ? " (supervised)" : "")
+              << " -> " << result.dataset.event_count() << " events\n\n";
     for (const auto& day : result.days) record_day(day);
     std::cout << table.to_ascii() << "\n";
     print_churn();
@@ -182,7 +271,8 @@ int main(int argc, char** argv) {
               << result.ips[2].size() << "\n";
     std::cout << "health: " << result.health.to_string() << "\n";
     if (checkpoints_written > 0) {
-      std::cout << "checkpoints written to " << checkpoint_path << ": "
+      std::cout << "checkpoints written to "
+                << (archive ? archive->dir() : checkpoint_path) << ": "
                 << checkpoints_written << "\n";
     }
     return 0;
@@ -206,6 +296,8 @@ int main(int argc, char** argv) {
     try {
       telescope::CheckpointReader reader(in);
       detector.restore(reader);
+    } catch (const telescope::ConfigMismatchError& err) {
+      return refuse_config_mismatch(err.what());
     } catch (const std::exception& err) {
       std::cerr << "resume failed: " << err.what() << "\n";
       return 1;

@@ -102,11 +102,11 @@ void ShardDetectorSlice::restore(telescope::CheckpointReader& reader) {
       reader.u64("warmup samples") == config_.warmup_samples &&
       reader.u64("seed") == config_.seed;
   if (!config_matches) {
-    throw std::runtime_error(
-        "checkpoint: ShardDetectorSlice configuration mismatch");
+    throw telescope::ConfigMismatchError(
+        "ShardDetectorSlice configuration mismatch");
   }
   if (reader.u64("darknet size") != darknet_size_) {
-    throw std::runtime_error("checkpoint: ShardDetectorSlice darknet mismatch");
+    throw telescope::ConfigMismatchError("ShardDetectorSlice darknet mismatch");
   }
   events_seen_ = reader.u64("events seen");
   const std::uint64_t day_count = reader.u64("day count");

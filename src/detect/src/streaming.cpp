@@ -232,11 +232,11 @@ void StreamingDetector::restore(telescope::CheckpointReader& reader) {
       reader.u64("warmup samples") == config_.warmup_samples &&
       reader.u64("seed") == config_.seed;
   if (!config_matches) {
-    throw std::runtime_error(
-        "checkpoint: StreamingDetector configuration mismatch");
+    throw telescope::ConfigMismatchError(
+        "StreamingDetector configuration mismatch");
   }
   if (reader.u64("darknet size") != darknet_size_) {
-    throw std::runtime_error("checkpoint: StreamingDetector darknet mismatch");
+    throw telescope::ConfigMismatchError("StreamingDetector darknet mismatch");
   }
   get_sampler(reader, packet_samples_);
   get_sampler(reader, port_samples_);

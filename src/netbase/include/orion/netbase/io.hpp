@@ -1,0 +1,202 @@
+// Failpoint-instrumented I/O seam — the syscall boundary every durable
+// writer in the system routes through (DESIGN.md §13).
+//
+// A process that runs for months must assume every write, fsync and
+// rename can fail — ENOSPC, EINTR, a short write, or the process dying
+// mid-call. Plain ofstream hides all of those behind badbit; io::File
+// surfaces them as typed IoError exceptions, retries EINTR, completes
+// short writes, and — crucially — counts every operation through a
+// deterministic failpoint registry (FaultFs) so tests can replay a
+// publish cycle failing at the 1st, 2nd, ..., Nth syscall and prove the
+// on-disk state recovers to something consistent every single time.
+// This is scangen's FaultInjector philosophy (seeded, deterministic,
+// tallied) applied at the file-system boundary instead of the packet
+// stream.
+//
+// Fault kinds:
+//   Error      the call fails with an injected errno (default ENOSPC)
+//   ShortWrite write() consumes only half the buffer once, then the
+//              wrapper's completion loop continues (exercises it)
+//   Eintr      the call fails once with EINTR; the wrapper must retry
+//   Crash      the call never happens; SimulatedCrash is thrown. The
+//              writer must NOT clean up behind it — recovery sweeps,
+//              not in-flight destructors, own crash consistency, so a
+//              simulated crash leaves the disk exactly as a real one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "orion/netbase/crc32.hpp"
+
+namespace orion::net::io {
+
+/// Which wrapped syscall an IoError / failpoint refers to.
+enum class IoOp : std::uint8_t {
+  Open,
+  Write,
+  Fsync,
+  Rename,
+  FsyncDir,
+  Remove,
+  Close,
+};
+
+const char* io_op_name(IoOp op);
+
+/// Typed I/O failure: which operation, on which path, with which errno.
+/// Derives from std::runtime_error so existing catch sites keep working.
+class IoError : public std::runtime_error {
+ public:
+  IoError(IoOp op, std::string path, int errno_value);
+
+  IoOp op() const { return op_; }
+  const std::string& path() const { return path_; }
+  int errno_value() const { return errno_; }
+
+ private:
+  IoOp op_;
+  std::string path_;
+  int errno_;
+};
+
+/// Thrown when a Crash failpoint fires: models the process dying at that
+/// exact syscall. Deliberately NOT a std::runtime_error — generic
+/// error-handling must not swallow it; only the crash-test harness (or
+/// main) catches it, and nothing between may delete partial files.
+class SimulatedCrash : public std::exception {
+ public:
+  explicit SimulatedCrash(std::string where);
+  const char* what() const noexcept override { return where_.c_str(); }
+
+ private:
+  std::string where_;
+};
+
+enum class FaultKind : std::uint8_t { None, Error, ShortWrite, Eintr, Crash };
+
+/// Process-global deterministic failpoint registry. Disarmed it costs one
+/// relaxed atomic increment per I/O call (the call counter tests use to
+/// size their crash matrices). Armed, the Nth matching call takes the
+/// fault. Single-threaded arming is assumed (tests); the counters are
+/// atomics so instrumented calls from pipeline worker threads stay clean
+/// under tsan.
+class FaultFs {
+ public:
+  static FaultFs& instance();
+
+  /// Arms one fault: the `at_call`-th counted call (1-based, counting
+  /// from the last reset) of kind `only_op` — or of any kind when
+  /// nullopt — takes the fault. Resets the call counter.
+  void arm(FaultKind kind, std::uint64_t at_call,
+           std::optional<IoOp> only_op = std::nullopt, int err = 28 /*ENOSPC*/);
+
+  /// Disarms and resets the call counter (also what tests call between
+  /// runs to make counts comparable).
+  void reset();
+
+  /// Total instrumented calls since the last arm()/reset() — run a
+  /// publish cycle once against this to enumerate the crash matrix.
+  std::uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+
+  /// How many armed faults actually fired.
+  std::uint64_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  /// Called by every wrapper. Returns the fault to apply at this call
+  /// (FaultKind::None almost always). Throws SimulatedCrash directly for
+  /// Crash faults so no wrapper can forget to.
+  FaultKind check(IoOp op, const std::string& path);
+
+ private:
+  FaultFs() = default;
+
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<bool> armed_{false};
+  // Written only by arm()/reset() (test thread, no I/O concurrent).
+  FaultKind kind_ = FaultKind::None;
+  std::uint64_t at_call_ = 0;
+  std::optional<IoOp> only_op_;
+  int err_ = 28;
+};
+
+/// RAII file descriptor with full-write semantics: write() loops until
+/// the whole span is on its way to the kernel, retrying EINTR and
+/// continuing after short writes; every entry point reports failure as
+/// IoError. No userspace buffering — callers assemble their payloads
+/// (the ODE2/checkpoint writers already do) so each write() maps to one
+/// observable syscall in the failpoint ledger.
+class File {
+ public:
+  File() = default;
+  ~File();
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// O_WRONLY | O_CREAT | O_TRUNC, 0644.
+  static File create(const std::string& path);
+  static File open_read(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  void write(std::span<const std::uint8_t> data);
+  void write(const void* data, std::size_t n);
+
+  /// Bytes successfully handed to the kernel through write().
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  /// Running CRC-32 (IEEE) of those bytes — what the archive manifest
+  /// records per published file without a read-back pass.
+  std::uint32_t write_crc() const { return write_crc_.value(); }
+
+  /// fsync: the data (and metadata) is durable when this returns.
+  void sync();
+
+  /// Reads up to out.size() bytes at the current offset; returns bytes
+  /// read (0 at EOF). Retries EINTR.
+  std::size_t read_some(std::span<std::uint8_t> out);
+
+  /// Close with error checking (a deferred ENOSPC can surface here).
+  /// Idempotent; the destructor closes silently if this was never called.
+  void close();
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t bytes_written_ = 0;
+  Crc32 write_crc_;
+};
+
+/// rename(2) through the failpoint seam. Atomic on POSIX: the destination
+/// is always either the old or the new file — the primitive the archive
+/// publication protocol is built on.
+void rename_file(const std::string& from, const std::string& to);
+
+/// Opens the directory and fsyncs it — makes a just-renamed entry
+/// durable. No-op failure is NOT tolerated; throws IoError.
+void fsync_dir(const std::string& dir);
+
+/// unlink(2) through the seam; missing files are not an error (recovery
+/// sweeps race nothing but themselves).
+void remove_file(const std::string& path);
+
+/// True if the path exists (any type). Not a counted failpoint — purely
+/// observational, used by recovery.
+bool path_exists(const std::string& path);
+
+/// Reads a whole file into a byte vector via the seam (open/read/close
+/// are counted). Throws IoError on open/read failure.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace orion::net::io

@@ -1,0 +1,249 @@
+#include "orion/netbase/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace orion::net::io {
+
+const char* io_op_name(IoOp op) {
+  switch (op) {
+    case IoOp::Open: return "open";
+    case IoOp::Write: return "write";
+    case IoOp::Fsync: return "fsync";
+    case IoOp::Rename: return "rename";
+    case IoOp::FsyncDir: return "fsync-dir";
+    case IoOp::Remove: return "remove";
+    case IoOp::Close: return "close";
+  }
+  return "?";
+}
+
+IoError::IoError(IoOp op, std::string path, int errno_value)
+    : std::runtime_error(std::string("io: ") + io_op_name(op) + " failed on " +
+                         path + ": " + std::strerror(errno_value)),
+      op_(op),
+      path_(std::move(path)),
+      errno_(errno_value) {}
+
+SimulatedCrash::SimulatedCrash(std::string where)
+    : where_("simulated crash at " + std::move(where)) {}
+
+FaultFs& FaultFs::instance() {
+  static FaultFs fs;
+  return fs;
+}
+
+void FaultFs::arm(FaultKind kind, std::uint64_t at_call,
+                  std::optional<IoOp> only_op, int err) {
+  armed_.store(false, std::memory_order_relaxed);
+  kind_ = kind;
+  at_call_ = at_call;
+  only_op_ = only_op;
+  err_ = err;
+  calls_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  armed_.store(kind != FaultKind::None, std::memory_order_release);
+}
+
+void FaultFs::reset() { arm(FaultKind::None, 0); }
+
+FaultKind FaultFs::check(IoOp op, const std::string& path) {
+  const std::uint64_t call =
+      calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!armed_.load(std::memory_order_acquire)) return FaultKind::None;
+  if (only_op_ && *only_op_ != op) return FaultKind::None;
+  if (call != at_call_) return FaultKind::None;
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  if (kind_ == FaultKind::Crash) {
+    throw SimulatedCrash(std::string(io_op_name(op)) + " #" +
+                         std::to_string(call) + " (" + path + ")");
+  }
+  return kind_;
+}
+
+namespace {
+
+/// Fault to apply for this call, with Error faults turned into the
+/// injected-errno IoError right here so wrappers only handle the kinds
+/// that change their control flow (ShortWrite, Eintr).
+FaultKind take_fault(IoOp op, const std::string& path) {
+  const FaultKind kind = FaultFs::instance().check(op, path);
+  if (kind == FaultKind::Error) {
+    throw IoError(op, path, 28 /*ENOSPC*/);
+  }
+  return kind;
+}
+
+}  // namespace
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      bytes_written_(other.bytes_written_),
+      write_crc_(other.write_crc_) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = other.fd_;
+  path_ = std::move(other.path_);
+  bytes_written_ = other.bytes_written_;
+  write_crc_ = other.write_crc_;
+  other.fd_ = -1;
+  return *this;
+}
+
+File File::create(const std::string& path) {
+  take_fault(IoOp::Open, path);
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) throw IoError(IoOp::Open, path, errno);
+  return File(fd, path);
+}
+
+File File::open_read(const std::string& path) {
+  take_fault(IoOp::Open, path);
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) throw IoError(IoOp::Open, path, errno);
+  return File(fd, path);
+}
+
+void File::write(std::span<const std::uint8_t> data) {
+  if (fd_ < 0) throw IoError(IoOp::Write, path_, EBADF);
+  const std::uint8_t* p = data.data();
+  std::size_t left = data.size();
+  bool faulted_eintr = false;
+  bool faulted_short = false;
+  while (left > 0) {
+    switch (take_fault(IoOp::Write, path_)) {
+      case FaultKind::Eintr:
+        if (!faulted_eintr) {  // behave exactly like a -1/EINTR return
+          faulted_eintr = true;
+          continue;
+        }
+        break;
+      case FaultKind::ShortWrite:
+        if (!faulted_short && left > 1) {  // kernel took only half
+          faulted_short = true;
+          const std::size_t half = left / 2;
+          const ::ssize_t n = ::write(fd_, p, half);
+          if (n < 0) throw IoError(IoOp::Write, path_, errno);
+          write_crc_.update({p, static_cast<std::size_t>(n)});
+          bytes_written_ += static_cast<std::uint64_t>(n);
+          p += n;
+          left -= static_cast<std::size_t>(n);
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    const ::ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(IoOp::Write, path_, errno);
+    }
+    write_crc_.update({p, static_cast<std::size_t>(n)});
+    bytes_written_ += static_cast<std::uint64_t>(n);
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void File::write(const void* data, std::size_t n) {
+  write({static_cast<const std::uint8_t*>(data), n});
+}
+
+void File::sync() {
+  if (fd_ < 0) throw IoError(IoOp::Fsync, path_, EBADF);
+  take_fault(IoOp::Fsync, path_);
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw IoError(IoOp::Fsync, path_, errno);
+}
+
+std::size_t File::read_some(std::span<std::uint8_t> out) {
+  if (fd_ < 0) throw IoError(IoOp::Open, path_, EBADF);
+  ::ssize_t n;
+  do {
+    n = ::read(fd_, out.data(), out.size());
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw IoError(IoOp::Open, path_, errno);
+  return static_cast<std::size_t>(n);
+}
+
+void File::close() {
+  if (fd_ < 0) return;
+  take_fault(IoOp::Close, path_);
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) < 0 && errno != EINTR) {
+    throw IoError(IoOp::Close, path_, errno);
+  }
+}
+
+void rename_file(const std::string& from, const std::string& to) {
+  take_fault(IoOp::Rename, to);
+  if (::rename(from.c_str(), to.c_str()) < 0) {
+    throw IoError(IoOp::Rename, from + " -> " + to, errno);
+  }
+}
+
+void fsync_dir(const std::string& dir) {
+  take_fault(IoOp::FsyncDir, dir);
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) throw IoError(IoOp::FsyncDir, dir, errno);
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  const int saved = errno;
+  ::close(fd);
+  if (rc < 0) throw IoError(IoOp::FsyncDir, dir, saved);
+}
+
+void remove_file(const std::string& path) {
+  take_fault(IoOp::Remove, path);
+  if (::unlink(path.c_str()) < 0 && errno != ENOENT) {
+    throw IoError(IoOp::Remove, path, errno);
+  }
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  File f = File::open_read(path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const std::size_t n = f.read_some(buf);
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  return bytes;
+}
+
+}  // namespace orion::net::io

@@ -17,15 +17,31 @@
 // tests/parallel_test.cpp and tests/hotpath_test.cpp; argument in
 // DESIGN.md §9 and §11).
 //
-// Backpressure: a full ring blocks the dispatcher (spin/yield/nap, see
-// spsc_ring.hpp) — packets are never dropped, so the pipeline's health
-// ledger stays conservative: ingested == delivered after finish().
+// Backpressure: by default a full ring blocks the dispatcher
+// (spin/yield/nap, see spsc_ring.hpp) — packets are never dropped, so the
+// pipeline's health ledger stays conservative: ingested == delivered
+// after finish(). An opt-in BackpressureConfig escalates instead:
+// accept → shed-with-accounting → hard stall (DESIGN.md §13.3).
+//
+// Supervision (opt-in): shard workers become restartable tasks. A worker
+// panic is captured (never escapes the thread), the supervisor joins the
+// corpse, restores the shard from its last worker-side snapshot, replays
+// the dispatcher's log of batches pushed since that snapshot, and spawns
+// a fresh worker — with exponential backoff and a bounded restart budget.
+// Because the replayed prefix is byte-identical to what the dead worker
+// had applied, the merged output after any number of worker deaths is
+// byte-identical to a fault-free run (DESIGN.md §13.2).
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -42,6 +58,52 @@ namespace orion::telescope {
 class CheckpointReader;
 class CheckpointWriter;
 
+/// A shard worker died and could not be healed: supervision is disabled,
+/// or the shard's restart budget is exhausted. Carries the worker's
+/// panic message. Once thrown, the pipeline is permanently failed —
+/// further observe()/finish() calls rethrow.
+class ShardFailure : public std::runtime_error {
+ public:
+  explicit ShardFailure(const std::string& what)
+      : std::runtime_error("shard failure: " + what) {}
+};
+
+/// Supervisor policy for self-healing shard workers. Off by default: no
+/// snapshots, no replay log, no dispatch overhead — a worker panic is
+/// then fatal on the dispatcher's next interaction with the shard.
+struct SupervisorConfig {
+  bool enabled = false;
+  /// Restart budget per shard; exhausting it throws ShardFailure.
+  std::size_t max_restarts = 3;
+  /// Ring batches between worker-side snapshots. Smaller = shorter
+  /// replay log (less dispatcher memory) but more serialization work on
+  /// the worker's critical path.
+  std::size_t snapshot_interval = 64;
+  /// Exponential restart backoff: base << (restart − 1), capped.
+  std::chrono::microseconds backoff_base{50};
+  std::chrono::microseconds backoff_cap{5000};
+  /// Test seam: invoked by the worker before applying each data batch
+  /// with (shard index, ring sequence). Throwing from it is exactly a
+  /// worker panic — this is how the crash tests kill workers at
+  /// deterministic points without corrupting real state.
+  std::function<void(std::size_t, std::uint64_t)> fault_hook;
+};
+
+/// Backpressure escalation ladder for a full shard ring:
+/// accept → shed-with-accounting → hard stall.
+struct BackpressureConfig {
+  /// Backoff iterations the dispatcher waits on a full ring before
+  /// escalating. 0 (the default) disables escalation: the dispatcher
+  /// blocks until space frees and no packet is ever dropped — the
+  /// deterministic contract the merge proof relies on.
+  std::size_t escalate_after = 0;
+  /// Batches the dispatcher may shed once escalation triggers (packets
+  /// counted in PipelineHealth::dropped_shed). When the budget runs out
+  /// the last rung is a hard stall: block like the default policy,
+  /// counting the episode in PipelineHealth::stalls.
+  std::uint64_t shed_budget = 0;
+};
+
 struct ParallelConfig {
   /// Worker shard count. 1 degenerates to the serial path behind one ring.
   std::size_t shards = 4;
@@ -53,6 +115,8 @@ struct ParallelConfig {
   std::size_t ring_capacity = 64;
   AggregatorConfig aggregator;
   detect::StreamingConfig detector;
+  SupervisorConfig supervisor;
+  BackpressureConfig backpressure;
 };
 
 /// The merged output: exactly what the serial path produces.
@@ -134,15 +198,60 @@ class ParallelPipeline {
     std::unique_ptr<detect::ShardDetectorSlice> slice;
     pkt::PacketBatch pending;  // dispatcher-side partial batch
     std::thread worker;
+
+    /// --- supervision state (all idle when supervision is disabled) ---
+    /// Position in the shard partition (for the fault hook).
+    std::size_t index = 0;
+    /// Worker panic channel: the worker writes panic, then dead with
+    /// release; the dispatcher reads dead with acquire in its wait loops
+    /// and reads panic only after joining the thread.
+    std::atomic<bool> dead{false};
+    std::string panic;
+    /// Worker-side snapshot: an OCP1 frame of the shard state after the
+    /// first snapshot_batches ring batches. Built into a scratch buffer
+    /// and swapped in, so a panic mid-build cannot tear it; the
+    /// dispatcher reads the bytes only after join().
+    std::vector<std::uint8_t> snapshot;
+    std::uint64_t snapshot_batches = 0;
+    /// Release-published copy of snapshot_batches that the dispatcher may
+    /// read while the worker is live, to prune the replay log.
+    std::atomic<std::uint64_t> snapshot_published{0};
+    /// Dispatcher-side replay log: copies of every batch pushed since the
+    /// last published snapshot. Entry i has ring sequence log_first + i.
+    std::deque<Batch> replay_log;
+    std::uint64_t log_first = 0;
+    std::uint64_t restarts = 0;
   };
 
-  void blocking_push(Shard& shard, Batch&& batch);
+  bool supervised() const { return config_.supervisor.enabled; }
+  /// Pushes one batch, healing a dead worker and applying the
+  /// backpressure escalation ladder while it waits. Returns false when
+  /// the batch was shed instead of pushed. `log` appends the batch to the
+  /// replay log (replayed batches are already logged and pass false).
+  bool push_batch(Shard& shard, Batch&& batch, bool log);
   void dispatch_pending(Shard& shard);
   void flush_pending();
-  /// Blocks until every pushed batch has been consumed.
+  /// Blocks until every pushed batch has been consumed, healing dead
+  /// workers along the way.
   void quiesce();
+  /// Orderly drain: in-band stop batches, then join — healing any worker
+  /// that dies before reaching its stop batch.
   void stop_workers();
-  void worker_loop(Shard& shard);
+  /// Abort teardown: cooperative stop tokens, no pushes — cannot hang on
+  /// a full ring even when a shard has no live worker.
+  void abort_workers();
+  void worker_loop(Shard& shard, std::uint64_t start_batches);
+  void spawn_worker(Shard& shard, std::uint64_t start_batches);
+  /// Worker-side: serialize the shard state covering `batches_done` ring
+  /// batches and publish it.
+  void snapshot_shard(Shard& shard, std::uint64_t batches_done);
+  /// Dispatcher-side: join the corpse, charge the restart budget, rebuild
+  /// the shard from its snapshot, respawn, and replay the log. Loops
+  /// until the shard has a live worker; throws ShardFailure when it
+  /// cannot.
+  void heal_shard(Shard& shard);
+  void rebuild_from_snapshot(Shard& shard);
+  [[noreturn]] void fail_pipeline(Shard& shard);
 
   ParallelConfig config_;
   net::PrefixSet dark_space_;
@@ -153,6 +262,11 @@ class ParallelPipeline {
   net::SimTime last_timestamp_;
   bool saw_packet_ = false;
   bool finished_ = false;
+  /// Set when a ShardFailure was thrown; the pipeline is then inert
+  /// (observe/finish rethrow, the destructor aborts via stop tokens).
+  bool failed_ = false;
+  std::string failed_reason_;
+  std::uint64_t sheds_used_ = 0;
 };
 
 }  // namespace orion::telescope

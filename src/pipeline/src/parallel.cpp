@@ -1,8 +1,10 @@
 #include "orion/telescope/parallel.hpp"
 
+#include <algorithm>
 #include <array>
 #include <limits>
 #include <span>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -14,6 +16,9 @@ namespace orion::telescope {
 namespace {
 
 constexpr std::uint64_t kPipelineTag = checkpoint_tag('P', 'P', 'L', '1');
+// Worker-side shard snapshot frames (supervision), distinct from the
+// whole-pipeline PPL1 section so one can never be restored as the other.
+constexpr std::uint64_t kShardSnapTag = checkpoint_tag('S', 'S', 'H', '1');
 
 void put_event(CheckpointWriter& w, const DarknetEvent& e) {
   w.u64(e.key.src.value());
@@ -47,7 +52,7 @@ DarknetEvent get_event(CheckpointReader& r) {
 
 ParallelPipeline::ParallelPipeline(net::PrefixSet dark_space,
                                    ParallelConfig config)
-    : config_(config),
+    : config_(std::move(config)),
       dark_space_(std::move(dark_space)),
       darknet_size_(dark_space_.total_addresses()) {
   if (config_.shards == 0) {
@@ -63,6 +68,7 @@ ParallelPipeline::ParallelPipeline(net::PrefixSet dark_space,
   for (std::size_t i = 0; i < config_.shards; ++i) {
     auto shard = std::make_unique<Shard>(config_.ring_capacity);
     Shard* raw = shard.get();
+    raw->index = i;
     raw->slice = std::make_unique<detect::ShardDetectorSlice>(config_.detector,
                                                               darknet_size_);
     raw->aggregator = std::make_unique<EventAggregator>(
@@ -73,56 +79,234 @@ ParallelPipeline::ParallelPipeline(net::PrefixSet dark_space,
     raw->pending.reserve(config_.batch_size);
     shards_.push_back(std::move(shard));
   }
-  for (auto& shard : shards_) {
-    Shard* raw = shard.get();
-    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
-  }
+  for (auto& shard : shards_) spawn_worker(*shard, 0);
 }
 
 ParallelPipeline::~ParallelPipeline() {
-  if (!finished_) stop_workers();
+  if (finished_) return;
+  // Abort, not orderly drain: after a ShardFailure a shard may have a full
+  // ring and no worker, so pushing in-band stop batches could hang. The
+  // cooperative stop token lets every live worker drain what it has and
+  // exit; dead workers are already joinable.
+  abort_workers();
 }
 
-void ParallelPipeline::worker_loop(Shard& shard) {
+void ParallelPipeline::spawn_worker(Shard& shard, std::uint64_t start_batches) {
+  Shard* raw = &shard;
+  shard.worker =
+      std::thread([this, raw, start_batches] { worker_loop(*raw, start_batches); });
+}
+
+void ParallelPipeline::worker_loop(Shard& shard, std::uint64_t start_batches) {
   // Drain up to a small span of batches per ring handshake: one acquire /
   // release pair covers all of them (spsc_ring.hpp).
   constexpr std::size_t kPopSpan = 4;
   unsigned spins = 0;
   std::array<Batch, kPopSpan> batches;
-  for (;;) {
-    const std::size_t n = shard.ring.try_pop_n(std::span<Batch>(batches));
-    if (n == 0) {
-      spsc_backoff(spins);
-      continue;
-    }
-    spins = 0;
-    bool stop = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      Batch& batch = batches[i];
-      stop = stop || batch.stop;
-      if (!batch.records.empty()) {
-        shard.aggregator->observe_batch(batch.records);
-        shard.delivered += batch.records.size();
-        // Hand the drained arena back for reuse; a full recycle ring just
-        // means the dispatcher is ahead, so the arena is dropped.
-        batch.records.clear();
-        shard.recycle.try_push(batch.records);
-        batch.records = pkt::PacketBatch();
+  // Ring sequence of the next batch this incarnation will apply. A
+  // restarted worker resumes at its snapshot point, so the fault hook sees
+  // stable sequence numbers across restarts.
+  std::uint64_t seq = start_batches;
+  const std::size_t snap_every =
+      std::max<std::size_t>(std::size_t{1}, config_.supervisor.snapshot_interval);
+  try {
+    for (;;) {
+      const std::size_t n = shard.ring.try_pop_n(std::span<Batch>(batches));
+      if (n == 0) {
+        // Cooperative abort: only checked when idle, so every queued
+        // batch is still applied before exit.
+        if (shard.ring.stop_requested()) return;
+        spsc_backoff(spins);
+        continue;
+      }
+      spins = 0;
+      bool stop = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        Batch& batch = batches[i];
+        stop = stop || batch.stop;
+        if (!batch.records.empty()) {
+          if (config_.supervisor.fault_hook) {
+            config_.supervisor.fault_hook(shard.index, seq + i);
+          }
+          shard.aggregator->observe_batch(batch.records);
+          shard.delivered += batch.records.size();
+          // Hand the drained arena back for reuse; a full recycle ring just
+          // means the dispatcher is ahead, so the arena is dropped.
+          batch.records.clear();
+          shard.recycle.try_push(batch.records);
+          batch.records = pkt::PacketBatch();
+        }
+      }
+      seq += n;
+      // Release-publish completion: the dispatcher's acquire read in
+      // quiesce() then sees every shard-state write these batches made.
+      shard.consumed.fetch_add(n, std::memory_order_release);
+      if (stop) return;
+      if (supervised() && seq - shard.snapshot_batches >= snap_every) {
+        snapshot_shard(shard, seq);
       }
     }
-    // Release-publish completion: the dispatcher's acquire read in
-    // quiesce() then sees every shard-state write these batches made.
-    shard.consumed.fetch_add(n, std::memory_order_release);
-    if (stop) return;
+  } catch (const std::exception& err) {
+    shard.panic = err.what();
+  } catch (...) {
+    shard.panic = "unknown worker exception";
+  }
+  // Panic path: publish death instead of letting the exception escape the
+  // thread (which would terminate the process). The release store pairs
+  // with the dispatcher's acquire loads; panic itself is read only after
+  // join(), which synchronizes everything.
+  shard.dead.store(true, std::memory_order_release);
+}
+
+void ParallelPipeline::snapshot_shard(Shard& shard, std::uint64_t batches_done) {
+  CheckpointWriter w;
+  w.tag(kShardSnapTag);
+  w.u64(shard.delivered);
+  w.u64(shard.events.size());
+  for (const DarknetEvent& e : shard.events) put_event(w, e);
+  shard.aggregator->checkpoint(w);
+  shard.slice->checkpoint(w);
+  std::ostringstream out;
+  w.finish(out);
+  const std::string& bytes = out.str();
+  // Build-then-swap: if serialization throws (and becomes a panic) the
+  // previous snapshot stays intact for the supervisor to restore from.
+  std::vector<std::uint8_t> built(bytes.begin(), bytes.end());
+  shard.snapshot.swap(built);
+  shard.snapshot_batches = batches_done;
+  shard.snapshot_published.store(batches_done, std::memory_order_release);
+}
+
+void ParallelPipeline::rebuild_from_snapshot(Shard& shard) {
+  Shard* raw = &shard;
+  shard.events.clear();
+  shard.delivered = 0;
+  shard.slice = std::make_unique<detect::ShardDetectorSlice>(config_.detector,
+                                                             darknet_size_);
+  shard.aggregator = std::make_unique<EventAggregator>(
+      dark_space_, config_.aggregator, [raw](const DarknetEvent& event) {
+        raw->events.push_back(event);
+        raw->slice->observe(event);
+      });
+  if (shard.snapshot.empty()) return;  // died before the first snapshot
+  std::istringstream in(std::string(shard.snapshot.begin(), shard.snapshot.end()));
+  CheckpointReader reader(in);
+  reader.expect_tag(kShardSnapTag, "shard snapshot");
+  shard.delivered = reader.u64("shard delivered");
+  const std::uint64_t count = reader.u64("shard event count");
+  shard.events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    shard.events.push_back(get_event(reader));
+  }
+  shard.aggregator->restore(reader);
+  shard.slice->restore(reader);
+}
+
+void ParallelPipeline::fail_pipeline(Shard& shard) {
+  failed_ = true;
+  failed_reason_ = "shard " + std::to_string(shard.index) + " died (" +
+                   (shard.panic.empty() ? "no message" : shard.panic) + ") after " +
+                   std::to_string(shard.restarts) + " restart(s)";
+  throw ShardFailure(failed_reason_);
+}
+
+void ParallelPipeline::heal_shard(Shard& shard) {
+  while (shard.dead.load(std::memory_order_acquire)) {
+    // stop_workers() may already have joined the corpse before calling us.
+    if (shard.worker.joinable()) shard.worker.join();
+    if (!supervised() || shard.restarts >= config_.supervisor.max_restarts) {
+      fail_pipeline(shard);
+    }
+    ++shard.restarts;
+    ++health_.worker_restarts;
+    // Exponential backoff before the restart (base << (restart − 1),
+    // capped) so a crash-looping shard cannot spin the dispatcher.
+    auto delay = config_.supervisor.backoff_base;
+    for (std::uint64_t i = 1; i < shard.restarts &&
+                              delay < config_.supervisor.backoff_cap;
+         ++i) {
+      delay *= 2;
+    }
+    std::this_thread::sleep_for(std::min(delay, config_.supervisor.backoff_cap));
+
+    // The ring's leftovers are stale — everything at or after the snapshot
+    // point is replayed from the log below. The worker is dead and joined,
+    // so the dispatcher owns both ring ends here.
+    Batch scratch;
+    while (shard.ring.try_pop(scratch)) scratch = Batch();
+
+    rebuild_from_snapshot(shard);
+    const std::uint64_t resume = shard.snapshot_batches;
+    shard.consumed.store(resume, std::memory_order_relaxed);
+    shard.pushed = resume;
+    shard.dead.store(false, std::memory_order_relaxed);
+    spawn_worker(shard, resume);
+
+    // Replay the committed suffix. These batches are already in the log,
+    // so push raw (no re-logging, no shedding — they are part of the
+    // stream the merge proof counts on). If the fresh worker dies during
+    // replay, fall back to the outer loop and pay another restart.
+    bool died_again = false;
+    for (std::size_t i = 0; i < shard.replay_log.size() && !died_again; ++i) {
+      const std::uint64_t entry_seq = shard.log_first + i;
+      if (entry_seq < resume) continue;
+      Batch copy = shard.replay_log[i];
+      unsigned spins = 0;
+      while (shard.ring.try_push_n(std::span<Batch>(&copy, 1)) == 0) {
+        if (shard.dead.load(std::memory_order_acquire)) {
+          died_again = true;
+          break;
+        }
+        spsc_backoff(spins);
+      }
+      if (!died_again) ++shard.pushed;
+    }
   }
 }
 
-void ParallelPipeline::blocking_push(Shard& shard, Batch&& batch) {
+bool ParallelPipeline::push_batch(Shard& shard, Batch&& batch, bool log) {
+  // Copy before the push loop moves the batch into the ring. Only taken
+  // when supervision needs a replay log.
+  Batch logged;
+  const bool keep = supervised() && log;
+  if (keep) logged = batch;
+
   unsigned spins = 0;
+  std::size_t waits = 0;
+  bool stalled = false;
   while (shard.ring.try_push_n(std::span<Batch>(&batch, 1)) == 0) {
+    if (shard.dead.load(std::memory_order_acquire)) {
+      heal_shard(shard);
+      continue;
+    }
+    // Escalation ladder (opt-in): after escalate_after failed waits, shed
+    // the batch with accounting while the budget lasts; after that, the
+    // last rung is a hard stall that blocks like the default policy.
+    // Stop batches are control flow and are never shed.
+    if (!stalled && config_.backpressure.escalate_after != 0 && !batch.stop &&
+        ++waits >= config_.backpressure.escalate_after) {
+      if (sheds_used_ < config_.backpressure.shed_budget) {
+        ++sheds_used_;
+        health_.dropped_shed += batch.records.size();
+        return false;
+      }
+      ++health_.stalls;
+      stalled = true;
+    }
     spsc_backoff(spins);
   }
   ++shard.pushed;
+  if (keep) {
+    shard.replay_log.push_back(std::move(logged));
+    // Prune entries the worker's latest published snapshot already covers.
+    const std::uint64_t covered =
+        shard.snapshot_published.load(std::memory_order_acquire);
+    while (!shard.replay_log.empty() && shard.log_first < covered) {
+      shard.replay_log.pop_front();
+      ++shard.log_first;
+    }
+  }
+  return true;
 }
 
 void ParallelPipeline::dispatch_pending(Shard& shard) {
@@ -132,7 +316,7 @@ void ParallelPipeline::dispatch_pending(Shard& shard) {
   if (!shard.recycle.try_pop(shard.pending)) {
     shard.pending = pkt::PacketBatch(config_.batch_size);
   }
-  blocking_push(shard, std::move(batch));
+  push_batch(shard, std::move(batch), /*log=*/true);
 }
 
 void ParallelPipeline::flush_pending() {
@@ -146,6 +330,7 @@ void ParallelPipeline::quiesce() {
   for (auto& shard : shards_) {
     unsigned spins = 0;
     while (shard->consumed.load(std::memory_order_acquire) < shard->pushed) {
+      if (shard->dead.load(std::memory_order_acquire)) heal_shard(*shard);
       spsc_backoff(spins);
     }
   }
@@ -155,14 +340,28 @@ void ParallelPipeline::stop_workers() {
   for (auto& shard : shards_) {
     Batch stop;
     stop.stop = true;
-    blocking_push(*shard, std::move(stop));
+    // Logged: a worker that dies before reaching its stop batch must
+    // replay it after healing so the join below still terminates.
+    push_batch(*shard, std::move(stop), /*log=*/true);
   }
+  for (auto& shard : shards_) {
+    for (;;) {
+      if (shard->worker.joinable()) shard->worker.join();
+      if (!shard->dead.load(std::memory_order_acquire)) break;
+      heal_shard(*shard);
+    }
+  }
+}
+
+void ParallelPipeline::abort_workers() {
+  for (auto& shard : shards_) shard->ring.request_stop();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
 }
 
 void ParallelPipeline::observe(const pkt::Packet& packet) {
+  if (failed_) throw ShardFailure(failed_reason_);
   if (finished_) {
     throw std::logic_error("ParallelPipeline::observe after finish");
   }
@@ -181,6 +380,7 @@ void ParallelPipeline::observe(const pkt::Packet& packet) {
 }
 
 void ParallelPipeline::observe_batch(const pkt::PacketBatch& batch) {
+  if (failed_) throw ShardFailure(failed_reason_);
   if (finished_) {
     throw std::logic_error("ParallelPipeline::observe after finish");
   }
@@ -211,6 +411,7 @@ void ParallelPipeline::observe_batch(const pkt::PacketBatch& batch) {
 }
 
 ParallelResult ParallelPipeline::finish() {
+  if (failed_) throw ShardFailure(failed_reason_);
   if (finished_) {
     throw std::logic_error("ParallelPipeline::finish called twice");
   }
@@ -240,6 +441,7 @@ ParallelResult ParallelPipeline::finish() {
 }
 
 void ParallelPipeline::checkpoint(CheckpointWriter& writer) {
+  if (failed_) throw ShardFailure(failed_reason_);
   if (finished_) {
     throw std::logic_error("ParallelPipeline::checkpoint after finish");
   }
@@ -255,6 +457,11 @@ void ParallelPipeline::checkpoint(CheckpointWriter& writer) {
   writer.u8(saw_packet_ ? 1 : 0);
   writer.i64(last_timestamp_.since_epoch().total_nanos());
   writer.u64(health_.ingested);
+  // Escalation/supervision ledger — without these a resumed run that had
+  // shed packets would fail its own conservation check.
+  writer.u64(health_.dropped_shed);
+  writer.u64(health_.stalls);
+  writer.u64(health_.worker_restarts);
   for (const auto& shard : shards_) {
     writer.u64(shard->delivered);
     writer.u64(shard->events.size());
@@ -271,15 +478,18 @@ void ParallelPipeline::restore(CheckpointReader& reader) {
   }
   reader.expect_tag(kPipelineTag, "ParallelPipeline");
   if (reader.u64("shard count") != config_.shards) {
-    throw std::runtime_error("checkpoint: ParallelPipeline shard mismatch");
+    throw ConfigMismatchError("ParallelPipeline shard mismatch");
   }
   if (reader.u64("darknet size") != darknet_size_) {
-    throw std::runtime_error("checkpoint: ParallelPipeline darknet mismatch");
+    throw ConfigMismatchError("ParallelPipeline darknet mismatch");
   }
   saw_packet_ = reader.u8("saw packet") != 0;
   last_timestamp_ =
       net::SimTime::at(net::Duration::nanos(reader.i64("last timestamp")));
   health_.ingested = reader.u64("packets ingested");
+  health_.dropped_shed = reader.u64("packets shed");
+  health_.stalls = reader.u64("stall episodes");
+  health_.worker_restarts = reader.u64("worker restarts");
   for (auto& shard : shards_) {
     // Workers are parked on empty rings (nothing was ever pushed), so the
     // dispatcher may write shard state; the first pushed batch's release/

@@ -38,6 +38,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "orion/netbase/io.hpp"
 #include "orion/telescope/capture.hpp"
 
 namespace orion::store {
@@ -63,7 +64,16 @@ std::uint64_t write_events_ode2(
     const telescope::EventDataset& dataset, std::ostream& out,
     std::uint64_t block_events = kOde2DefaultBlockEvents);
 
-/// Convenience: write straight to a file path (truncating).
+/// Failpoint-instrumented variant: writes through the io::File seam, so
+/// every write is EINTR-retried, short-write-completed, and visible to
+/// the FaultFs crash matrix. Errors surface as net::io::IoError. This is
+/// the path archive publication uses.
+std::uint64_t write_events_ode2(
+    const telescope::EventDataset& dataset, net::io::File& out,
+    std::uint64_t block_events = kOde2DefaultBlockEvents);
+
+/// Convenience: write straight to a file path (truncating, io::File
+/// seam, NOT atomic — use ArchiveDir publication for crash safety).
 std::uint64_t write_events_ode2_file(
     const telescope::EventDataset& dataset, const std::string& path,
     std::uint64_t block_events = kOde2DefaultBlockEvents);

@@ -26,9 +26,14 @@ std::uint64_t total_block_bytes(std::uint64_t n, std::uint64_t b) {
 
 }  // namespace
 
-std::uint64_t write_events_ode2(const telescope::EventDataset& dataset,
-                                std::ostream& out,
-                                std::uint64_t block_events) {
+/// Shared writer core over a `sink(ptr, bytes)` callable; the public
+/// overloads adapt it to ostreams (with fail-state checks after every
+/// write — a dead stream must not keep silently truncating) and to the
+/// failpoint-instrumented io::File seam.
+template <typename Sink>
+std::uint64_t write_events_ode2_impl(const telescope::EventDataset& dataset,
+                                     Sink&& sink,
+                                     std::uint64_t block_events) {
   if (block_events == 0 || block_events > detail::kMaxBlockEvents) {
     throw std::invalid_argument("ode2 store: bad block size");
   }
@@ -46,19 +51,20 @@ std::uint64_t write_events_ode2(const telescope::EventDataset& dataset,
   const std::uint64_t footer_offset =
       kOde2HeaderBytes + total_block_bytes(n, b);
 
-  // Header: magic, CRC over the 32 field bytes, then the fields.
+  // Header: magic, CRC over the 32 field bytes, then the fields —
+  // assembled in memory and emitted as one write.
+  std::vector<std::uint8_t> header;
+  header.reserve(kOde2HeaderBytes);
+  header.insert(header.end(), kMagic, kMagic + 4);
   std::vector<std::uint8_t> fields;
   fields.reserve(32);
   detail::append<std::uint64_t>(fields, dataset.darknet_size());
   detail::append<std::uint64_t>(fields, n);
   detail::append<std::uint64_t>(fields, b);
   detail::append<std::uint64_t>(fields, footer_offset);
-  out.write(kMagic, 4);
-  const std::uint32_t header_crc = net::Crc32::of({fields.data(), 32});
-  char crc_bytes[4];
-  std::memcpy(crc_bytes, &header_crc, 4);
-  out.write(crc_bytes, 4);
-  out.write(reinterpret_cast<const char*>(fields.data()), 32);
+  detail::append<std::uint32_t>(header, net::Crc32::of({fields.data(), 32}));
+  header.insert(header.end(), fields.begin(), fields.end());
+  sink(header.data(), header.size());
 
   // Column blocks, each assembled in memory for one write + one CRC.
   std::vector<BlockMeta> metas;
@@ -111,8 +117,7 @@ std::uint64_t write_events_ode2(const telescope::EventDataset& dataset,
     }
     meta.crc = net::Crc32::of({buf.data(), buf.size()});
     metas.push_back(meta);
-    out.write(reinterpret_cast<const char*>(buf.data()),
-              static_cast<std::streamsize>(buf.size()));
+    sink(buf.data(), buf.size());
     offset += buf.size();
   }
 
@@ -148,24 +153,51 @@ std::uint64_t write_events_ode2(const telescope::EventDataset& dataset,
   const std::uint32_t footer_crc =
       net::Crc32::of({footer.data(), footer.size()});
   detail::append<std::uint32_t>(footer, footer_crc);
-  out.write(reinterpret_cast<const char*>(footer.data()),
-            static_cast<std::streamsize>(footer.size()));
-
-  if (!out) {
-    throw std::runtime_error("ode2 store: write failure");
-  }
+  sink(footer.data(), footer.size());
   return footer_offset + footer.size();
+}
+
+std::uint64_t write_events_ode2(const telescope::EventDataset& dataset,
+                                std::ostream& out,
+                                std::uint64_t block_events) {
+  const std::uint64_t bytes = write_events_ode2_impl(
+      dataset,
+      [&out](const std::uint8_t* p, std::size_t m) {
+        out.write(reinterpret_cast<const char*>(p),
+                  static_cast<std::streamsize>(m));
+        // Check after every write, not just at the end: a stream that
+        // enters a fail state stays there, and writing megabytes into a
+        // dead stream is how archives used to truncate silently.
+        if (!out) {
+          throw std::runtime_error(
+              "ode2 store: stream write failure (bad/fail state)");
+        }
+      },
+      block_events);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("ode2 store: stream flush failure");
+  }
+  return bytes;
+}
+
+std::uint64_t write_events_ode2(const telescope::EventDataset& dataset,
+                                net::io::File& out,
+                                std::uint64_t block_events) {
+  return write_events_ode2_impl(
+      dataset,
+      [&out](const std::uint8_t* p, std::size_t m) { out.write(p, m); },
+      block_events);
 }
 
 std::uint64_t write_events_ode2_file(const telescope::EventDataset& dataset,
                                      const std::string& path,
                                      std::uint64_t block_events) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("ode2 store: cannot open " + path +
-                             " for writing");
-  }
-  return write_events_ode2(dataset, out, block_events);
+  net::io::File out = net::io::File::create(path);
+  const std::uint64_t bytes = write_events_ode2(dataset, out, block_events);
+  out.sync();
+  out.close();
+  return bytes;
 }
 
 namespace {

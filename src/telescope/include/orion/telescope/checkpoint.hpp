@@ -22,10 +22,25 @@
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "orion/netbase/io.hpp"
+
 namespace orion::telescope {
+
+/// Thrown when a snapshot's configuration echo (timeouts, thresholds,
+/// shard counts, seeds...) does not match the restoring component's
+/// configuration. Distinct from generic corruption so callers (e.g.
+/// live_monitor --resume) can tell the operator "your flags changed"
+/// instead of "checkpoint corrupt" — resuming under a different
+/// configuration would silently change results, so it is refused.
+class ConfigMismatchError : public std::runtime_error {
+ public:
+  explicit ConfigMismatchError(const std::string& what)
+      : std::runtime_error("checkpoint: " + what) {}
+};
 
 /// Packs a 4-character section tag into the u64 the container stores.
 constexpr std::uint64_t checkpoint_tag(char a, char b, char c, char d) {
@@ -48,8 +63,15 @@ class CheckpointWriter {
   void tag(std::uint64_t section_tag) { u64(section_tag); }
 
   /// Frames and writes the container; returns total bytes written.
-  /// Throws std::runtime_error if the stream reports a write failure.
+  /// Throws std::runtime_error if the stream reports a write failure
+  /// (checked after an explicit flush — a buffered failure must not
+  /// surface only in the ofstream destructor, which cannot throw).
   std::uint64_t finish(std::ostream& out) const;
+
+  /// Failpoint-instrumented variant through the io::File seam: one
+  /// counted write syscall for the whole frame, errors as
+  /// net::io::IoError. The archive publication path for checkpoints.
+  std::uint64_t finish(net::io::File& out) const;
 
   std::size_t payload_size() const { return payload_.size(); }
 

@@ -2,7 +2,7 @@
 // packet handed to the ingest stage ends up in exactly one terminal
 // counter, so operators (and the fault-injection property tests) can
 // verify that nothing is silently lost: ingested == delivered +
-// dropped_late + dropped_overflow + buffered.
+// dropped_late + dropped_overflow + dropped_shed + buffered.
 #pragma once
 
 #include <cstdint>
@@ -27,13 +27,28 @@ struct PipelineHealth {
   /// Packets currently held in the reorder buffer (terminal only until
   /// finish() flushes them into delivered).
   std::uint64_t buffered = 0;
+  /// Shed under backpressure escalation: the dispatcher waited past the
+  /// configured escalation threshold on a full shard ring and dropped the
+  /// batch rather than stall (ParallelPipeline BackpressureConfig; zero
+  /// under the default never-shed policy).
+  std::uint64_t dropped_shed = 0;
+  /// Hard-stall episodes: times the dispatcher exhausted (or was denied)
+  /// its shed budget and fell back to blocking on a full ring. Not a
+  /// packet counter — stalled packets are eventually delivered.
+  std::uint64_t stalls = 0;
+  /// Worker deaths the supervisor healed by restarting the shard from its
+  /// last snapshot. Not a packet counter.
+  std::uint64_t worker_restarts = 0;
 
-  std::uint64_t dropped() const { return dropped_late + dropped_overflow; }
+  std::uint64_t dropped() const {
+    return dropped_late + dropped_overflow + dropped_shed;
+  }
 
   /// Conservation check: true when every ingested packet is accounted
   /// for in a terminal (or buffered) counter.
   bool consistent() const {
-    return ingested == delivered + dropped_late + dropped_overflow + buffered;
+    return ingested ==
+           delivered + dropped_late + dropped_overflow + dropped_shed + buffered;
   }
 
   /// One-line operator summary.

@@ -91,11 +91,23 @@ class SpscRing {
   }
   bool empty() const { return size() == 0; }
 
+  /// Cooperative shutdown token. The orderly drain path still uses an
+  /// in-band stop batch (every queued batch is processed first); the token
+  /// exists for ABORT paths — a dispatcher tearing down after an error must
+  /// be able to stop a parked consumer without pushing into a ring that may
+  /// be full, and a consumer spinning on empty must be able to notice the
+  /// producer is gone. Either side may call request_stop(); it is sticky.
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 1;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<bool> stop_{false};
 };
 
 /// Shared wait strategy for both ring sides: brief spin for the

@@ -434,8 +434,7 @@ void EventAggregator::restore(CheckpointReader& reader) {
       net::Duration::nanos(reader.i64("sweep interval")) ==
           config_.sweep_interval;
   if (!config_matches) {
-    throw std::runtime_error(
-        "checkpoint: EventAggregator configuration mismatch");
+    throw ConfigMismatchError("EventAggregator configuration mismatch");
   }
   const std::uint64_t prefix_count = reader.u64("prefix count");
   bool space_matches = prefix_count == dark_space_.prefixes().size();
@@ -448,7 +447,7 @@ void EventAggregator::restore(CheckpointReader& reader) {
     }
   }
   if (!space_matches) {
-    throw std::runtime_error("checkpoint: EventAggregator dark-space mismatch");
+    throw ConfigMismatchError("EventAggregator dark-space mismatch");
   }
   saw_packet_ = reader.u8("saw packet") != 0;
   last_timestamp_ = net::SimTime::at(net::Duration::nanos(reader.i64("last timestamp")));

@@ -109,7 +109,7 @@ void TelescopeCapture::checkpoint(CheckpointWriter& writer) const {
 void TelescopeCapture::restore(CheckpointReader& reader) {
   reader.expect_tag(kCaptureTag, "TelescopeCapture");
   if (reader.u64("darknet size") != darknet_size_) {
-    throw std::runtime_error("checkpoint: TelescopeCapture darknet mismatch");
+    throw ConfigMismatchError("TelescopeCapture darknet mismatch");
   }
   packets_captured_ = reader.u64("packets captured");
   const std::uint64_t source_count = reader.u64("source count");

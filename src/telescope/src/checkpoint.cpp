@@ -35,20 +35,38 @@ void CheckpointWriter::bytes(std::span<const std::uint8_t> data) {
   payload_.insert(payload_.end(), data.begin(), data.end());
 }
 
-std::uint64_t CheckpointWriter::finish(std::ostream& out) const {
+namespace {
+
+std::vector<std::uint8_t> frame_of(const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> frame;
-  frame.reserve(4 + 8 + 8 + payload_.size() + 4);
-  frame.insert(frame.end(), kMagic, kMagic + 4);
+  frame.reserve(4 + 8 + 8 + payload.size() + 4);
+  for (const char c : kMagic) frame.push_back(static_cast<std::uint8_t>(c));
   append_u64(frame, kVersion);
-  append_u64(frame, payload_.size());
-  frame.insert(frame.end(), payload_.begin(), payload_.end());
-  const std::uint32_t crc = net::Crc32::of(payload_);
+  append_u64(frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = net::Crc32::of(payload);
   for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  return frame;
+}
+
+}  // namespace
+
+std::uint64_t CheckpointWriter::finish(std::ostream& out) const {
+  const std::vector<std::uint8_t> frame = frame_of(payload_);
   out.write(reinterpret_cast<const char*>(frame.data()),
             static_cast<std::streamsize>(frame.size()));
+  // Flush before checking: an ofstream buffers, and a failure that only
+  // surfaces in its destructor is a snapshot silently truncated.
+  out.flush();
   if (!out) {
     throw std::runtime_error("checkpoint: write failure");
   }
+  return frame.size();
+}
+
+std::uint64_t CheckpointWriter::finish(net::io::File& out) const {
+  const std::vector<std::uint8_t> frame = frame_of(payload_);
+  out.write(frame);
   return frame.size();
 }
 

@@ -9,6 +9,11 @@ std::string PipelineHealth::to_string() const {
   out << "ingested " << ingested << ", delivered " << delivered
       << " (reordered " << reordered << "), dropped late " << dropped_late
       << ", dropped overflow " << dropped_overflow << ", buffered " << buffered;
+  // Escalation counters only appear when something actually escalated, so
+  // the common all-quiet line stays short.
+  if (dropped_shed != 0) out << ", shed " << dropped_shed;
+  if (stalls != 0) out << ", stalls " << stalls;
+  if (worker_restarts != 0) out << ", worker restarts " << worker_restarts;
   return out.str();
 }
 

@@ -107,8 +107,7 @@ void ResilientIngest::restore(CheckpointReader& reader) {
   reader.expect_tag(kIngestTag, "ResilientIngest");
   if (net::Duration::nanos(reader.i64("reorder window")) != config_.window ||
       reader.u64("max buffered") != config_.max_buffered) {
-    throw std::runtime_error(
-        "checkpoint: ResilientIngest configuration mismatch");
+    throw ConfigMismatchError("ResilientIngest configuration mismatch");
   }
   health_.ingested = reader.u64("ingested");
   health_.delivered = reader.u64("delivered");

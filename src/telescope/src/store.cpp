@@ -95,6 +95,9 @@ std::uint64_t write_events_binary(const EventDataset& dataset, std::ostream& out
     put_u64(out, e.unique_dests);
     for (const std::uint64_t t : e.packets_by_tool) put_u64(out, t);
   }
+  // Flush before checking: buffered ofstream failures must not be
+  // deferred to a destructor that cannot report them.
+  out.flush();
   if (!out) {
     throw std::runtime_error("event store: write failure");
   }
