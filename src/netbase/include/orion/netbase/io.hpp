@@ -41,6 +41,7 @@ namespace orion::net::io {
 enum class IoOp : std::uint8_t {
   Open,
   Write,
+  Read,
   Fsync,
   Rename,
   FsyncDir,
@@ -113,6 +114,10 @@ class FaultFs {
   /// Crash faults so no wrapper can forget to.
   FaultKind check(IoOp op, const std::string& path);
 
+  /// The errno arm() installed for Error faults (ENOSPC by default) —
+  /// what the wrapper puts into the IoError it throws when one fires.
+  int armed_errno() const { return err_; }
+
  private:
   FaultFs() = default;
 
@@ -162,7 +167,8 @@ class File {
   void sync();
 
   /// Reads up to out.size() bytes at the current offset; returns bytes
-  /// read (0 at EOF). Retries EINTR.
+  /// read (0 at EOF). Retries EINTR; a counted failpoint like every
+  /// other wrapper, failing as IoError(IoOp::Read).
   std::size_t read_some(std::span<std::uint8_t> out);
 
   /// Close with error checking (a deferred ENOSPC can surface here).

@@ -14,6 +14,7 @@ const char* io_op_name(IoOp op) {
   switch (op) {
     case IoOp::Open: return "open";
     case IoOp::Write: return "write";
+    case IoOp::Read: return "read";
     case IoOp::Fsync: return "fsync";
     case IoOp::Rename: return "rename";
     case IoOp::FsyncDir: return "fsync-dir";
@@ -74,7 +75,7 @@ namespace {
 FaultKind take_fault(IoOp op, const std::string& path) {
   const FaultKind kind = FaultFs::instance().check(op, path);
   if (kind == FaultKind::Error) {
-    throw IoError(op, path, 28 /*ENOSPC*/);
+    throw IoError(op, path, FaultFs::instance().armed_errno());
   }
   return kind;
 }
@@ -181,12 +182,13 @@ void File::sync() {
 }
 
 std::size_t File::read_some(std::span<std::uint8_t> out) {
-  if (fd_ < 0) throw IoError(IoOp::Open, path_, EBADF);
+  if (fd_ < 0) throw IoError(IoOp::Read, path_, EBADF);
+  take_fault(IoOp::Read, path_);
   ::ssize_t n;
   do {
     n = ::read(fd_, out.data(), out.size());
   } while (n < 0 && errno == EINTR);
-  if (n < 0) throw IoError(IoOp::Open, path_, errno);
+  if (n < 0) throw IoError(IoOp::Read, path_, errno);
   return static_cast<std::size_t>(n);
 }
 

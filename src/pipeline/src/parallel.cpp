@@ -15,9 +15,14 @@ namespace orion::telescope {
 
 namespace {
 
-constexpr std::uint64_t kPipelineTag = checkpoint_tag('P', 'P', 'L', '1');
+// PPL2 appended the supervision/escalation ledger (dropped_shed, stalls,
+// worker_restarts) to the pipeline header. PPL1 checkpoints predate it
+// and are still readable: that version could never shed, stall, or
+// restart a worker, so its ledger is zero by construction.
+constexpr std::uint64_t kPipelineTag = checkpoint_tag('P', 'P', 'L', '2');
+constexpr std::uint64_t kPipelineTagV1 = checkpoint_tag('P', 'P', 'L', '1');
 // Worker-side shard snapshot frames (supervision), distinct from the
-// whole-pipeline PPL1 section so one can never be restored as the other.
+// whole-pipeline PPL2 section so one can never be restored as the other.
 constexpr std::uint64_t kShardSnapTag = checkpoint_tag('S', 'S', 'H', '1');
 
 void put_event(CheckpointWriter& w, const DarknetEvent& e) {
@@ -476,7 +481,12 @@ void ParallelPipeline::restore(CheckpointReader& reader) {
     throw std::logic_error(
         "ParallelPipeline::restore on a pipeline already in use");
   }
-  reader.expect_tag(kPipelineTag, "ParallelPipeline");
+  const std::uint64_t tag = reader.u64("ParallelPipeline section tag");
+  const bool legacy_v1 = tag == kPipelineTagV1;
+  if (!legacy_v1 && tag != kPipelineTag) {
+    throw std::runtime_error(
+        "checkpoint: wrong section tag for ParallelPipeline");
+  }
   if (reader.u64("shard count") != config_.shards) {
     throw ConfigMismatchError("ParallelPipeline shard mismatch");
   }
@@ -487,9 +497,15 @@ void ParallelPipeline::restore(CheckpointReader& reader) {
   last_timestamp_ =
       net::SimTime::at(net::Duration::nanos(reader.i64("last timestamp")));
   health_.ingested = reader.u64("packets ingested");
-  health_.dropped_shed = reader.u64("packets shed");
-  health_.stalls = reader.u64("stall episodes");
-  health_.worker_restarts = reader.u64("worker restarts");
+  if (legacy_v1) {
+    health_.dropped_shed = 0;
+    health_.stalls = 0;
+    health_.worker_restarts = 0;
+  } else {
+    health_.dropped_shed = reader.u64("packets shed");
+    health_.stalls = reader.u64("stall episodes");
+    health_.worker_restarts = reader.u64("worker restarts");
+  }
   for (auto& shard : shards_) {
     // Workers are parked on empty rings (nothing was ever pushed), so the
     // dispatcher may write shard state; the first pushed batch's release/
@@ -503,6 +519,13 @@ void ParallelPipeline::restore(CheckpointReader& reader) {
     }
     shard->aggregator->restore(reader);
     shard->slice->restore(reader);
+    // Seed the supervision snapshot with the restored state at ring
+    // sequence 0 (this incarnation's workers start there). Without it a
+    // worker dying before its first periodic snapshot would make
+    // rebuild_from_snapshot() take the empty-snapshot path and reset the
+    // shard to a fresh aggregator — silently dropping everything the
+    // checkpoint restored.
+    if (supervised()) snapshot_shard(*shard, 0);
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -127,6 +128,52 @@ TEST_F(FailpointIo, InjectedEnospcSurfacesAsTypedIoError) {
     EXPECT_EQ(err.op(), IoOp::Fsync);
     EXPECT_EQ(err.errno_value(), 28 /* ENOSPC */);
     EXPECT_NE(std::string(err.what()).find("fsync"), std::string::npos);
+  }
+  EXPECT_EQ(FaultFs::instance().fired(), 1u);
+}
+
+TEST_F(FailpointIo, ArmedErrnoIsInjectedNotHardcoded) {
+  const std::string dir = temp_dir("errno");
+  fs::create_directories(dir);
+  net::io::File f = net::io::File::create(dir + "/file.bin");
+  const auto payload = pattern_bytes(32, 4);
+  // arm()'s err parameter must reach the thrown IoError — a test arming
+  // EIO is probing a different failure mode than ENOSPC.
+  FaultFs::instance().arm(FaultKind::Error, 1, IoOp::Write, EIO);
+  try {
+    f.write(payload);
+    FAIL() << "armed write fault did not fire";
+  } catch (const net::io::IoError& err) {
+    EXPECT_EQ(err.op(), IoOp::Write);
+    EXPECT_EQ(err.errno_value(), EIO);
+  }
+  EXPECT_EQ(FaultFs::instance().fired(), 1u);
+}
+
+TEST_F(FailpointIo, ReadsAreCountedAndFailAsTypedReadErrors) {
+  const std::string dir = temp_dir("read");
+  fs::create_directories(dir);
+  const std::string path = dir + "/file.bin";
+  const auto payload = pattern_bytes(128, 6);
+  {
+    net::io::File f = net::io::File::create(path);
+    f.write(payload);
+    f.close();
+  }
+  // Reads sit in the failpoint ledger like every other wrapped call:
+  // open + at least one data read + the EOF read.
+  FaultFs::instance().reset();
+  EXPECT_EQ(net::io::read_file(path), payload);
+  EXPECT_GE(FaultFs::instance().calls(), 3u);
+  // Call #1 is read_file's open; call #2 is the first read.
+  FaultFs::instance().arm(FaultKind::Error, 2, IoOp::Read, EIO);
+  try {
+    net::io::read_file(path);
+    FAIL() << "armed read fault did not fire";
+  } catch (const net::io::IoError& err) {
+    EXPECT_EQ(err.op(), IoOp::Read);
+    EXPECT_EQ(err.errno_value(), EIO);
+    EXPECT_NE(std::string(err.what()).find("read"), std::string::npos);
   }
   EXPECT_EQ(FaultFs::instance().fired(), 1u);
 }
@@ -597,6 +644,82 @@ TEST_F(CrashSafeTest, SupervisedMergeByteIdenticalAfterWorkerDeaths) {
   EXPECT_EQ(result.health.ingested, packets.size());
   EXPECT_EQ(result.health.delivered, packets.size());
   EXPECT_EQ(result.health.dropped(), 0u);
+  EXPECT_TRUE(result.health.consistent());
+}
+
+// Regression: a supervised pipeline resumed from a checkpoint must seed
+// every shard's supervision snapshot from the restored state. A worker
+// dying before its first periodic snapshot previously hit the
+// empty-snapshot rebuild path and healed to a FRESH shard, silently
+// discarding everything the checkpoint carried — the exact combination
+// live_monitor --supervise --archive exercises on auto-resume.
+TEST_F(CrashSafeTest, SupervisedRestoreHealsDeathBeforeFirstSnapshot) {
+  const std::vector<pkt::Packet> packets = packet_stream(4);
+  const std::size_t cut = packets.size() / 2;
+
+  // Serial fault-free reference over the whole stream.
+  telescope::TelescopeCapture capture(scenario().darknet(),
+                                      {.timeout = scenario().event_timeout()});
+  for (const pkt::Packet& p : packets) capture.observe(p);
+  const telescope::EventDataset serial_dataset = capture.finish();
+  detect::StreamingDetector detector(detector_config(),
+                                     scenario().darknet().total_addresses());
+  std::vector<detect::StreamingDayResult> serial_days;
+  for (const telescope::DarknetEvent& e : serial_dataset.events()) {
+    for (auto& day : detector.observe(e)) serial_days.push_back(std::move(day));
+  }
+  if (auto last = detector.finish()) serial_days.push_back(std::move(*last));
+
+  constexpr std::size_t kShards = 4;
+  telescope::ParallelConfig config = supervised_config(kShards);
+  // So large that no worker ever takes a periodic snapshot: every
+  // injected death lands in the restored-but-never-snapshotted window.
+  config.supervisor.snapshot_interval = std::size_t{1} << 20;
+
+  std::stringstream snapshot;
+  {
+    telescope::ParallelPipeline pipeline(scenario().darknet(), config);
+    for (std::size_t i = 0; i < cut; ++i) pipeline.observe(packets[i]);
+    telescope::CheckpointWriter writer;
+    pipeline.checkpoint(writer);
+    writer.finish(snapshot);
+  }
+
+  // Kill each shard's worker on the very first post-resume batch.
+  std::array<std::atomic<bool>, kShards> killed{};
+  config.supervisor.fault_hook = [&](std::size_t shard, std::uint64_t seq) {
+    if (seq == 0 && !killed[shard].exchange(true)) {
+      throw std::runtime_error("injected death before first snapshot");
+    }
+  };
+  telescope::ParallelPipeline resumed(scenario().darknet(), config);
+  telescope::CheckpointReader reader(snapshot);
+  resumed.restore(reader);
+  EXPECT_EQ(resumed.packets_ingested(), cut);
+  for (std::size_t i = cut; i < packets.size(); ++i) {
+    resumed.observe(packets[i]);
+  }
+  const telescope::ParallelResult result = resumed.finish();
+
+  std::size_t kills = 0;
+  for (const auto& k : killed) kills += k.load() ? 1u : 0u;
+  ASSERT_GT(kills, 0u) << "no post-resume batch ever reached a worker";
+  EXPECT_EQ(result.health.worker_restarts, kills);
+
+  // Healed + resumed must be byte-identical to the fault-free serial
+  // run — including every event only the checkpoint carried.
+  EXPECT_EQ(result.dataset.events(), serial_dataset.events());
+  std::ostringstream serial_bytes;
+  std::ostringstream resumed_bytes;
+  telescope::write_events_binary(serial_dataset, serial_bytes);
+  telescope::write_events_binary(result.dataset, resumed_bytes);
+  EXPECT_EQ(serial_bytes.str(), resumed_bytes.str());
+  ASSERT_EQ(result.days.size(), serial_days.size());
+  for (std::size_t i = 0; i < serial_days.size(); ++i) {
+    EXPECT_EQ(result.days[i], serial_days[i]) << "day index " << i;
+  }
+  EXPECT_EQ(result.health.ingested, packets.size());
+  EXPECT_EQ(result.health.delivered, packets.size());
   EXPECT_TRUE(result.health.consistent());
 }
 

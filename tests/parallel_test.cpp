@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <thread>
 #include <tuple>
@@ -170,6 +171,67 @@ TEST(ParallelPipeline, CheckpointResumeMidRunMatchesSerial) {
 
   ParallelPipeline resumed(scenario().darknet(), parallel_config(4, 64, 8));
   CheckpointReader reader(snapshot);
+  resumed.restore(reader);
+  EXPECT_EQ(resumed.packets_ingested(), cut);
+  for (std::size_t i = cut; i < packets.size(); ++i) {
+    resumed.observe(packets[i]);
+  }
+  expect_matches_serial(resumed.finish(), serial);
+}
+
+// PPL2 appended the supervision/escalation ledger (dropped_shed, stalls,
+// worker_restarts) to the pipeline header. A PPL1 checkpoint — written
+// by the version that predates those fields and by construction never
+// shed, stalled, or restarted a worker — must still restore with a zero
+// ledger instead of misparsing the first shard's data as counters.
+TEST(ParallelPipeline, RestoreAcceptsLegacyPpl1Checkpoint) {
+  const auto packets = packet_stream(5);
+  const SerialResult& serial = serial_reference(packets);
+  const std::size_t cut = packets.size() / 2;
+
+  std::stringstream snapshot;
+  {
+    ParallelPipeline pipeline(scenario().darknet(), parallel_config(4, 64, 8));
+    for (std::size_t i = 0; i < cut; ++i) pipeline.observe(packets[i]);
+    CheckpointWriter writer;
+    pipeline.checkpoint(writer);
+    writer.finish(snapshot);
+  }
+
+  // Rewrite the container into the exact PPL1 wire layout: the old tag
+  // and no ledger u64s between `ingested` and the first shard section.
+  const std::string frame = snapshot.str();
+  auto frame_u64 = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{static_cast<std::uint8_t>(frame[off + i])} << (8 * i);
+    }
+    return v;
+  };
+  // OCP1 frame: magic(4) version(8) length(8) payload crc(4).
+  const std::size_t payload_len = static_cast<std::size_t>(frame_u64(12));
+  ASSERT_EQ(frame.size(), 20 + payload_len + 4);
+  std::vector<std::uint8_t> payload(frame.begin() + 20,
+                                    frame.begin() + 20 +
+                                        static_cast<std::ptrdiff_t>(payload_len));
+  ASSERT_EQ(frame_u64(20), checkpoint_tag('P', 'P', 'L', '2'));
+  const std::uint64_t v1 = checkpoint_tag('P', 'P', 'L', '1');
+  for (std::size_t i = 0; i < 8; ++i) {
+    payload[i] = static_cast<std::uint8_t>(v1 >> (8 * i));
+  }
+  // Header: tag(8) shards(8) darknet(8) saw(1) last_ts(8) ingested(8),
+  // then the three ledger u64s PPL1 never had.
+  const std::ptrdiff_t ledger_off = 8 + 8 + 8 + 1 + 8 + 8;
+  ASSERT_GE(payload.size(), static_cast<std::size_t>(ledger_off) + 24);
+  payload.erase(payload.begin() + ledger_off,
+                payload.begin() + ledger_off + 24);
+  std::stringstream legacy;
+  CheckpointWriter reframe;
+  reframe.bytes(payload);
+  reframe.finish(legacy);
+
+  ParallelPipeline resumed(scenario().darknet(), parallel_config(4, 64, 8));
+  CheckpointReader reader(legacy);
   resumed.restore(reader);
   EXPECT_EQ(resumed.packets_ingested(), cut);
   for (std::size_t i = cut; i < packets.size(); ++i) {
