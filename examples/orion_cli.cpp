@@ -11,6 +11,7 @@
 //   orion_cli inspect   --in events.ode2
 //   orion_cli flow-impact --in events.ode [--scenario tiny|paper] [--year 2021|2022]
 //                       [--days N] [--sampling-rate N]
+//   orion_cli cpu
 //
 // Event datasets travel in the ODE1 binary format (telescope/store.hpp)
 // or the ODE2 columnar format (store/ode2.hpp); every --in flag sniffs
@@ -21,12 +22,15 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "orion/detect/detector.hpp"
 #include "orion/detect/list_diff.hpp"
 #include "orion/detect/lists.hpp"
 #include "orion/detect/spoof_filter.hpp"
 #include "orion/impact/flow_join.hpp"
+#include "orion/netbase/crc32.hpp"
+#include "orion/netbase/simd.hpp"
 #include "orion/packet/pcap.hpp"
 #include "orion/report/table.hpp"
 #include "orion/scangen/event_synth.hpp"
@@ -54,7 +58,8 @@ using namespace orion;
       "  inspect   --in FILE\n"
       "  diff      --old LISTS.csv --new LISTS.csv\n"
       "  flow-impact --in FILE [--scenario tiny|paper] [--year 2021|2022]\n"
-      "              [--days N] [--sampling-rate N] [--dispersion F]\n";
+      "              [--days N] [--sampling-rate N] [--dispersion F]\n"
+      "  cpu       (print the detected/active SIMD tier and CPU features)\n";
   std::exit(2);
 }
 
@@ -385,6 +390,28 @@ int cmd_flow_impact(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_cpu(const std::map<std::string, std::string>& flags) {
+  if (!flags.empty()) usage("cpu takes no options");
+  report::Table table({"property", "value"});
+  table.add_row({"simd compiled in", net::simd::compiled_in() ? "yes" : "no"});
+  table.add_row({"detected tier", net::simd::to_string(net::simd::detected_level())});
+  table.add_row({"active tier", net::simd::to_string(net::simd::active_level())});
+  std::string tiers;
+  for (const net::simd::Level level : net::simd::available_levels()) {
+    if (!tiers.empty()) tiers += " ";
+    tiers += net::simd::to_string(level);
+  }
+  table.add_row({"available tiers", tiers});
+  table.add_row({"features", net::simd::feature_string()});
+  table.add_row({"hardware crc32", net::crc32_hw_available() ? "yes" : "no"});
+  table.add_row({"hardware threads",
+                 std::to_string(std::thread::hardware_concurrency())});
+  std::cout << table.to_ascii();
+  std::cout << "active tier honors ORION_SIMD_LEVEL"
+               " (scalar|sse42|avx2|neon; clamped to detected)\n";
+  return 0;
+}
+
 int cmd_summary(const std::map<std::string, std::string>& flags) {
   const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
   report::Table table({"metric", "value"});
@@ -414,5 +441,6 @@ int main(int argc, char** argv) {
   if (command == "inspect") return cmd_inspect(flags);
   if (command == "diff") return cmd_diff(flags);
   if (command == "flow-impact") return cmd_flow_impact(flags);
+  if (command == "cpu") return cmd_cpu(flags);
   usage("unknown command: " + command);
 }

@@ -5,11 +5,11 @@
 #pragma once
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "orion/detect/detector.hpp"
+#include "orion/detect/port_set.hpp"
+#include "orion/netbase/flat_map.hpp"
 #include "orion/stats/ecdf.hpp"
 
 namespace orion::detect::detail {
@@ -42,18 +42,25 @@ DetectionResult detect_core(const DetectorConfig& config, const Source& source) 
 
   // --- Pass 1: calibrate ECDF thresholds (Definitions 2 and 3).
   stats::Ecdf packet_ecdf;
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint16_t>> day_ports;
+  // (src, day) -> distinct destination ports. A tag-probed FlatMap keyed
+  // on the packed 44-bit src / 20-bit day-index word: one heap node per
+  // entry (the PortSet promotes itself) instead of unordered_map's node
+  // per entry *and* per port. Every consumer below is order-independent
+  // (ECDF sorts, daily/active are sort_unique'd, ips is a set), so the
+  // change of iteration order cannot change results.
+  net::FlatMap<std::uint64_t, PortSet> day_ports;
   source.for_each_event([&](const auto& e) {
     packet_ecdf.add(e.packets);
     if (e.key.type != pkt::TrafficType::IcmpEchoReq) {
       const std::uint64_t key =
           (static_cast<std::uint64_t>(e.key.src.value()) << 20) |
           static_cast<std::uint64_t>(day_index(e.day()));
-      day_ports[key].insert(e.key.dst_port);
+      day_ports.try_emplace(key).first->insert(e.key.dst_port);
     }
   });
   stats::Ecdf port_ecdf;
-  for (const auto& [key, ports] : day_ports) port_ecdf.add(ports.size());
+  day_ports.for_each(
+      [&](std::uint64_t, const PortSet& ports) { port_ecdf.add(ports.size()); });
 
   DefinitionResult& d1 = result.of(Definition::AddressDispersion);
   DefinitionResult& d2 = result.of(Definition::PacketVolume);
@@ -87,15 +94,15 @@ DetectionResult detect_core(const DetectorConfig& config, const Source& source) 
   // Sources qualify on days where their port count crosses the threshold;
   // the "event interval" of a D3 qualification is the day itself.
   if (d3.threshold > 0) {
-    for (const auto& [key, ports] : day_ports) {
-      if (ports.size() < d3.threshold) continue;
+    day_ports.for_each([&](std::uint64_t key, const PortSet& ports) {
+      if (ports.size() < d3.threshold) return;
       const auto src = net::Ipv4Address(static_cast<std::uint32_t>(key >> 20));
       const auto index = static_cast<std::size_t>(key & 0xFFFFF);
       ++d3.qualifying_events;
       d3.ips.insert(src);
       d3.daily[index].push_back(src);
       d3.active[index].push_back(src);
-    }
+    });
   }
 
   const auto sort_unique = [](std::vector<net::Ipv4Address>& v) {

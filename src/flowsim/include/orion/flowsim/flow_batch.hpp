@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "orion/netbase/aligned.hpp"
 #include "orion/netbase/ipv4.hpp"
 #include "orion/packet/packet.hpp"
 
@@ -157,24 +158,24 @@ class FlowBatch {
   }
 
   // Raw column views (for the benchmarks and column-streaming consumers).
-  const std::vector<std::int64_t>& ts_ns_col() const { return ts_ns_; }
-  const std::vector<std::uint32_t>& src_col() const { return src_; }
-  const std::vector<std::uint32_t>& dst_col() const { return dst_; }
-  const std::vector<std::uint16_t>& dst_port_col() const { return dst_port_; }
-  const std::vector<std::uint8_t>& proto_col() const { return proto_; }
-  const std::vector<std::uint64_t>& packets_col() const { return packets_; }
-  const std::vector<std::uint16_t>& router_col() const { return router_; }
+  const net::aligned_vector<std::int64_t>& ts_ns_col() const { return ts_ns_; }
+  const net::aligned_vector<std::uint32_t>& src_col() const { return src_; }
+  const net::aligned_vector<std::uint32_t>& dst_col() const { return dst_; }
+  const net::aligned_vector<std::uint16_t>& dst_port_col() const { return dst_port_; }
+  const net::aligned_vector<std::uint8_t>& proto_col() const { return proto_; }
+  const net::aligned_vector<std::uint64_t>& packets_col() const { return packets_; }
+  const net::aligned_vector<std::uint16_t>& router_col() const { return router_; }
 
  private:
-  std::vector<std::int64_t> ts_ns_;
-  std::vector<std::uint32_t> src_;
-  std::vector<std::uint32_t> dst_;
-  std::vector<std::uint16_t> src_port_;
-  std::vector<std::uint16_t> dst_port_;
-  std::vector<std::uint8_t> proto_;
-  std::vector<std::uint64_t> packets_;
-  std::vector<std::uint64_t> bytes_;
-  std::vector<std::uint16_t> router_;
+  net::aligned_vector<std::int64_t> ts_ns_;
+  net::aligned_vector<std::uint32_t> src_;
+  net::aligned_vector<std::uint32_t> dst_;
+  net::aligned_vector<std::uint16_t> src_port_;
+  net::aligned_vector<std::uint16_t> dst_port_;
+  net::aligned_vector<std::uint8_t> proto_;
+  net::aligned_vector<std::uint64_t> packets_;
+  net::aligned_vector<std::uint64_t> bytes_;
+  net::aligned_vector<std::uint16_t> router_;
 };
 
 }  // namespace orion::flowsim

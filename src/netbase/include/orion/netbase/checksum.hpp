@@ -10,11 +10,13 @@ namespace orion::net {
 /// One's-complement sum accumulator used by IPv4/TCP/UDP/ICMP checksums.
 /// Feed byte ranges (and 16-bit words for pseudo-headers), then finalize().
 ///
-/// add_bytes() folds 8 input bytes per step (two big-endian 32-bit words
-/// summed into the 64-bit accumulator; one's-complement addition is
-/// associative under the final fold, so the result is identical to the
-/// word-at-a-time form). The original word-wise accumulator is kept as
-/// add_bytes_scalar(), the reference the equivalence tests pin against.
+/// add_bytes() dispatches on the SIMD tier (DESIGN.md §14): 8 or 16 words
+/// summed per vector step into u32 lanes, reduced blockwise into the
+/// 64-bit accumulator, with an 8-byte big-endian fold as the portable
+/// fallback. One's-complement addition is associative under the final
+/// fold, so every path finalizes identically. The original word-wise
+/// accumulator is kept as add_bytes_scalar(), the reference the
+/// equivalence tests pin against.
 class InternetChecksum {
  public:
   void add_bytes(std::span<const std::uint8_t> data);

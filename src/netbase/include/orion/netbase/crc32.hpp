@@ -2,10 +2,14 @@
 // guard on checkpoint snapshots and any other on-disk state the live
 // pipeline must be able to trust after a crash.
 //
-// The default update() runs slicing-by-8 (eight table lookups per 8 input
-// bytes, tables derived from the same polynomial at first use); the
-// byte-at-a-time form is kept as update_scalar() — it is the reference
-// implementation the equivalence tests pin the sliced path against.
+// The default update() dispatches on the SIMD tier (DESIGN.md §14): a
+// PCLMULQDQ carry-less-multiply fold on x86-64 (crc32q computes CRC-32C,
+// the wrong polynomial for our on-disk formats, so the fold is how x86
+// gets hardware CRC while staying bit-identical), the native CRC32
+// instructions on ARMv8, and slicing-by-8 (eight table lookups per 8
+// input bytes) otherwise or for short tails. The byte-at-a-time form is
+// kept as update_scalar() — it is the reference implementation the
+// equivalence tests pin every other path against.
 #pragma once
 
 #include <cstddef>
@@ -14,14 +18,21 @@
 
 namespace orion::net {
 
+/// True when the active dispatch tier selects a hardware CRC path
+/// (PCLMUL fold on x86-64, CRC32 instructions on aarch64).
+bool crc32_hw_available();
+
 /// Streaming CRC-32 accumulator. Feed byte ranges, then read value().
 class Crc32 {
  public:
-  /// Slicing-by-8 update: identical results to update_scalar() for any
-  /// input and any chunking, ~8x fewer table-lookup dependency chains.
+  /// Tier-dispatched update: identical results to update_scalar() for any
+  /// input and any chunking.
   void update(std::span<const std::uint8_t> data);
+  /// Slicing-by-8 update, never hardware-accelerated. Kept callable so
+  /// bench_micro_core can measure the hardware fold against it.
+  void update_sliced(std::span<const std::uint8_t> data);
   /// Byte-wise reference update (the original implementation). Kept so
-  /// tests can interleave/compare the two forms on the same stream.
+  /// tests can interleave/compare the forms on the same stream.
   void update_scalar(std::span<const std::uint8_t> data);
 
   /// Final (complemented) CRC over everything fed so far. Reading the
@@ -32,6 +43,8 @@ class Crc32 {
   static std::uint32_t of(std::span<const std::uint8_t> data);
   /// One-shot byte-wise reference CRC (equivalence-test baseline).
   static std::uint32_t of_scalar(std::span<const std::uint8_t> data);
+  /// One-shot slicing-by-8 CRC (bench baseline for the hardware fold).
+  static std::uint32_t of_sliced(std::span<const std::uint8_t> data);
 
  private:
   std::uint32_t state_ = 0xFFFFFFFFu;

@@ -16,12 +16,15 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "orion/netbase/aligned.hpp"
 #include "orion/packet/fingerprint.hpp"
 #include "orion/packet/packet.hpp"
 
 namespace orion::pkt {
+
+static_assert(net::kColumnAlignment >= 64,
+              "SIMD batch kernels assume cache-line-aligned columns");
 
 class PacketBatch {
  public:
@@ -141,27 +144,44 @@ class PacketBatch {
     return classify_tool(proto(i), dst(i), dst_port_[i], ip_id_[i], tcp_seq_[i]);
   }
 
-  // Raw column views (for the benchmarks and column-streaming consumers).
-  const std::vector<std::int64_t>& ts_ns() const { return ts_ns_; }
-  const std::vector<std::uint32_t>& src_col() const { return src_; }
-  const std::vector<std::uint32_t>& dst_col() const { return dst_; }
-  const std::vector<std::uint16_t>& dst_port_col() const { return dst_port_; }
-  const std::vector<std::uint8_t>& proto_col() const { return proto_; }
+  // Raw column views (for the benchmarks, the SIMD classify kernels, and
+  // column-streaming consumers). Columns are 64-byte aligned (aligned.hpp)
+  // so vector loads never straddle cache lines.
+  const net::aligned_vector<std::int64_t>& ts_ns() const { return ts_ns_; }
+  const net::aligned_vector<std::uint32_t>& src_col() const { return src_; }
+  const net::aligned_vector<std::uint32_t>& dst_col() const { return dst_; }
+  const net::aligned_vector<std::uint16_t>& src_port_col() const {
+    return src_port_;
+  }
+  const net::aligned_vector<std::uint16_t>& dst_port_col() const {
+    return dst_port_;
+  }
+  const net::aligned_vector<std::uint8_t>& proto_col() const { return proto_; }
+  const net::aligned_vector<std::uint8_t>& tcp_flags_col() const {
+    return tcp_flags_;
+  }
+  const net::aligned_vector<std::uint8_t>& icmp_type_col() const {
+    return icmp_type_;
+  }
+  const net::aligned_vector<std::uint16_t>& ip_id_col() const { return ip_id_; }
+  const net::aligned_vector<std::uint32_t>& tcp_seq_col() const {
+    return tcp_seq_;
+  }
 
  private:
-  std::vector<std::int64_t> ts_ns_;
-  std::vector<std::uint32_t> src_;
-  std::vector<std::uint32_t> dst_;
-  std::vector<std::uint16_t> src_port_;
-  std::vector<std::uint16_t> dst_port_;
-  std::vector<std::uint8_t> proto_;
-  std::vector<std::uint8_t> tcp_flags_;
-  std::vector<std::uint8_t> icmp_type_;
-  std::vector<std::uint8_t> ttl_;
-  std::vector<std::uint16_t> ip_id_;
-  std::vector<std::uint16_t> tcp_window_;
-  std::vector<std::uint32_t> tcp_seq_;
-  std::vector<std::uint16_t> wire_len_;
+  net::aligned_vector<std::int64_t> ts_ns_;
+  net::aligned_vector<std::uint32_t> src_;
+  net::aligned_vector<std::uint32_t> dst_;
+  net::aligned_vector<std::uint16_t> src_port_;
+  net::aligned_vector<std::uint16_t> dst_port_;
+  net::aligned_vector<std::uint8_t> proto_;
+  net::aligned_vector<std::uint8_t> tcp_flags_;
+  net::aligned_vector<std::uint8_t> icmp_type_;
+  net::aligned_vector<std::uint8_t> ttl_;
+  net::aligned_vector<std::uint16_t> ip_id_;
+  net::aligned_vector<std::uint16_t> tcp_window_;
+  net::aligned_vector<std::uint32_t> tcp_seq_;
+  net::aligned_vector<std::uint16_t> wire_len_;
 };
 
 }  // namespace orion::pkt

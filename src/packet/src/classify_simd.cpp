@@ -1,0 +1,368 @@
+#include "orion/packet/classify.hpp"
+
+#include "orion/netbase/simd.hpp"
+
+#if ORION_SIMD_ENABLED && defined(__x86_64__)
+#include <immintrin.h>
+#endif
+#if ORION_SIMD_ENABLED && defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace orion::pkt {
+
+namespace {
+
+constexpr std::uint8_t kProtoIcmp = static_cast<std::uint8_t>(net::IpProto::Icmp);
+constexpr std::uint8_t kProtoTcp = static_cast<std::uint8_t>(net::IpProto::Tcp);
+constexpr std::uint8_t kProtoUdp = static_cast<std::uint8_t>(net::IpProto::Udp);
+constexpr std::uint8_t kSynAckMask = TcpFlags::kSyn | TcpFlags::kAck;
+
+// Enum values baked into vector constants; pin them so a reordering of the
+// enums cannot silently desynchronize the kernels from the scalar cores.
+static_assert(static_cast<int>(TrafficType::TcpSyn) == 0 &&
+              static_cast<int>(TrafficType::Udp) == 1 &&
+              static_cast<int>(TrafficType::IcmpEchoReq) == 2 &&
+              static_cast<int>(TrafficType::Other) == 3);
+static_assert(static_cast<int>(ScanTool::ZMap) == 0 &&
+              static_cast<int>(ScanTool::Masscan) == 1 &&
+              static_cast<int>(ScanTool::Mirai) == 2 &&
+              static_cast<int>(ScanTool::Other) == 3);
+
+#if ORION_SIMD_ENABLED && defined(__x86_64__)
+
+// Traffic classification, 32 u8 lanes per strip. The protocol classes are
+// disjoint, so the blends can be applied in any order; within TCP the
+// SYN-and-not-ACK test is one masked compare ((flags & (SYN|ACK)) == SYN).
+__attribute__((target("avx2"))) void classify_traffic_avx2(
+    const std::uint8_t* proto, const std::uint8_t* tcp_flags,
+    const std::uint8_t* icmp_type, std::size_t n, std::uint8_t* out) {
+  const __m256i vtcp = _mm256_set1_epi8(static_cast<char>(kProtoTcp));
+  const __m256i vudp = _mm256_set1_epi8(static_cast<char>(kProtoUdp));
+  const __m256i vicmp = _mm256_set1_epi8(static_cast<char>(kProtoIcmp));
+  const __m256i vsynack = _mm256_set1_epi8(static_cast<char>(kSynAckMask));
+  const __m256i vsyn = _mm256_set1_epi8(static_cast<char>(TcpFlags::kSyn));
+  const __m256i vecho = _mm256_set1_epi8(static_cast<char>(IcmpHeader::kEchoRequest));
+  const __m256i vother = _mm256_set1_epi8(static_cast<char>(TrafficType::Other));
+  const __m256i vsynval = _mm256_set1_epi8(static_cast<char>(TrafficType::TcpSyn));
+  const __m256i vudpval = _mm256_set1_epi8(static_cast<char>(TrafficType::Udp));
+  const __m256i vechoval =
+      _mm256_set1_epi8(static_cast<char>(TrafficType::IcmpEchoReq));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(proto + i));
+    const __m256i f =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tcp_flags + i));
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(icmp_type + i));
+    const __m256i is_tcp = _mm256_cmpeq_epi8(p, vtcp);
+    const __m256i is_udp = _mm256_cmpeq_epi8(p, vudp);
+    const __m256i is_icmp = _mm256_cmpeq_epi8(p, vicmp);
+    const __m256i syn_only =
+        _mm256_cmpeq_epi8(_mm256_and_si256(f, vsynack), vsyn);
+    const __m256i is_echo = _mm256_cmpeq_epi8(t, vecho);
+    __m256i result = vother;
+    result = _mm256_blendv_epi8(result, vudpval, is_udp);
+    result = _mm256_blendv_epi8(result, vechoval,
+                                _mm256_and_si256(is_icmp, is_echo));
+    result = _mm256_blendv_epi8(result, vsynval,
+                                _mm256_and_si256(is_tcp, syn_only));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), result);
+  }
+  classify_traffic_batch_scalar(proto + i, tcp_flags + i, icmp_type + i, n - i,
+                                out + i);
+}
+
+/// 16 u8 lanes per strip (SSE4.1 blendv, available on the sse42 tier).
+__attribute__((target("sse4.2"))) void classify_traffic_sse(
+    const std::uint8_t* proto, const std::uint8_t* tcp_flags,
+    const std::uint8_t* icmp_type, std::size_t n, std::uint8_t* out) {
+  const __m128i vtcp = _mm_set1_epi8(static_cast<char>(kProtoTcp));
+  const __m128i vudp = _mm_set1_epi8(static_cast<char>(kProtoUdp));
+  const __m128i vicmp = _mm_set1_epi8(static_cast<char>(kProtoIcmp));
+  const __m128i vsynack = _mm_set1_epi8(static_cast<char>(kSynAckMask));
+  const __m128i vsyn = _mm_set1_epi8(static_cast<char>(TcpFlags::kSyn));
+  const __m128i vecho = _mm_set1_epi8(static_cast<char>(IcmpHeader::kEchoRequest));
+  const __m128i vother = _mm_set1_epi8(static_cast<char>(TrafficType::Other));
+  const __m128i vsynval = _mm_set1_epi8(static_cast<char>(TrafficType::TcpSyn));
+  const __m128i vudpval = _mm_set1_epi8(static_cast<char>(TrafficType::Udp));
+  const __m128i vechoval =
+      _mm_set1_epi8(static_cast<char>(TrafficType::IcmpEchoReq));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i p = _mm_loadu_si128(reinterpret_cast<const __m128i*>(proto + i));
+    const __m128i f =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(tcp_flags + i));
+    const __m128i t =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(icmp_type + i));
+    const __m128i is_tcp = _mm_cmpeq_epi8(p, vtcp);
+    const __m128i is_udp = _mm_cmpeq_epi8(p, vudp);
+    const __m128i is_icmp = _mm_cmpeq_epi8(p, vicmp);
+    const __m128i syn_only = _mm_cmpeq_epi8(_mm_and_si128(f, vsynack), vsyn);
+    const __m128i is_echo = _mm_cmpeq_epi8(t, vecho);
+    __m128i result = vother;
+    result = _mm_blendv_epi8(result, vudpval, is_udp);
+    result = _mm_blendv_epi8(result, vechoval, _mm_and_si128(is_icmp, is_echo));
+    result = _mm_blendv_epi8(result, vsynval, _mm_and_si128(is_tcp, syn_only));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), result);
+  }
+  classify_traffic_batch_scalar(proto + i, tcp_flags + i, icmp_type + i, n - i,
+                                out + i);
+}
+
+// Tool attribution works in 8 u32 lanes (dst and tcp_seq are u32 columns);
+// the narrower columns are widened on load. Priority is Mirai > ZMap >
+// Masscan (fingerprint.hpp), so the blends apply in reverse order.
+__attribute__((target("avx2"))) void classify_tool_avx2(
+    const std::uint8_t* proto, const std::uint32_t* dst,
+    const std::uint16_t* dst_port, const std::uint16_t* ip_id,
+    const std::uint32_t* tcp_seq, std::size_t n, std::uint8_t* out) {
+  const __m256i vtcp32 = _mm256_set1_epi32(kProtoTcp);
+  const __m256i vzmap_id = _mm256_set1_epi32(kZmapIpId);
+  const __m256i vlow16 = _mm256_set1_epi32(0xFFFF);
+  const __m256i vother = _mm256_set1_epi32(static_cast<int>(ScanTool::Other));
+  const __m256i vmasscan = _mm256_set1_epi32(static_cast<int>(ScanTool::Masscan));
+  const __m256i vzmap = _mm256_set1_epi32(static_cast<int>(ScanTool::ZMap));
+  const __m256i vmirai = _mm256_set1_epi32(static_cast<int>(ScanTool::Mirai));
+  // Gathers byte 0 of each dword into the low 4 bytes of each 128-bit lane.
+  const __m256i pack_mask = _mm256_setr_epi8(
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tcp_seq + i));
+    const __m256i port32 = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst_port + i)));
+    const __m256i id32 = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ip_id + i)));
+    const __m256i proto32 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(proto + i)));
+    const __m256i is_tcp = _mm256_cmpeq_epi32(proto32, vtcp32);
+    const __m256i mirai =
+        _mm256_and_si256(is_tcp, _mm256_cmpeq_epi32(s, d));
+    const __m256i zmap = _mm256_cmpeq_epi32(id32, vzmap_id);
+    const __m256i masscan_id = _mm256_and_si256(
+        _mm256_xor_si256(_mm256_xor_si256(d, port32), s), vlow16);
+    const __m256i masscan =
+        _mm256_and_si256(is_tcp, _mm256_cmpeq_epi32(id32, masscan_id));
+    __m256i result = vother;
+    result = _mm256_blendv_epi8(result, vmasscan, masscan);
+    result = _mm256_blendv_epi8(result, vzmap, zmap);
+    result = _mm256_blendv_epi8(result, vmirai, mirai);
+    const __m256i packed = _mm256_shuffle_epi8(result, pack_mask);
+    std::uint32_t lo = static_cast<std::uint32_t>(
+        _mm_cvtsi128_si32(_mm256_castsi256_si128(packed)));
+    std::uint32_t hi = static_cast<std::uint32_t>(
+        _mm_cvtsi128_si32(_mm256_extracti128_si256(packed, 1)));
+    __builtin_memcpy(out + i, &lo, 4);
+    __builtin_memcpy(out + i + 4, &hi, 4);
+  }
+  classify_tool_batch_scalar(proto + i, dst + i, dst_port + i, ip_id + i,
+                             tcp_seq + i, n - i, out + i);
+}
+
+/// 4 u32 lanes per strip.
+__attribute__((target("sse4.2"))) void classify_tool_sse(
+    const std::uint8_t* proto, const std::uint32_t* dst,
+    const std::uint16_t* dst_port, const std::uint16_t* ip_id,
+    const std::uint32_t* tcp_seq, std::size_t n, std::uint8_t* out) {
+  const __m128i vtcp32 = _mm_set1_epi32(kProtoTcp);
+  const __m128i vzmap_id = _mm_set1_epi32(kZmapIpId);
+  const __m128i vlow16 = _mm_set1_epi32(0xFFFF);
+  const __m128i vother = _mm_set1_epi32(static_cast<int>(ScanTool::Other));
+  const __m128i vmasscan = _mm_set1_epi32(static_cast<int>(ScanTool::Masscan));
+  const __m128i vzmap = _mm_set1_epi32(static_cast<int>(ScanTool::ZMap));
+  const __m128i vmirai = _mm_set1_epi32(static_cast<int>(ScanTool::Mirai));
+  const __m128i pack_mask =
+      _mm_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(tcp_seq + i));
+    const __m128i port32 = _mm_cvtepu16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(dst_port + i)));
+    const __m128i id32 = _mm_cvtepu16_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ip_id + i)));
+    const __m128i proto32 = _mm_cvtepu8_epi32(
+        _mm_cvtsi32_si128(static_cast<int>(
+            std::uint32_t{proto[i]} | (std::uint32_t{proto[i + 1]} << 8) |
+            (std::uint32_t{proto[i + 2]} << 16) |
+            (std::uint32_t{proto[i + 3]} << 24))));
+    const __m128i is_tcp = _mm_cmpeq_epi32(proto32, vtcp32);
+    const __m128i mirai = _mm_and_si128(is_tcp, _mm_cmpeq_epi32(s, d));
+    const __m128i zmap = _mm_cmpeq_epi32(id32, vzmap_id);
+    const __m128i masscan_id =
+        _mm_and_si128(_mm_xor_si128(_mm_xor_si128(d, port32), s), vlow16);
+    const __m128i masscan =
+        _mm_and_si128(is_tcp, _mm_cmpeq_epi32(id32, masscan_id));
+    __m128i result = vother;
+    result = _mm_blendv_epi8(result, vmasscan, masscan);
+    result = _mm_blendv_epi8(result, vzmap, zmap);
+    result = _mm_blendv_epi8(result, vmirai, mirai);
+    const std::uint32_t packed = static_cast<std::uint32_t>(
+        _mm_cvtsi128_si32(_mm_shuffle_epi8(result, pack_mask)));
+    __builtin_memcpy(out + i, &packed, 4);
+  }
+  classify_tool_batch_scalar(proto + i, dst + i, dst_port + i, ip_id + i,
+                             tcp_seq + i, n - i, out + i);
+}
+
+#endif  // x86-64
+
+#if ORION_SIMD_ENABLED && defined(__aarch64__)
+
+void classify_traffic_neon(const std::uint8_t* proto,
+                           const std::uint8_t* tcp_flags,
+                           const std::uint8_t* icmp_type, std::size_t n,
+                           std::uint8_t* out) {
+  const uint8x16_t vtcp = vdupq_n_u8(kProtoTcp);
+  const uint8x16_t vudp = vdupq_n_u8(kProtoUdp);
+  const uint8x16_t vicmp = vdupq_n_u8(kProtoIcmp);
+  const uint8x16_t vsynack = vdupq_n_u8(kSynAckMask);
+  const uint8x16_t vsyn = vdupq_n_u8(TcpFlags::kSyn);
+  const uint8x16_t vecho = vdupq_n_u8(IcmpHeader::kEchoRequest);
+  const uint8x16_t vother =
+      vdupq_n_u8(static_cast<std::uint8_t>(TrafficType::Other));
+  const uint8x16_t vsynval =
+      vdupq_n_u8(static_cast<std::uint8_t>(TrafficType::TcpSyn));
+  const uint8x16_t vudpval =
+      vdupq_n_u8(static_cast<std::uint8_t>(TrafficType::Udp));
+  const uint8x16_t vechoval =
+      vdupq_n_u8(static_cast<std::uint8_t>(TrafficType::IcmpEchoReq));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t p = vld1q_u8(proto + i);
+    const uint8x16_t f = vld1q_u8(tcp_flags + i);
+    const uint8x16_t t = vld1q_u8(icmp_type + i);
+    const uint8x16_t is_tcp = vceqq_u8(p, vtcp);
+    const uint8x16_t is_udp = vceqq_u8(p, vudp);
+    const uint8x16_t is_icmp = vceqq_u8(p, vicmp);
+    const uint8x16_t syn_only = vceqq_u8(vandq_u8(f, vsynack), vsyn);
+    const uint8x16_t is_echo = vceqq_u8(t, vecho);
+    uint8x16_t result = vother;
+    result = vbslq_u8(is_udp, vudpval, result);
+    result = vbslq_u8(vandq_u8(is_icmp, is_echo), vechoval, result);
+    result = vbslq_u8(vandq_u8(is_tcp, syn_only), vsynval, result);
+    vst1q_u8(out + i, result);
+  }
+  classify_traffic_batch_scalar(proto + i, tcp_flags + i, icmp_type + i, n - i,
+                                out + i);
+}
+
+void classify_tool_neon(const std::uint8_t* proto, const std::uint32_t* dst,
+                        const std::uint16_t* dst_port,
+                        const std::uint16_t* ip_id, const std::uint32_t* tcp_seq,
+                        std::size_t n, std::uint8_t* out) {
+  const uint32x4_t vtcp32 = vdupq_n_u32(kProtoTcp);
+  const uint32x4_t vzmap_id = vdupq_n_u32(kZmapIpId);
+  const uint32x4_t vlow16 = vdupq_n_u32(0xFFFF);
+  const uint32x4_t vother = vdupq_n_u32(static_cast<std::uint32_t>(ScanTool::Other));
+  const uint32x4_t vmasscan =
+      vdupq_n_u32(static_cast<std::uint32_t>(ScanTool::Masscan));
+  const uint32x4_t vzmap = vdupq_n_u32(static_cast<std::uint32_t>(ScanTool::ZMap));
+  const uint32x4_t vmirai =
+      vdupq_n_u32(static_cast<std::uint32_t>(ScanTool::Mirai));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t d = vld1q_u32(dst + i);
+    const uint32x4_t s = vld1q_u32(tcp_seq + i);
+    const uint32x4_t port32 = vmovl_u16(vld1_u16(dst_port + i));
+    const uint32x4_t id32 = vmovl_u16(vld1_u16(ip_id + i));
+    const uint32x4_t proto32 = {proto[i], proto[i + 1], proto[i + 2],
+                                proto[i + 3]};
+    const uint32x4_t is_tcp = vceqq_u32(proto32, vtcp32);
+    const uint32x4_t mirai = vandq_u32(is_tcp, vceqq_u32(s, d));
+    const uint32x4_t zmap = vceqq_u32(id32, vzmap_id);
+    const uint32x4_t masscan_id =
+        vandq_u32(veorq_u32(veorq_u32(d, port32), s), vlow16);
+    const uint32x4_t masscan = vandq_u32(is_tcp, vceqq_u32(id32, masscan_id));
+    uint32x4_t result = vother;
+    result = vbslq_u32(masscan, vmasscan, result);
+    result = vbslq_u32(zmap, vzmap, result);
+    result = vbslq_u32(mirai, vmirai, result);
+    const uint16x4_t narrow16 = vmovn_u32(result);
+    const uint8x8_t narrow8 = vmovn_u16(vcombine_u16(narrow16, narrow16));
+    out[i + 0] = vget_lane_u8(narrow8, 0);
+    out[i + 1] = vget_lane_u8(narrow8, 1);
+    out[i + 2] = vget_lane_u8(narrow8, 2);
+    out[i + 3] = vget_lane_u8(narrow8, 3);
+  }
+  classify_tool_batch_scalar(proto + i, dst + i, dst_port + i, ip_id + i,
+                             tcp_seq + i, n - i, out + i);
+}
+
+#endif  // aarch64
+
+}  // namespace
+
+void classify_traffic_batch_scalar(const std::uint8_t* proto,
+                                   const std::uint8_t* tcp_flags,
+                                   const std::uint8_t* icmp_type, std::size_t n,
+                                   std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(classify_traffic(
+        static_cast<net::IpProto>(proto[i]), tcp_flags[i], icmp_type[i]));
+  }
+}
+
+void classify_tool_batch_scalar(const std::uint8_t* proto,
+                                const std::uint32_t* dst,
+                                const std::uint16_t* dst_port,
+                                const std::uint16_t* ip_id,
+                                const std::uint32_t* tcp_seq, std::size_t n,
+                                std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        classify_tool(static_cast<net::IpProto>(proto[i]),
+                      net::Ipv4Address(dst[i]), dst_port[i], ip_id[i],
+                      tcp_seq[i]));
+  }
+}
+
+void classify_traffic_batch(const std::uint8_t* proto,
+                            const std::uint8_t* tcp_flags,
+                            const std::uint8_t* icmp_type, std::size_t n,
+                            std::uint8_t* out) {
+#if ORION_SIMD_ENABLED && defined(__x86_64__)
+  const net::simd::Level level = net::simd::active_level();
+  if (level == net::simd::Level::Avx2) {
+    return classify_traffic_avx2(proto, tcp_flags, icmp_type, n, out);
+  }
+  if (level == net::simd::Level::Sse42) {
+    return classify_traffic_sse(proto, tcp_flags, icmp_type, n, out);
+  }
+#elif ORION_SIMD_ENABLED && defined(__aarch64__)
+  if (net::simd::active_level() == net::simd::Level::Neon) {
+    return classify_traffic_neon(proto, tcp_flags, icmp_type, n, out);
+  }
+#endif
+  classify_traffic_batch_scalar(proto, tcp_flags, icmp_type, n, out);
+}
+
+void classify_tool_batch(const std::uint8_t* proto, const std::uint32_t* dst,
+                         const std::uint16_t* dst_port,
+                         const std::uint16_t* ip_id,
+                         const std::uint32_t* tcp_seq, std::size_t n,
+                         std::uint8_t* out) {
+#if ORION_SIMD_ENABLED && defined(__x86_64__)
+  const net::simd::Level level = net::simd::active_level();
+  if (level == net::simd::Level::Avx2) {
+    return classify_tool_avx2(proto, dst, dst_port, ip_id, tcp_seq, n, out);
+  }
+  if (level == net::simd::Level::Sse42) {
+    return classify_tool_sse(proto, dst, dst_port, ip_id, tcp_seq, n, out);
+  }
+#elif ORION_SIMD_ENABLED && defined(__aarch64__)
+  if (net::simd::active_level() == net::simd::Level::Neon) {
+    return classify_tool_neon(proto, dst, dst_port, ip_id, tcp_seq, n, out);
+  }
+#endif
+  classify_tool_batch_scalar(proto, dst, dst_port, ip_id, tcp_seq, n, out);
+}
+
+}  // namespace orion::pkt

@@ -2,9 +2,15 @@
 // IP space): one bit per address. Definition 1 needs an exact ">= 10% of
 // dark IPs" test, for which a bitset over the (bounded) darknet is both
 // exact and compact — 32k dark IPs is 4 KiB.
+//
+// The word array is the "dispersion bitmap" shape the SIMD layer
+// (DESIGN.md §14) counts: count() and overlap() run the dispatched
+// popcount kernels over the u64 words instead of tracking a counter on
+// every set(), which keeps mark() branchless on the hot loop.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace orion::stats {
@@ -15,21 +21,31 @@ class CoverageBitset {
 
   /// Marks an element; returns true if it was newly set.
   bool set(std::uint64_t index);
+  /// Branchless mark (no membership answer) — the batch-loop form.
+  void mark(std::uint64_t index);
   bool test(std::uint64_t index) const;
 
-  std::uint64_t count() const { return count_; }
+  /// Population count, computed on demand by the dispatched popcount
+  /// kernel (simd::popcount_words).
+  std::uint64_t count() const;
   std::uint64_t universe_size() const { return universe_size_; }
   double fraction() const {
     return universe_size_ == 0
                ? 0.0
-               : static_cast<double>(count_) / static_cast<double>(universe_size_);
+               : static_cast<double>(count()) /
+                     static_cast<double>(universe_size_);
   }
+
+  /// Number of elements set in both bitsets (vpand+popcnt kernel). The
+  /// universes must match.
+  std::uint64_t overlap(const CoverageBitset& other) const;
+
+  std::span<const std::uint64_t> words() const { return words_; }
 
   void clear();
 
  private:
   std::uint64_t universe_size_;
-  std::uint64_t count_ = 0;
   std::vector<std::uint64_t> words_;
 };
 

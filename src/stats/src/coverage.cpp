@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "orion/netbase/simd.hpp"
+
 namespace orion::stats {
 
 CoverageBitset::CoverageBitset(std::uint64_t universe_size)
@@ -15,8 +17,14 @@ bool CoverageBitset::set(std::uint64_t index) {
   const std::uint64_t bit = std::uint64_t{1} << (index & 63);
   if (word & bit) return false;
   word |= bit;
-  ++count_;
   return true;
+}
+
+void CoverageBitset::mark(std::uint64_t index) {
+  if (index >= universe_size_) {
+    throw std::out_of_range("CoverageBitset::mark: index beyond universe");
+  }
+  words_[index >> 6] |= std::uint64_t{1} << (index & 63);
 }
 
 bool CoverageBitset::test(std::uint64_t index) const {
@@ -26,9 +34,17 @@ bool CoverageBitset::test(std::uint64_t index) const {
   return (words_[index >> 6] >> (index & 63)) & 1;
 }
 
-void CoverageBitset::clear() {
-  words_.assign(words_.size(), 0);
-  count_ = 0;
+std::uint64_t CoverageBitset::count() const {
+  return orion::net::simd::popcount_words(words_);
 }
+
+std::uint64_t CoverageBitset::overlap(const CoverageBitset& other) const {
+  if (other.universe_size_ != universe_size_) {
+    throw std::invalid_argument("CoverageBitset::overlap: universe mismatch");
+  }
+  return orion::net::simd::and_popcount_words(words_, other.words_);
+}
+
+void CoverageBitset::clear() { words_.assign(words_.size(), 0); }
 
 }  // namespace orion::stats

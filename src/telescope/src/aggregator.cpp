@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "orion/packet/classify.hpp"
 #include "orion/telescope/checkpoint.hpp"
 
 namespace orion::telescope {
@@ -106,28 +107,37 @@ void EventAggregator::observe_batch(const pkt::PacketBatch& batch) {
 
   // Pass 1: classify every record and precompute key hashes / dark-space
   // offsets into the scratch columns. kind: 0 = outside the dark space,
-  // 1 = non-scanning, 2 = scanning.
+  // 1 = non-scanning, 2 = scanning. The dark-space membership, traffic
+  // classification, and tool attribution columns are filled by the SIMD
+  // batch kernels (DESIGN.md §14) — on the scalar tier those dispatch to
+  // the same constexpr cores the original per-record loop called, so the
+  // scratch contents are identical at every tier.
   scratch_kind_.resize(n);
+  scratch_member_.resize(n);
+  scratch_type_.resize(n);
   scratch_tool_.resize(n);
   scratch_key_.resize(n);
   scratch_hash_.resize(n);
   scratch_offset_.resize(n);
+  dark_space_.contains_batch(batch.dst_col().data(), n, scratch_member_.data());
+  pkt::classify_traffic_batch(batch, scratch_type_.data());
+  pkt::classify_tool_batch(batch, scratch_tool_.data());
   std::uint64_t out_of_space = 0;
   std::uint64_t non_scanning = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!dark_space_.contains(batch.dst(i))) {
+    if (!scratch_member_[i]) {
       scratch_kind_[i] = 0;
       ++out_of_space;
       continue;
     }
-    const pkt::TrafficType type = batch.traffic_type(i);
+    const pkt::TrafficType type =
+        static_cast<pkt::TrafficType>(scratch_type_[i]);
     if (type == pkt::TrafficType::Other) {
       scratch_kind_[i] = 1;
       ++non_scanning;
       continue;
     }
     scratch_kind_[i] = 2;
-    scratch_tool_[i] = static_cast<std::uint8_t>(batch.tool(i));
     scratch_key_[i] =
         EventKey{batch.src(i),
                  type == pkt::TrafficType::IcmpEchoReq ? std::uint16_t{0}
