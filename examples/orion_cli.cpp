@@ -9,22 +9,36 @@
 //   orion_cli summary   --in events.ode
 //   orion_cli convert   --in events.ode --out events.ode2 [--format ode1|ode2]
 //   orion_cli inspect   --in events.ode2
-//   orion_cli flow-impact --in events.ode [--scenario tiny|paper] [--year 2021|2022]
+//   orion_cli flow-impact --in events.ode [--flows flows.fde1]
+//                       [--scenario tiny|paper] [--year 2021|2022]
 //                       [--days N] [--sampling-rate N]
+//   orion_cli flow-convert --in flows.{fde1,nfv5,csv} --out flows.fde1
+//                       [--block-flows N] [--sampling-rate N] [--router N]
+//   orion_cli flow-inspect --in flows.{fde1,nfv5,csv}
 //   orion_cli cpu
 //
 // Event datasets travel in the ODE1 binary format (telescope/store.hpp)
 // or the ODE2 columnar format (store/ode2.hpp); every --in flag sniffs
-// the magic and accepts either. Daily AH lists use the CSV format of
-// detect/lists.hpp.
+// the magic and accepts either. Flow datasets travel in the FDE1 columnar
+// format (store/fde1.hpp) and every flow-reading path likewise sniffs
+// FDE1 vs the legacy inputs (NetFlow v5 export-packet streams, flow CSV).
+// Daily AH lists use the CSV format of detect/lists.hpp.
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <span>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <vector>
 
 #include "orion/detect/detector.hpp"
+#include "orion/flowsim/netflow5.hpp"
 #include "orion/detect/list_diff.hpp"
 #include "orion/detect/lists.hpp"
 #include "orion/detect/spoof_filter.hpp"
@@ -35,7 +49,9 @@
 #include "orion/report/table.hpp"
 #include "orion/scangen/event_synth.hpp"
 #include "orion/scangen/scenario.hpp"
+#include "orion/store/fde1.hpp"
 #include "orion/store/mapped.hpp"
+#include "orion/store/mapped_flow.hpp"
 #include "orion/store/ode2.hpp"
 #include "orion/telescope/capture.hpp"
 #include "orion/telescope/store.hpp"
@@ -57,8 +73,12 @@ using namespace orion;
       "  convert   --in FILE --out FILE [--format ode1|ode2] [--block-events N]\n"
       "  inspect   --in FILE\n"
       "  diff      --old LISTS.csv --new LISTS.csv\n"
-      "  flow-impact --in FILE [--scenario tiny|paper] [--year 2021|2022]\n"
-      "              [--days N] [--sampling-rate N] [--dispersion F]\n"
+      "  flow-impact --in FILE [--flows FILE] [--scenario tiny|paper]\n"
+      "              [--year 2021|2022] [--days N] [--sampling-rate N]\n"
+      "              [--dispersion F]\n"
+      "  flow-convert --in FILE --out FILE [--block-flows N]\n"
+      "              [--sampling-rate N] [--router N]\n"
+      "  flow-inspect --in FILE\n"
       "  cpu       (print the detected/active SIMD tier and CPU features)\n";
   std::exit(2);
 }
@@ -323,6 +343,266 @@ int cmd_inspect(const std::map<std::string, std::string>& flags) {
   }
 }
 
+// ------------------------------------------------------------- flow I/O
+//
+// Every flow-reading path funnels through here: sniff the input, read
+// FDE1 directly, and lift the legacy inputs (NetFlow v5 export-packet
+// streams, flow CSV) into the same representation.
+
+constexpr std::int64_t kNanosPerDayCli = 86'400'000'000'000;
+
+/// Parses a NetFlow v5 export-packet stream into FlowRecords: every
+/// record is stamped with its packet header's unix_secs and the given
+/// router id (v5 exports carry no router field).
+std::vector<flowsim::FlowRecord> read_netflow_v5_flows(
+    const std::string& path, std::uint16_t router, std::uint32_t* sampling_out) {
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<char> raw{std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>()};
+  const std::span<const std::uint8_t> bytes{
+      reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()};
+
+  std::vector<flowsim::FlowRecord> records;
+  std::size_t offset = 0;
+  bool first = true;
+  while (offset < bytes.size()) {
+    const auto packet = flowsim::decode_netflow_v5(bytes.subspan(offset));
+    if (!packet) {
+      std::cerr << "error: bad NetFlow v5 packet at byte " << offset << "\n";
+      std::exit(1);
+    }
+    if (first && sampling_out != nullptr) {
+      const std::uint32_t interval = packet->header.sampling_interval & 0x3FFF;
+      if (interval != 0) *sampling_out = interval;
+      first = false;
+    }
+    const std::int64_t ts_ns =
+        static_cast<std::int64_t>(packet->header.unix_secs) * 1'000'000'000;
+    for (const flowsim::NetflowV5Record& r : packet->records) {
+      flowsim::FlowRecord flow;
+      flow.ts_ns = ts_ns;
+      flow.src = r.src;
+      flow.dst = r.dst;
+      flow.src_port = r.src_port;
+      flow.dst_port = r.dst_port;
+      flow.proto = r.protocol;
+      flow.packets = r.packets;
+      flow.bytes = r.octets;
+      flow.router = router;
+      records.push_back(flow);
+    }
+    offset += flowsim::kNetflowV5HeaderSize +
+              packet->records.size() * flowsim::kNetflowV5RecordSize;
+  }
+  return records;
+}
+
+/// Parses the flow CSV form:
+///   router,ts_ns,src,dst,src_port,dst_port,proto,packets,bytes
+/// (header line optional; blank lines skipped).
+std::vector<flowsim::FlowRecord> read_csv_flows(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<flowsim::FlowRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("router", 0) == 0) continue;  // header
+    std::stringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (fields.size() != 9) {
+      std::cerr << "error: " << path << ":" << line_no
+                << ": expected 9 comma-separated fields\n";
+      std::exit(1);
+    }
+    const auto src = net::Ipv4Address::parse(fields[2]);
+    const auto dst = net::Ipv4Address::parse(fields[3]);
+    if (!src || !dst) {
+      std::cerr << "error: " << path << ":" << line_no << ": bad address\n";
+      std::exit(1);
+    }
+    flowsim::FlowRecord flow;
+    flow.router = static_cast<std::uint16_t>(std::stoul(fields[0]));
+    flow.ts_ns = std::stoll(fields[1]);
+    flow.src = *src;
+    flow.dst = *dst;
+    flow.src_port = static_cast<std::uint16_t>(std::stoul(fields[4]));
+    flow.dst_port = static_cast<std::uint16_t>(std::stoul(fields[5]));
+    flow.proto = static_cast<std::uint8_t>(std::stoul(fields[6]));
+    flow.packets = std::stoull(fields[7]);
+    flow.bytes = std::stoull(fields[8]);
+    records.push_back(flow);
+  }
+  return records;
+}
+
+/// Groups loose flow records into the sorted per-(router, day) segments
+/// FDE1 requires. External data has no SNMP side, so each segment's
+/// total_packets is the sampled-count-scaled estimate (user/scanner
+/// splits stay zero).
+std::vector<store::Fde1Segment> segments_from_records(
+    std::vector<flowsim::FlowRecord> records, std::uint32_t sampling_rate,
+    std::int64_t& start_day, std::int64_t& end_day) {
+  std::sort(records.begin(), records.end(),
+            [](const flowsim::FlowRecord& a, const flowsim::FlowRecord& b) {
+              return std::tuple(a.router, a.ts_ns / kNanosPerDayCli, a.src,
+                                a.dst_port, flowsim::traffic_type_of(a.proto)) <
+                     std::tuple(b.router, b.ts_ns / kNanosPerDayCli, b.src,
+                                b.dst_port, flowsim::traffic_type_of(b.proto));
+            });
+  std::vector<store::Fde1Segment> segments;
+  start_day = 0;
+  end_day = 0;
+  for (const flowsim::FlowRecord& r : records) {
+    const std::int64_t day = r.ts_ns / kNanosPerDayCli;
+    if (segments.empty() || segments.back().router != r.router ||
+        segments.back().day != day) {
+      store::Fde1Segment seg;
+      seg.router = r.router;
+      seg.day = day;
+      segments.push_back(std::move(seg));
+    }
+    store::Fde1Segment& seg = segments.back();
+    seg.rows.push_back(r);
+    seg.total_packets += r.packets * sampling_rate;
+  }
+  if (!segments.empty()) {
+    start_day = segments.front().day;
+    end_day = segments.front().day + 1;
+    for (const store::Fde1Segment& seg : segments) {
+      start_day = std::min(start_day, seg.day);
+      end_day = std::max(end_day, seg.day + 1);
+    }
+  }
+  return segments;
+}
+
+/// Lifts any sniffable flow input into an FDE1 file at `out`. Returns the
+/// bytes written. For an FDE1 input this is a re-block (segments and
+/// totals preserved exactly); legacy inputs are grouped and sorted.
+std::uint64_t convert_flows_to_fde1(const std::string& in,
+                                    const std::string& out,
+                                    std::uint64_t block_flows,
+                                    std::uint32_t sampling_rate,
+                                    std::uint16_t router) {
+  const std::string format = store::sniff_flow_format(in);
+  std::vector<store::Fde1Segment> segments;
+  std::int64_t start_day = 0;
+  std::int64_t end_day = 0;
+  if (format == "FDE1") {
+    const store::MappedFlowStore mapped(in);
+    sampling_rate = mapped.sampling_rate();
+    start_day = mapped.start_day();
+    end_day = mapped.end_day();
+    segments.reserve(mapped.segments().size());
+    for (const store::FlowSegment& seg : mapped.segments()) {
+      store::Fde1Segment copy;
+      copy.router = static_cast<std::uint16_t>(seg.router);
+      copy.day = seg.day;
+      copy.total_packets = seg.total_packets;
+      copy.user_packets = seg.user_packets;
+      copy.scanner_packets = seg.scanner_packets;
+      mapped.for_each_span(
+          seg.row_begin, seg.row_end,
+          [&copy](const store::FlowView& view, std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              copy.rows.push_back(view.record(i));
+            }
+          });
+      segments.push_back(std::move(copy));
+    }
+  } else if (format == "NFV5") {
+    segments = segments_from_records(
+        read_netflow_v5_flows(in, router, &sampling_rate), sampling_rate,
+        start_day, end_day);
+  } else if (format == "CSV") {
+    segments = segments_from_records(read_csv_flows(in), sampling_rate,
+                                     start_day, end_day);
+  } else {
+    std::cerr << "error: " << in << " is not an FDE1/NFV5/CSV flow input\n";
+    std::exit(1);
+  }
+  return store::write_flows_fde1_file(sampling_rate, start_day, end_day,
+                                      segments, out, block_flows);
+}
+
+int cmd_flow_convert(const std::map<std::string, std::string>& flags) {
+  const std::string in = require(flags, "in");
+  const std::string out = require(flags, "out");
+  const std::uint64_t block_flows = std::stoull(
+      get_or(flags, "block-flows", std::to_string(store::kFde1DefaultBlockFlows)));
+  const auto sampling_rate = static_cast<std::uint32_t>(
+      std::stoul(get_or(flags, "sampling-rate", "100")));
+  const auto router =
+      static_cast<std::uint16_t>(std::stoul(get_or(flags, "router", "0")));
+  const std::uint64_t bytes =
+      convert_flows_to_fde1(in, out, block_flows, sampling_rate, router);
+  const store::MappedFlowStore mapped(out);
+  std::cout << "wrote " << mapped.flow_count() << " flows in "
+            << mapped.segments().size() << " (router, day) segments ("
+            << bytes << " bytes, " << block_flows << " flows/block) to "
+            << out << "\n";
+  return 0;
+}
+
+int cmd_flow_inspect(const std::map<std::string, std::string>& flags) {
+  const std::string in = require(flags, "in");
+  const std::string format = store::sniff_flow_format(in);
+  std::cout << "format: " << format << "\n";
+  if (format == "NFV5") {
+    std::uint32_t sampling = 0;
+    const auto records = read_netflow_v5_flows(in, 0, &sampling);
+    std::cout << records.size() << " flow records"
+              << (sampling ? " (1:" + std::to_string(sampling) + " sampled)"
+                           : "")
+              << "; run flow-convert to archive as FDE1\n";
+    return 0;
+  }
+  if (format == "CSV") {
+    std::cout << read_csv_flows(in).size()
+              << " flow records; run flow-convert to archive as FDE1\n";
+    return 0;
+  }
+  if (format != "FDE1") {
+    std::cerr << "error: " << in << " is not an FDE1/NFV5/CSV flow input\n";
+    return 1;
+  }
+  try {
+    const store::MappedFlowStore mapped(in);
+    const std::size_t first_bad = mapped.verify_blocks();
+    report::Table table({"metric", "value"});
+    table.add_row({"sampling rate", "1:" + std::to_string(mapped.sampling_rate())});
+    table.add_row({"flows", report::fmt_count(mapped.flow_count())});
+    table.add_row({"segments", report::fmt_count(mapped.segments().size())});
+    table.add_row({"window", net::day_label(mapped.start_day()) + " .. " +
+                                 net::day_label(mapped.end_day() - 1)});
+    table.add_row({"blocks", report::fmt_count(mapped.block_count()) + " x " +
+                                 report::fmt_count(mapped.block_flows()) +
+                                 " flows"});
+    table.add_row({"file bytes", report::fmt_count(mapped.file_bytes())});
+    table.add_row({"mapped", mapped.mapped() ? "mmap" : "buffered fallback"});
+    table.add_row({"block CRCs", first_bad == mapped.block_count()
+                                     ? "all clean"
+                                     : "FIRST BAD: block " +
+                                           std::to_string(first_bad)});
+    std::cout << table.to_ascii();
+    return first_bad == mapped.block_count() ? 0 : 1;
+  } catch (const std::exception& e) {
+    const store::Fde1SalvageResult salvage = store::read_flows_fde1_salvage(in);
+    report::Table table({"metric", "value"});
+    table.add_row({"strict open", std::string("FAILED: ") + e.what()});
+    table.add_row({"declared flows", report::fmt_count(salvage.declared_count)});
+    table.add_row({"recovered flows", report::fmt_count(salvage.recovered_count)});
+    table.add_row({"footer intact", salvage.footer_intact ? "yes" : "NO"});
+    if (!salvage.error.empty()) table.add_row({"error", salvage.error});
+    std::cout << table.to_ascii();
+    return 1;
+  }
+}
+
 int cmd_flow_impact(const std::map<std::string, std::string>& flags) {
   const telescope::EventDataset dataset = load_dataset(require(flags, "in"));
   if (dataset.event_count() == 0) {
@@ -351,42 +631,87 @@ int cmd_flow_impact(const std::map<std::string, std::string>& flags) {
       result.of(detect::Definition::AddressDispersion).ips;
   std::cout << ah.size() << " definition-1 AH sources detected\n";
 
-  // Simulated sampled NetFlow at the ISP border over the event window.
-  flowsim::FlowSimConfig config;
-  config.isp_space = scenario.merit();
-  config.start_day = dataset.first_day();
+  // The flow side: either an at-rest archive (--flows, sniffed FDE1 vs
+  // legacy NetFlow v5 / CSV) queried zero-copy through MappedFlowStore,
+  // or simulated sampled NetFlow at the ISP border over the event window.
   const std::int64_t days = std::stoll(get_or(flags, "days", "7"));
-  config.end_day =
-      std::min(dataset.last_day() + 1, config.start_day + days);
-  if (config.end_day <= config.start_day) config.end_day = config.start_day + 1;
-  config.sampling_rate = static_cast<std::uint32_t>(
-      std::stoul(get_or(flags, "sampling-rate", "100")));
-  config.user.base_pps = 4000;
-  config.user.cache_fraction = 0.55;
-  const flowsim::FlowDataset flows =
-      generate_flows(population, scenario.registry(),
-                     flowsim::PeeringPolicy::merit_like(), config);
+  std::optional<flowsim::FlowDataset> flows;
+  std::optional<store::MappedFlowStore> mapped;
+  std::optional<impact::FlowImpactAnalyzer> analyzer;
+  std::int64_t start_day = 0;
+  std::int64_t end_day = 0;
+  std::string temp_fde1;
+  const auto flows_path = flags.find("flows");
+  if (flows_path != flags.end()) {
+    std::string path = flows_path->second;
+    const std::string format = store::sniff_flow_format(path);
+    if (format != "FDE1") {
+      // Legacy input: lift to a temporary FDE1 archive, then query it the
+      // same zero-copy way.
+      temp_fde1 = (std::filesystem::temp_directory_path() /
+                   "orion_cli_flow_impact.fde1")
+                      .string();
+      convert_flows_to_fde1(
+          path, temp_fde1, store::kFde1DefaultBlockFlows,
+          static_cast<std::uint32_t>(
+              std::stoul(get_or(flags, "sampling-rate", "100"))),
+          0);
+      std::cout << "lifted " << format << " input to a temporary FDE1 archive\n";
+      path = temp_fde1;
+    }
+    mapped.emplace(path);
+    analyzer.emplace(&*mapped);
+    // Indexes for every (router, day) cell build in parallel, straight
+    // from the mapped column spans.
+    analyzer->prebuild_indexes();
+    start_day = mapped->start_day();
+    end_day = std::min(mapped->end_day(), start_day + days);
+    if (end_day <= start_day) end_day = start_day + 1;
+  } else {
+    flowsim::FlowSimConfig config;
+    config.isp_space = scenario.merit();
+    config.start_day = dataset.first_day();
+    config.end_day = std::min(dataset.last_day() + 1, config.start_day + days);
+    if (config.end_day <= config.start_day) {
+      config.end_day = config.start_day + 1;
+    }
+    config.sampling_rate = static_cast<std::uint32_t>(
+        std::stoul(get_or(flags, "sampling-rate", "100")));
+    config.user.base_pps = 4000;
+    config.user.cache_fraction = 0.55;
+    flows.emplace(generate_flows(population, scenario.registry(),
+                                 flowsim::PeeringPolicy::merit_like(), config));
+    analyzer.emplace(&*flows);
+    start_day = config.start_day;
+    end_day = config.end_day;
+  }
 
   // The Table 2 rows: one query() per (router, day) cell fills impact,
-  // mixes and visibility in a single index probe.
-  const impact::FlowImpactAnalyzer analyzer(&flows);
+  // mixes and visibility in a single index probe. Cells an external
+  // archive never exported print as "-".
   const impact::SourceSet sources(ah);
   report::Table table({"date", "router-1", "router-2", "router-3",
                        "visibility % (r1/r2/r3)"});
-  for (std::int64_t day = config.start_day; day < config.end_day; ++day) {
+  for (std::int64_t day = start_day; day < end_day; ++day) {
     std::vector<std::string> row{net::day_label(day)};
     std::string visibility;
     for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
-      const impact::RouterDayReport report = analyzer.query(router, day, sources);
+      if (router) visibility += " / ";
+      if (mapped && mapped->segment(router, day) == nullptr) {
+        row.push_back("-");
+        visibility += "-";
+        continue;
+      }
+      const impact::RouterDayReport report = analyzer->query(router, day, sources);
       row.push_back(report::fmt_count(report.impact.matched_packets) + " (" +
                     report::fmt_double(report.impact.percentage(), 2) + "%)");
-      if (router) visibility += " / ";
       visibility += report::fmt_double(report.visibility_percent(), 1);
     }
     row.push_back(visibility);
     table.add_row(row);
   }
   std::cout << table.to_ascii();
+  if (!temp_fde1.empty()) std::remove(temp_fde1.c_str());
   return 0;
 }
 
@@ -441,6 +766,8 @@ int main(int argc, char** argv) {
   if (command == "inspect") return cmd_inspect(flags);
   if (command == "diff") return cmd_diff(flags);
   if (command == "flow-impact") return cmd_flow_impact(flags);
+  if (command == "flow-convert") return cmd_flow_convert(flags);
+  if (command == "flow-inspect") return cmd_flow_inspect(flags);
   if (command == "cpu") return cmd_cpu(flags);
   usage("unknown command: " + command);
 }

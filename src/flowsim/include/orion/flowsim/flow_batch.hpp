@@ -161,9 +161,11 @@ class FlowBatch {
   const net::aligned_vector<std::int64_t>& ts_ns_col() const { return ts_ns_; }
   const net::aligned_vector<std::uint32_t>& src_col() const { return src_; }
   const net::aligned_vector<std::uint32_t>& dst_col() const { return dst_; }
+  const net::aligned_vector<std::uint16_t>& src_port_col() const { return src_port_; }
   const net::aligned_vector<std::uint16_t>& dst_port_col() const { return dst_port_; }
   const net::aligned_vector<std::uint8_t>& proto_col() const { return proto_; }
   const net::aligned_vector<std::uint64_t>& packets_col() const { return packets_; }
+  const net::aligned_vector<std::uint64_t>& bytes_col() const { return bytes_; }
   const net::aligned_vector<std::uint16_t>& router_col() const { return router_; }
 
  private:

@@ -26,6 +26,8 @@
 
 namespace orion::store {
 class MappedEventStore;
+class MappedFlowStore;
+struct FlowSegment;
 }
 
 namespace orion::impact {
@@ -51,6 +53,14 @@ struct RouterDayImpact {
 /// Per-traffic-type packet estimates for a set of sources at a router-day
 /// (the flow side of Table 3); indices follow pkt::TrafficType.
 using ProtocolMix = std::array<std::uint64_t, 3>;
+
+/// Distinct ports tracked exactly per (router, day) report. Figure 5 only
+/// reads the head of the port histogram, so the join bounds its TopK:
+/// the heavy head stays exact (any port whose weight exceeds the spill is
+/// provably tracked) while a multi-month walk stops carrying a full
+/// unordered_map per cell. Both join paths use the same bound, so the
+/// batched/scalar/mmap/parallel equivalence stays bit-exact.
+constexpr std::size_t kPortMixBound = 4096;
 
 /// Everything the Section 4 tables need from one (router, day, sources)
 /// join, filled by a single index probe: Table 2/4's impact row, Table 3's
@@ -105,9 +115,17 @@ class SourceSet {
 /// flow_batch_of/export_router_day emit (std::invalid_argument otherwise),
 /// and consecutive duplicate keys (NetFlow's split oversized flows) merge
 /// by summing. finalize() seals the offsets and builds the group table.
+///
+/// append_span() is the zero-copy form: it consumes raw column pointers
+/// (an FDE1 FlowView slice straight out of the mapped file) with the
+/// exact same grouping/merging/ordering semantics, so an index built from
+/// disk spans is bit-identical to one built from the in-memory batch.
 class FlowSourceIndex {
  public:
   void append(const flowsim::FlowBatch& batch);
+  void append_span(const std::uint32_t* src, const std::uint16_t* dst_port,
+                   const std::uint8_t* proto, const std::uint64_t* packets,
+                   std::size_t n);
   void finalize();
 
   std::size_t source_count() const { return srcs_.size(); }
@@ -165,14 +183,31 @@ RouterDayReport join_flow_index_scalar(const FlowSourceIndex& index,
                                        std::uint64_t total_packets,
                                        std::size_t router, std::int64_t day);
 
-/// Joins AH source sets against the flow dataset. Queries share a lazily
-/// built per-(router, day) FlowSourceIndex, so repeated queries against
-/// the same router-day (every table walks all definitions) skip the raw
-/// flow-map rescan after the first. The cache makes the analyzer
-/// single-threaded by design; share one per thread if needed.
+/// Joins AH source sets against border flow data from either backing
+/// source: the in-memory simulation output (FlowDataset) or an at-rest
+/// FDE1 archive (store::MappedFlowStore), where indexes build zero-copy
+/// from the mapped column spans — no FlowRecord is ever materialized.
+/// query() returns byte-identical RouterDayReports for a dataset and the
+/// FDE1 archive written from it, at any block size (tests/flowstore).
+///
+/// Queries share a lazily built per-(router, day) FlowSourceIndex, so
+/// repeated queries against the same router-day (every table walks all
+/// definitions) skip the raw rescan after the first. The lazy cache makes
+/// query() single-threaded by design; prebuild_indexes() is the
+/// concurrent entry point — it fans the per-cell builds out over threads
+/// (router-days are embarrassingly parallel, the §9 sharding argument)
+/// and merges in deterministic cell order, after which queries only read.
 class FlowImpactAnalyzer {
  public:
   explicit FlowImpactAnalyzer(const flowsim::FlowDataset* flows);
+  explicit FlowImpactAnalyzer(const store::MappedFlowStore* store);
+
+  /// Builds every (router, day) index not yet cached, `n_threads`-wide
+  /// (0: hardware concurrency). Results are identical to the lazy path
+  /// for every thread count: each cell's index is a pure function of its
+  /// rows, and the merge into the cache happens in cell order on the
+  /// calling thread.
+  void prebuild_indexes(std::size_t n_threads = 0) const;
 
   /// THE query API: every Section 4 number for one (router, day, sources)
   /// cell from a single batched index probe.
@@ -238,8 +273,21 @@ class FlowImpactAnalyzer {
   };
 
   const FlowSourceIndex& index_of(std::size_t router, std::int64_t day) const;
+  /// Builds one cell's index from whichever source backs the analyzer
+  /// (pure; safe to call concurrently for distinct cells).
+  FlowSourceIndex build_index(std::size_t router, std::int64_t day) const;
+  /// The archive segment for a cell; throws std::out_of_range like
+  /// FlowDataset::at when the archive has no such cell.
+  const store::FlowSegment& segment_of(std::size_t router,
+                                       std::int64_t day) const;
+  std::uint32_t sampling_rate() const;
+  std::uint64_t total_packets_of(std::size_t router, std::int64_t day) const;
+  /// Every (router, day) cell of the backing source, in deterministic
+  /// router-major order.
+  std::vector<RouterDayKey> cells() const;
 
-  const flowsim::FlowDataset* flows_;
+  const flowsim::FlowDataset* flows_ = nullptr;
+  const store::MappedFlowStore* store_ = nullptr;
   mutable std::unordered_map<RouterDayKey, FlowSourceIndex, RouterDayKeyHash>
       index_cache_;
 };

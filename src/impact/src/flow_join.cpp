@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "orion/flowsim/netflow_bridge.hpp"
 #include "orion/store/mapped.hpp"
+#include "orion/store/mapped_flow.hpp"
 
 namespace orion::impact {
 
@@ -41,14 +43,25 @@ SourceSet::SourceSet(const std::vector<net::Ipv4Address>& ips) : values_(ips) {
 }
 
 void FlowSourceIndex::append(const flowsim::FlowBatch& batch) {
+  append_span(batch.src_col().data(), batch.dst_port_col().data(),
+              batch.proto_col().data(), batch.packets_col().data(),
+              batch.size());
+}
+
+void FlowSourceIndex::append_span(const std::uint32_t* src_col,
+                                  const std::uint16_t* dst_port_col,
+                                  const std::uint8_t* proto_col,
+                                  const std::uint64_t* packets_col,
+                                  std::size_t n) {
   if (finalized_) {
     throw std::logic_error("FlowSourceIndex: append after finalize");
   }
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const net::Ipv4Address src = batch.src(i);
-    const std::uint16_t port = batch.dst_port(i);
-    const auto type = static_cast<std::uint8_t>(batch.traffic_type(i));
-    const std::uint64_t count = batch.packets(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Ipv4Address src(src_col[i]);
+    const std::uint16_t port = dst_port_col[i];
+    const auto type =
+        static_cast<std::uint8_t>(flowsim::traffic_type_of(proto_col[i]));
+    const std::uint64_t count = packets_col[i];
     if (has_last_) {
       const auto last = std::tie(last_src_, last_port_, last_type_);
       const auto cur = std::tie(src, port, type);
@@ -91,6 +104,7 @@ RouterDayReport join_flow_index(const FlowSourceIndex& index,
                                 std::uint64_t total_packets, std::size_t router,
                                 std::int64_t day) {
   RouterDayReport report;
+  report.ports = stats::TopK<std::uint16_t>(kPortMixBound);
   report.impact.router = router;
   report.impact.day = day;
   report.impact.total_packets = total_packets;
@@ -133,6 +147,7 @@ RouterDayReport join_flow_index_scalar(const FlowSourceIndex& index,
                                        std::uint64_t total_packets,
                                        std::size_t router, std::int64_t day) {
   RouterDayReport report;
+  report.ports = stats::TopK<std::uint16_t>(kPortMixBound);
   report.impact.router = router;
   report.impact.day = day;
   report.impact.total_packets = total_packets;
@@ -193,28 +208,126 @@ RouterDayReport join_flow_index_scalar(const FlowSourceIndex& index,
 FlowImpactAnalyzer::FlowImpactAnalyzer(const flowsim::FlowDataset* flows)
     : flows_(flows) {}
 
+FlowImpactAnalyzer::FlowImpactAnalyzer(const store::MappedFlowStore* store)
+    : store_(store) {}
+
+const store::FlowSegment& FlowImpactAnalyzer::segment_of(
+    std::size_t router, std::int64_t day) const {
+  const store::FlowSegment* seg = store_->segment(router, day);
+  if (seg == nullptr) {
+    throw std::out_of_range("FlowImpactAnalyzer: no such router-day");
+  }
+  return *seg;
+}
+
+std::uint32_t FlowImpactAnalyzer::sampling_rate() const {
+  return flows_ != nullptr ? flows_->sampling_rate() : store_->sampling_rate();
+}
+
+std::uint64_t FlowImpactAnalyzer::total_packets_of(std::size_t router,
+                                                   std::int64_t day) const {
+  return flows_ != nullptr ? flows_->at(router, day).total_packets
+                           : segment_of(router, day).total_packets;
+}
+
+FlowSourceIndex FlowImpactAnalyzer::build_index(std::size_t router,
+                                                std::int64_t day) const {
+  FlowSourceIndex index;
+  if (flows_ != nullptr) {
+    // at() range-validates (throws std::out_of_range) up front.
+    const flowsim::RouterDay& rd = flows_->at(router, day);
+    index.append(
+        flowsim::flow_batch_of(rd, static_cast<std::uint16_t>(router), day));
+  } else {
+    // Zero-copy: the index consumes the mapped column spans of the cell's
+    // row range directly — no FlowRecord, no staging batch. Rows arrive
+    // in the same (src, dst_port, type) order flow_batch_of emits (the
+    // FDE1 write contract), so the index is bit-identical to the
+    // in-memory build.
+    const store::FlowSegment& seg = segment_of(router, day);
+    store_->for_each_span(
+        seg.row_begin, seg.row_end,
+        [&index](const store::FlowView& view, std::size_t lo, std::size_t hi) {
+          index.append_span(view.src.data() + lo, view.dst_port.data() + lo,
+                            view.proto.data() + lo, view.packets.data() + lo,
+                            hi - lo);
+        });
+  }
+  index.finalize();
+  return index;
+}
+
 const FlowSourceIndex& FlowImpactAnalyzer::index_of(std::size_t router,
                                                     std::int64_t day) const {
   const RouterDayKey key{router, day};
   const auto cached = index_cache_.find(key);
   if (cached != index_cache_.end()) return cached->second;
-
-  // at() range-validates (throws std::out_of_range) before anything is
-  // cached under this key.
-  const flowsim::RouterDay& rd = flows_->at(router, day);
-  FlowSourceIndex index;
-  index.append(
-      flowsim::flow_batch_of(rd, static_cast<std::uint16_t>(router), day));
-  index.finalize();
+  FlowSourceIndex index = build_index(router, day);
   return index_cache_.emplace(key, std::move(index)).first->second;
+}
+
+std::vector<FlowImpactAnalyzer::RouterDayKey> FlowImpactAnalyzer::cells()
+    const {
+  std::vector<RouterDayKey> out;
+  if (flows_ != nullptr) {
+    for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
+      for (std::int64_t day = flows_->start_day(); day < flows_->end_day();
+           ++day) {
+        out.push_back(RouterDayKey{router, day});
+      }
+    }
+  } else {
+    for (const store::FlowSegment& seg : store_->segments()) {
+      out.push_back(RouterDayKey{seg.router, seg.day});
+    }
+  }
+  return out;
+}
+
+void FlowImpactAnalyzer::prebuild_indexes(std::size_t n_threads) const {
+  std::vector<RouterDayKey> pending;
+  for (const RouterDayKey& key : cells()) {
+    if (index_cache_.find(key) == index_cache_.end()) pending.push_back(key);
+  }
+  if (pending.empty()) return;
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  n_threads = std::min(n_threads, pending.size());
+
+  // Workers fill disjoint slots of `built` and touch nothing shared;
+  // the cache merge below runs on this thread, in cell order, so the
+  // final cache state is the same for every n_threads (including the
+  // n_threads == 1 fast path).
+  std::vector<FlowSourceIndex> built(pending.size());
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      built[i] = build_index(pending[i].router, pending[i].day);
+    }
+  } else {
+    const std::size_t per = (pending.size() + n_threads - 1) / n_threads;
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      const std::size_t lo = std::min(pending.size(), t * per);
+      const std::size_t hi = std::min(pending.size(), lo + per);
+      threads.emplace_back([this, &pending, &built, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) {
+          built[i] = build_index(pending[i].router, pending[i].day);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    index_cache_.emplace(pending[i], std::move(built[i]));
+  }
 }
 
 RouterDayReport FlowImpactAnalyzer::query(std::size_t router, std::int64_t day,
                                           const SourceSet& sources) const {
-  const flowsim::RouterDay& rd = flows_->at(router, day);
-  return join_flow_index(index_of(router, day), sources,
-                         flows_->sampling_rate(), rd.total_packets, router,
-                         day);
+  return join_flow_index(index_of(router, day), sources, sampling_rate(),
+                         total_packets_of(router, day), router, day);
 }
 
 RouterDayReport FlowImpactAnalyzer::query(std::size_t router, std::int64_t day,
@@ -224,9 +337,8 @@ RouterDayReport FlowImpactAnalyzer::query(std::size_t router, std::int64_t day,
 
 RouterDayReport FlowImpactAnalyzer::query_scalar(
     std::size_t router, std::int64_t day, const detect::IpSet& sources) const {
-  const flowsim::RouterDay& rd = flows_->at(router, day);
   return join_flow_index_scalar(index_of(router, day), sources,
-                                flows_->sampling_rate(), rd.total_packets,
+                                sampling_rate(), total_packets_of(router, day),
                                 router, day);
 }
 
@@ -234,11 +346,8 @@ std::vector<RouterDayImpact> FlowImpactAnalyzer::impact_table(
     const detect::IpSet& sources) const {
   const SourceSet set(sources);  // hash once, reuse across every cell
   std::vector<RouterDayImpact> out;
-  for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
-    for (std::int64_t day = flows_->start_day(); day < flows_->end_day();
-         ++day) {
-      out.push_back(query(router, day, set).impact);
-    }
+  for (const RouterDayKey& cell : cells()) {
+    out.push_back(query(cell.router, cell.day, set).impact);
   }
   return out;
 }

@@ -2,7 +2,12 @@
 //
 // Packets are gathered into columnar PacketBatch arenas and dispatched by
 // hash of source IP (net::shard_of) over bounded SPSC rings to N worker
-// shards; workers drain whole spans of batches per ring handshake
+// shards. The dispatcher vectorizes dark-space membership on the way in —
+// one PrefixSet::contains_batch call (the DESIGN.md §14 SIMD kernel) per
+// incoming batch, scattered as a 0/1 side-channel column next to the
+// records — so shard aggregators consume membership instead of
+// recomputing it per shard batch. Workers drain whole spans of batches
+// per ring handshake
 // (SpscRing::try_pop_n) and feed them to the shard aggregator's batched
 // engine (EventAggregator::observe_batch). Each shard owns a full
 // EventAggregator plus a ShardDetectorSlice, so every per-source quantity
@@ -170,6 +175,11 @@ class ParallelPipeline {
  private:
   struct Batch {
     pkt::PacketBatch records;
+    /// Dark-space membership side-channel, one 0/1 byte per record: the
+    /// dispatcher runs PrefixSet::contains_batch (the SIMD kernel) once
+    /// per incoming batch and scatters the result here, so shard
+    /// aggregators skip recomputing membership per record.
+    std::vector<std::uint8_t> member;
     bool stop = false;
   };
 
@@ -180,7 +190,7 @@ class ParallelPipeline {
     SpscRing<Batch> ring;
     /// Drained batch arenas flowing back worker → dispatcher so pending
     /// batches reuse warmed column capacity (full ring = arena dropped).
-    SpscRing<pkt::PacketBatch> recycle;
+    SpscRing<Batch> recycle;
     /// Batches handed to the ring (dispatcher-owned).
     std::uint64_t pushed = 0;
     /// Batches fully processed (worker publishes with release; the
@@ -197,6 +207,8 @@ class ParallelPipeline {
     std::unique_ptr<EventAggregator> aggregator;
     std::unique_ptr<detect::ShardDetectorSlice> slice;
     pkt::PacketBatch pending;  // dispatcher-side partial batch
+    /// Membership bytes parallel to `pending`, moved out with it.
+    std::vector<std::uint8_t> pending_member;
     std::thread worker;
 
     /// --- supervision state (all idle when supervision is disabled) ---
@@ -257,6 +269,9 @@ class ParallelPipeline {
   net::PrefixSet dark_space_;
   std::uint64_t darknet_size_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Whole-batch membership scratch for observe_batch's vectorized
+  /// contains_batch call (reused; no steady-state allocation).
+  std::vector<std::uint8_t> member_scratch_;
 
   PipelineHealth health_;
   net::SimTime last_timestamp_;

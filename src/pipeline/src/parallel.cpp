@@ -82,6 +82,7 @@ ParallelPipeline::ParallelPipeline(net::PrefixSet dark_space,
           raw->slice->observe(event);
         });
     raw->pending.reserve(config_.batch_size);
+    raw->pending_member.reserve(config_.batch_size);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) spawn_worker(*shard, 0);
@@ -133,13 +134,14 @@ void ParallelPipeline::worker_loop(Shard& shard, std::uint64_t start_batches) {
           if (config_.supervisor.fault_hook) {
             config_.supervisor.fault_hook(shard.index, seq + i);
           }
-          shard.aggregator->observe_batch(batch.records);
+          shard.aggregator->observe_batch(batch.records, batch.member);
           shard.delivered += batch.records.size();
-          // Hand the drained arena back for reuse; a full recycle ring just
-          // means the dispatcher is ahead, so the arena is dropped.
+          // Hand the drained arenas back for reuse; a full recycle ring
+          // just means the dispatcher is ahead, so they are dropped.
           batch.records.clear();
-          shard.recycle.try_push(batch.records);
-          batch.records = pkt::PacketBatch();
+          batch.member.clear();
+          shard.recycle.try_push(batch);
+          batch = Batch();
         }
       }
       seq += n;
@@ -317,9 +319,16 @@ bool ParallelPipeline::push_batch(Shard& shard, Batch&& batch, bool log) {
 void ParallelPipeline::dispatch_pending(Shard& shard) {
   Batch batch;
   batch.records = std::move(shard.pending);
-  // Prefer a recycled arena (warm column capacity) for the next batch.
-  if (!shard.recycle.try_pop(shard.pending)) {
+  batch.member = std::move(shard.pending_member);
+  // Prefer recycled arenas (warm column capacity) for the next batch.
+  Batch recycled;
+  if (shard.recycle.try_pop(recycled)) {
+    shard.pending = std::move(recycled.records);
+    shard.pending_member = std::move(recycled.member);
+  } else {
     shard.pending = pkt::PacketBatch(config_.batch_size);
+    shard.pending_member = {};
+    shard.pending_member.reserve(config_.batch_size);
   }
   push_batch(shard, std::move(batch), /*log=*/true);
 }
@@ -381,6 +390,10 @@ void ParallelPipeline::observe(const pkt::Packet& packet) {
   Shard& shard =
       *shards_[net::shard_of(packet.tuple.src, config_.shards)];
   shard.pending.push_back(packet);
+  // Scalar membership for the one-packet path — identical to the batched
+  // kernel on every address (the §14 equivalence gate pins that).
+  shard.pending_member.push_back(
+      dark_space_.contains(packet.tuple.dst) ? std::uint8_t{1} : std::uint8_t{0});
   if (shard.pending.size() >= config_.batch_size) dispatch_pending(shard);
 }
 
@@ -408,9 +421,16 @@ void ParallelPipeline::observe_batch(const pkt::PacketBatch& batch) {
   last_timestamp_ = batch.timestamp(n - 1);
   health_.ingested += n;
 
+  // One vectorized membership pass over the whole incoming batch before
+  // anything fans out: each record's 0/1 result rides to its shard as a
+  // side-channel column, so no shard aggregator re-tests the dark space.
+  member_scratch_.resize(n);
+  dark_space_.contains_batch(batch.dst_col().data(), n, member_scratch_.data());
+
   for (std::size_t i = 0; i < n; ++i) {
     Shard& shard = *shards_[net::shard_of(batch.src(i), config_.shards)];
     shard.pending.append_record(batch, i);
+    shard.pending_member.push_back(member_scratch_[i]);
     if (shard.pending.size() >= config_.batch_size) dispatch_pending(shard);
   }
 }

@@ -1,4 +1,5 @@
-// Exact top-K counting over hashable keys (ports, ASes, tags, sources).
+// Exact top-K counting over hashable keys (ports, ASes, tags, sources),
+// with an optional spill bound for bounded-memory use on large archives.
 #pragma once
 
 #include <algorithm>
@@ -9,26 +10,59 @@
 
 namespace orion::stats {
 
+/// Default construction is exact and unbounded (the original behavior).
+/// A bounded counter tracks at most `bound` distinct keys exactly — the
+/// first `bound` distinct keys seen — and diverts every later new key's
+/// weight into a single counted spill bucket. The guarantee callers lean
+/// on: every TRACKED count is exact, and an untracked key's true total is
+/// at most spilled_weight() (its entire weight went to the bucket), so
+/// any key whose true count exceeds spilled_weight() is provably in the
+/// tracked head with its exact count (tests/stats_test.cpp pins this).
+/// Weight is conserved either way: total() includes the spill.
 template <typename Key, typename Hash = std::hash<Key>>
 class TopK {
  public:
-  void add(const Key& key, std::uint64_t weight = 1) { counts_[key] += weight; }
+  TopK() = default;
+  /// Bounded counter; bound == 0 means unbounded (same as default).
+  explicit TopK(std::size_t bound) : bound_(bound) {}
+
+  void add(const Key& key, std::uint64_t weight = 1) {
+    if (bound_ != 0 && counts_.size() >= bound_) {
+      const auto it = counts_.find(key);
+      if (it == counts_.end()) {
+        spilled_weight_ += weight;
+        ++spilled_adds_;
+        return;
+      }
+      it->second += weight;
+      return;
+    }
+    counts_[key] += weight;
+  }
 
   std::uint64_t count(const Key& key) const {
     const auto it = counts_.find(key);
     return it == counts_.end() ? 0 : it->second;
   }
 
+  /// Total weight added, spill included (weight conservation is what the
+  /// Figure-5 normalization depends on).
   std::uint64_t total() const {
-    std::uint64_t t = 0;
+    std::uint64_t t = spilled_weight_;
     for (const auto& [key, count] : counts_) t += count;
     return t;
   }
 
+  /// Distinct TRACKED keys (spilled keys are not counted — they were
+  /// never individually stored).
   std::size_t distinct() const { return counts_.size(); }
 
-  /// The k heaviest keys, descending by count (ties broken by key for
-  /// deterministic report output).
+  std::size_t bound() const { return bound_; }
+  std::uint64_t spilled_weight() const { return spilled_weight_; }
+  std::uint64_t spilled_adds() const { return spilled_adds_; }
+
+  /// The k heaviest tracked keys, descending by count (ties broken by key
+  /// for deterministic report output).
   std::vector<std::pair<Key, std::uint64_t>> top(std::size_t k) const {
     std::vector<std::pair<Key, std::uint64_t>> entries(counts_.begin(),
                                                        counts_.end());
@@ -46,6 +80,9 @@ class TopK {
 
  private:
   std::unordered_map<Key, std::uint64_t, Hash> counts_;
+  std::size_t bound_ = 0;  // 0: unbounded
+  std::uint64_t spilled_weight_ = 0;
+  std::uint64_t spilled_adds_ = 0;
 };
 
 }  // namespace orion::stats

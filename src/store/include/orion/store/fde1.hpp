@@ -1,0 +1,159 @@
+// FDE1 — the columnar on-disk flow archive (DESIGN.md §15).
+//
+// PR 5's flow path keeps every router-day as an in-memory FlowBatch built
+// from the simulator's hash maps; a multi-month archive has no at-rest
+// form at all. FDE1 gives flows the ODE2 treatment: the whole window is
+// one file of little-endian column blocks in a global
+// (router, day, src, dst_port, type) order, with a per-(router,day)
+// segment index in the footer so a query touches exactly one row range:
+//
+//   file    := header | block* | footer
+//   header  := "FDE1" | crc32([8,40)) | sampling_rate u64 | flow_count u64
+//              | block_flows u64 | footer_offset u64           (40 bytes)
+//   block   := ts i64[m] | packets u64[m] | bytes u64[m] | src u32[m]
+//              | dst u32[m] | src_port u16[m] | dst_port u16[m]
+//              | router u16[m] | proto u8[m] | zero pad to 8
+//   footer  := start_day i64 | end_day i64 | segment_count u64
+//              | block_count u64 | segment[segment_count]
+//              | block meta[block_count] | block_crc u32[block_count]
+//              | footer crc32
+//   segment := router u64 | day i64 | row_begin u64 | total_packets u64
+//              | user_packets u64 | scanner_packets u64        (48 bytes)
+//   meta    := offset u64 | min_src u32 | max_src u32          (16 bytes)
+//
+// Alignment follows ODE2: a 40-byte header plus 8-padded blocks with
+// widest columns first keeps every column 8-aligned, so the mapped bytes
+// are exposed as typed spans directly (MappedFlowStore). Segments are
+// strictly increasing in (router, day) and carry the row range implicitly
+// (row_end = next segment's row_begin, or flow_count for the last), plus
+// the SNMP-side ground-truth totals a RouterDay holds — which is what
+// lets FlowImpactAnalyzer answer query() from the file alone. Block
+// min/max over src are the zone maps source-targeted scans prune with.
+//
+// Integrity mirrors ODE1/ODE2 salvage: CRC-32 (the PR 7 hardware path)
+// guards the header and footer, each block's CRC lives in the footer, and
+// the salvage reader recovers every complete valid block preceding the
+// first error — validating the global row order structurally when
+// truncation took the footer (every flow field is total, so order is the
+// only structure unverified bytes have).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "orion/flowsim/flow_batch.hpp"
+#include "orion/flowsim/flows.hpp"
+#include "orion/netbase/io.hpp"
+
+namespace orion::store {
+
+/// Rows per full block: same trade-off as kOde2DefaultBlockEvents (fine
+/// salvage granularity, selective zone maps, amortized column runs).
+constexpr std::uint64_t kFde1DefaultBlockFlows = 1024;
+
+constexpr std::uint64_t kFde1HeaderBytes = 40;
+constexpr std::uint64_t kFde1SegmentBytes = 48;
+constexpr std::uint64_t kFde1BlockMetaBytes = 16;
+
+/// Bytes of one block holding `rows` flows (including the trailing pad).
+constexpr std::uint64_t fde1_block_bytes(std::uint64_t rows) {
+  const std::uint64_t raw = rows * (3 * 8 + 2 * 4 + 3 * 2 + 1);
+  return (raw + 7) & ~std::uint64_t{7};
+}
+
+/// One (router, day) cell of the archive: its row range plus the
+/// ground-truth interface counters the impact denominator needs.
+struct FlowSegment {
+  std::size_t router = 0;
+  std::int64_t day = 0;
+  std::uint64_t row_begin = 0;
+  std::uint64_t row_end = 0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t user_packets = 0;
+  std::uint64_t scanner_packets = 0;
+};
+
+/// Writer input for one (router, day) cell: totals plus the sampled rows,
+/// which must already be in the (src, dst_port, traffic type) order
+/// flow_batch_of emits. Empty cells (rows.empty()) are legal — a router
+/// that sampled nothing that day still has interface counters.
+struct Fde1Segment {
+  std::uint16_t router = 0;
+  std::int64_t day = 0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t user_packets = 0;
+  std::uint64_t scanner_packets = 0;
+  flowsim::FlowBatch rows;
+};
+
+/// Writes explicit segments in FDE1 form; returns total bytes written.
+/// Segments must be strictly increasing in (router, day) with every day
+/// inside [start_day, end_day), and every row must carry its segment's
+/// router, a timestamp inside its segment's day, and keep the sorted
+/// order above — std::invalid_argument otherwise. Throws
+/// std::runtime_error on stream failure.
+std::uint64_t write_flows_fde1(std::uint32_t sampling_rate,
+                               std::int64_t start_day, std::int64_t end_day,
+                               const std::vector<Fde1Segment>& segments,
+                               std::ostream& out,
+                               std::uint64_t block_flows = kFde1DefaultBlockFlows);
+
+/// Failpoint-instrumented variant through the io::File seam (EINTR
+/// retries, short-write completion, FaultFs crash-matrix visibility).
+std::uint64_t write_flows_fde1(std::uint32_t sampling_rate,
+                               std::int64_t start_day, std::int64_t end_day,
+                               const std::vector<Fde1Segment>& segments,
+                               net::io::File& out,
+                               std::uint64_t block_flows = kFde1DefaultBlockFlows);
+
+/// Archives a whole simulated dataset: one segment per (router, day) cell
+/// of the window, rows from flow_batch_of — the deterministic feed the
+/// impact join already builds from, so a round trip reproduces the
+/// in-memory query() path bit for bit.
+std::uint64_t write_flows_fde1(const flowsim::FlowDataset& flows,
+                               std::ostream& out,
+                               std::uint64_t block_flows = kFde1DefaultBlockFlows);
+std::uint64_t write_flows_fde1(const flowsim::FlowDataset& flows,
+                               net::io::File& out,
+                               std::uint64_t block_flows = kFde1DefaultBlockFlows);
+
+/// Convenience: write straight to a file path (truncating, io::File seam,
+/// NOT atomic — use ArchiveDir publication for crash safety).
+std::uint64_t write_flows_fde1_file(const flowsim::FlowDataset& flows,
+                                    const std::string& path,
+                                    std::uint64_t block_flows = kFde1DefaultBlockFlows);
+std::uint64_t write_flows_fde1_file(std::uint32_t sampling_rate,
+                                    std::int64_t start_day,
+                                    std::int64_t end_day,
+                                    const std::vector<Fde1Segment>& segments,
+                                    const std::string& path,
+                                    std::uint64_t block_flows = kFde1DefaultBlockFlows);
+
+/// Salvage-mode read mirroring read_events_ode2_salvage: recovers every
+/// complete valid block preceding the first error instead of throwing the
+/// whole archive away. Segment metadata (and with it the per-(router,day)
+/// totals) survives only when the footer's CRC does.
+struct Fde1SalvageResult {
+  flowsim::FlowBatch rows;             // recovered rows, archive order
+  std::vector<FlowSegment> segments;   // footer-intact only
+  std::uint32_t sampling_rate = 0;
+  std::int64_t start_day = 0;
+  std::int64_t end_day = 0;            // valid when footer_intact
+  std::uint64_t declared_count = 0;    // header's flow count (0: bad header)
+  std::uint64_t recovered_count = 0;   // rows recovered into `rows`
+  bool footer_intact = false;          // footer parsed and CRC-verified
+  bool complete = false;               // whole file verified clean
+  std::string error;                   // first error when !complete
+};
+
+Fde1SalvageResult read_flows_fde1_salvage(const std::string& path);
+
+/// Sniffs what kind of flow input a path holds: "FDE1" (magic), "NFV5"
+/// (a NetFlow v5 export-packet stream — big-endian version 5 in the first
+/// two bytes), "CSV" (printable text), or "?" — the flow-side sibling of
+/// sniff_event_format, used by every CLI flow-reading path.
+std::string sniff_flow_format(const std::string& path);
+
+}  // namespace orion::store

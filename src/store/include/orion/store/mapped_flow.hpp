@@ -1,0 +1,153 @@
+// MappedFlowStore — the zero-copy query engine over FDE1 flow archives.
+//
+// Opens an FDE1 file via mmap (read-into-buffer fallback when mapping is
+// unavailable) and exposes the column blocks as typed spans. The footer's
+// per-(router, day) segment index answers row_range() with one binary
+// search, so an impact query touches exactly the rows of its cell — no
+// FlowRecord is ever materialized on that path: FlowSourceIndex builds
+// straight from the mapped src/dst_port/proto/packets spans
+// (impact::FlowImpactAnalyzer), and the per-block src zone maps let
+// source-targeted scans skip whole blocks. This is the flow-side sibling
+// of MappedEventStore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "orion/flowsim/flow_batch.hpp"
+#include "orion/flowsim/flows.hpp"
+#include "orion/store/fde1.hpp"
+#include "orion/store/mapped.hpp"
+
+namespace orion::store {
+
+/// One row group of flows, viewed column-wise. `first_row` is the global
+/// index of the block's row 0, so row_range() results translate directly.
+struct FlowView {
+  std::size_t first_row = 0;
+  ColumnSpan<std::int64_t> ts_ns;
+  ColumnSpan<std::uint64_t> packets;
+  ColumnSpan<std::uint64_t> bytes;
+  ColumnSpan<std::uint32_t> src;
+  ColumnSpan<std::uint32_t> dst;
+  ColumnSpan<std::uint16_t> src_port;
+  ColumnSpan<std::uint16_t> dst_port;
+  ColumnSpan<std::uint16_t> router;
+  ColumnSpan<std::uint8_t> proto;
+
+  std::size_t rows() const { return src.size(); }
+
+  /// Gathers one row into a full FlowRecord (the only materializing
+  /// accessor; scans should read the spans instead).
+  flowsim::FlowRecord record(std::size_t i) const;
+};
+
+/// Footer metadata for one flow block: where it lives and its src zone
+/// map (FDE1 blocks need no day zone map — the segment index already
+/// bounds every (router, day) scan to an exact row range).
+struct FlowBlockMeta {
+  std::uint64_t offset = 0;  // file offset of the block's first byte
+  std::uint32_t min_src = 0;
+  std::uint32_t max_src = 0;
+  std::uint32_t crc = 0;  // CRC-32 of the block's padded bytes
+};
+
+class MappedFlowStore {
+ public:
+  /// Strict open: maps the file and verifies magic, header CRC, geometry,
+  /// footer CRC and segment-index sanity (block payloads stay lazy —
+  /// verify_blocks() checks them on demand). Throws std::runtime_error
+  /// with context on any mismatch.
+  explicit MappedFlowStore(const std::string& path);
+  ~MappedFlowStore();
+
+  MappedFlowStore(MappedFlowStore&& other) noexcept;
+  MappedFlowStore& operator=(MappedFlowStore&& other) noexcept;
+  MappedFlowStore(const MappedFlowStore&) = delete;
+  MappedFlowStore& operator=(const MappedFlowStore&) = delete;
+
+  std::uint32_t sampling_rate() const { return sampling_rate_; }
+  std::size_t flow_count() const { return static_cast<std::size_t>(flow_count_); }
+  std::int64_t start_day() const { return start_day_; }
+  std::int64_t end_day() const { return end_day_; }
+  std::uint64_t block_flows() const { return block_flows_; }
+  std::size_t block_count() const { return blocks_.size(); }
+  const std::vector<FlowBlockMeta>& blocks() const { return blocks_; }
+  const std::vector<FlowSegment>& segments() const { return segments_; }
+  std::uint64_t file_bytes() const { return size_; }
+  /// False when the portable read-into-buffer fallback is serving reads.
+  bool mapped() const { return mapped_; }
+
+  FlowView block(std::size_t k) const;
+
+  /// The (router, day) cell's metadata, or nullptr when the archive has
+  /// no such segment. O(log segments).
+  const FlowSegment* segment(std::size_t router, std::int64_t day) const;
+
+  /// Global row range [begin, end) of the cell; empty for absent cells.
+  std::pair<std::uint64_t, std::uint64_t> row_range(std::size_t router,
+                                                    std::int64_t day) const;
+
+  /// CRC-checks every block payload; returns block_count() when clean,
+  /// else the index of the first corrupt block.
+  std::size_t verify_blocks() const;
+
+  /// Gathers one flow by global row index (bounds-checked).
+  flowsim::FlowRecord record(std::uint64_t row) const;
+
+  /// Full materialization of every row, archive order.
+  flowsim::FlowBatch to_batch() const;
+
+  /// Rebuilds an in-memory FlowDataset (sampled maps + totals) — the
+  /// FDE1 -> flowsim bridge, byte-identical query() inputs to the dataset
+  /// the archive was written from. Requires the paper's router topology
+  /// (every segment router < flowsim::kRouterCount).
+  flowsim::FlowDataset to_dataset() const;
+
+  /// Calls fn(const FlowView&) for blocks whose src zone map intersects
+  /// [src_lo, src_hi]; pass the full range to visit everything.
+  template <typename Fn>
+  void for_each_block(std::uint32_t src_lo, std::uint32_t src_hi,
+                      Fn&& fn) const {
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      const FlowBlockMeta& meta = blocks_[k];
+      if (meta.max_src < src_lo || meta.min_src > src_hi) continue;
+      fn(block(k));
+    }
+  }
+
+  /// Calls fn(const FlowView&, lo, hi) for each block slice covering the
+  /// global row range [begin, end): lo/hi are row indices within the
+  /// block. The zero-copy feed for per-segment consumers.
+  template <typename Fn>
+  void for_each_span(std::uint64_t begin, std::uint64_t end, Fn&& fn) const {
+    if (begin >= end) return;
+    const std::uint64_t b = block_flows_;
+    for (std::uint64_t k = begin / b; k * b < end; ++k) {
+      const FlowView view = block(static_cast<std::size_t>(k));
+      const std::uint64_t lo = begin > k * b ? begin - k * b : 0;
+      const std::uint64_t hi = std::min<std::uint64_t>(view.rows(), end - k * b);
+      fn(view, static_cast<std::size_t>(lo), static_cast<std::size_t>(hi));
+    }
+  }
+
+ private:
+  void close() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint64_t> fallback_;  // owns the bytes when !mapped_
+
+  std::uint32_t sampling_rate_ = 0;
+  std::uint64_t flow_count_ = 0;
+  std::uint64_t block_flows_ = kFde1DefaultBlockFlows;
+  std::int64_t start_day_ = 0;
+  std::int64_t end_day_ = 0;
+  std::vector<FlowSegment> segments_;  // sorted by (router, day)
+  std::vector<FlowBlockMeta> blocks_;
+};
+
+}  // namespace orion::store

@@ -1,0 +1,527 @@
+#include "orion/store/fde1.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "flow_layout.hpp"
+#include "orion/flowsim/netflow_bridge.hpp"
+#include "orion/flowsim/routing.hpp"
+#include "orion/netbase/crc32.hpp"
+
+namespace orion::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'D', 'E', '1'};
+
+std::uint64_t total_block_bytes(std::uint64_t n, std::uint64_t b) {
+  if (n == 0) return 0;
+  const std::uint64_t full = n / b;
+  const std::uint64_t rest = n % b;
+  return full * fde1_block_bytes(b) + (rest ? fde1_block_bytes(rest) : 0);
+}
+
+/// The global archive order every row must respect: segments strictly
+/// increase in (router, day), rows within a segment keep the
+/// (src, dst_port, traffic type) order flow_batch_of emits. This is both
+/// the write-side contract and the structure footerless salvage verifies.
+struct RowOrderKey {
+  std::uint16_t router = 0;
+  std::int64_t day = 0;
+  std::uint32_t src = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t type = 0;
+
+  friend auto operator<=>(const RowOrderKey&, const RowOrderKey&) = default;
+};
+
+RowOrderKey key_of(const flowsim::FlowRecord& r) {
+  return RowOrderKey{r.router, detail::flow_day_of(r.ts_ns), r.src.value(),
+                     r.dst_port,
+                     static_cast<std::uint8_t>(flowsim::traffic_type_of(r.proto))};
+}
+
+void validate_segments(std::int64_t start_day, std::int64_t end_day,
+                       const std::vector<Fde1Segment>& segments,
+                       std::uint64_t& flow_count) {
+  if (start_day > end_day) {
+    throw std::invalid_argument("fde1 store: start_day > end_day");
+  }
+  if (segments.size() > detail::kMaxSegmentCount) {
+    throw std::invalid_argument("fde1 store: too many segments");
+  }
+  flow_count = 0;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const Fde1Segment& seg = segments[s];
+    if (seg.day < start_day || seg.day >= end_day) {
+      throw std::invalid_argument("fde1 store: segment day outside window");
+    }
+    if (s > 0) {
+      const Fde1Segment& prev = segments[s - 1];
+      if (std::tie(prev.router, prev.day) >= std::tie(seg.router, seg.day)) {
+        throw std::invalid_argument(
+            "fde1 store: segments not in (router, day) order");
+      }
+    }
+    const flowsim::FlowBatch& rows = seg.rows;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows.router(i) != seg.router ||
+          detail::flow_day_of(rows.ts_ns(i)) != seg.day) {
+        throw std::invalid_argument(
+            "fde1 store: row outside its segment's (router, day)");
+      }
+      if (i > 0) {
+        const auto prev = std::make_tuple(
+            rows.src(i - 1).value(), rows.dst_port(i - 1),
+            static_cast<std::uint8_t>(rows.traffic_type(i - 1)));
+        const auto cur = std::make_tuple(
+            rows.src(i).value(), rows.dst_port(i),
+            static_cast<std::uint8_t>(rows.traffic_type(i)));
+        if (cur < prev) {
+          throw std::invalid_argument(
+              "fde1 store: rows out of (src, dst_port, type) order");
+        }
+      }
+    }
+    flow_count += rows.size();
+    if (flow_count > detail::kMaxFlowCount) {
+      throw std::invalid_argument("fde1 store: too many flows");
+    }
+  }
+}
+
+/// Zone map + location of one block, accumulated while writing.
+struct FlowBlockInfo {
+  std::uint64_t offset = 0;
+  std::uint32_t min_src = 0;
+  std::uint32_t max_src = 0;
+  std::uint32_t crc = 0;
+};
+
+}  // namespace
+
+/// Shared writer core over a `sink(ptr, bytes)` callable, mirroring
+/// write_events_ode2_impl: header and each block assembled in memory and
+/// emitted as one write each, footer CRC-sealed last.
+template <typename Sink>
+std::uint64_t write_flows_fde1_impl(std::uint32_t sampling_rate,
+                                    std::int64_t start_day,
+                                    std::int64_t end_day,
+                                    const std::vector<Fde1Segment>& segments,
+                                    Sink&& sink, std::uint64_t block_flows) {
+  if (block_flows == 0 || block_flows > detail::kMaxBlockFlows) {
+    throw std::invalid_argument("fde1 store: bad block size");
+  }
+  std::uint64_t n = 0;
+  validate_segments(start_day, end_day, segments, n);
+
+  const std::uint64_t b = block_flows;
+  const std::uint64_t block_count = n == 0 ? 0 : (n + b - 1) / b;
+  const std::uint64_t footer_offset = kFde1HeaderBytes + total_block_bytes(n, b);
+
+  std::vector<std::uint8_t> header;
+  header.reserve(kFde1HeaderBytes);
+  header.insert(header.end(), kMagic, kMagic + 4);
+  std::vector<std::uint8_t> fields;
+  fields.reserve(32);
+  detail::append<std::uint64_t>(fields, sampling_rate);
+  detail::append<std::uint64_t>(fields, n);
+  detail::append<std::uint64_t>(fields, b);
+  detail::append<std::uint64_t>(fields, footer_offset);
+  detail::append<std::uint32_t>(header, net::Crc32::of({fields.data(), 32}));
+  header.insert(header.end(), fields.begin(), fields.end());
+  sink(header.data(), header.size());
+
+  // Column blocks over the concatenated segment rows. A small staging
+  // batch regroups each block's rows (they can straddle segments) so the
+  // column runs serialize contiguously.
+  std::vector<FlowBlockInfo> infos;
+  infos.reserve(static_cast<std::size_t>(block_count));
+  flowsim::FlowBatch staging(static_cast<std::size_t>(std::min(b, n)));
+  std::vector<std::uint8_t> buf;
+  std::size_t seg = 0;       // segment the next row comes from
+  std::size_t seg_row = 0;   // row within that segment
+  std::uint64_t offset = kFde1HeaderBytes;
+  for (std::uint64_t k = 0; k < block_count; ++k) {
+    const std::uint64_t rows = std::min(b, n - k * b);
+    staging.clear();
+    while (staging.size() < rows) {
+      while (seg_row >= segments[seg].rows.size()) {
+        ++seg;
+        seg_row = 0;
+      }
+      staging.append_record(segments[seg].rows, seg_row++);
+    }
+
+    buf.clear();
+    buf.reserve(static_cast<std::size_t>(fde1_block_bytes(rows)));
+    const auto m = static_cast<std::size_t>(rows);
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::int64_t>(buf, staging.ts_ns_col()[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::uint64_t>(buf, staging.packets_col()[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::uint64_t>(buf, staging.bytes_col()[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::uint32_t>(buf, staging.src_col()[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::uint32_t>(buf, staging.dst_col()[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::uint16_t>(buf, staging.src_port_col()[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::uint16_t>(buf, staging.dst_port_col()[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::uint16_t>(buf, staging.router_col()[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      detail::append<std::uint8_t>(buf, staging.proto_col()[i]);
+    }
+    buf.resize(static_cast<std::size_t>(fde1_block_bytes(rows)), 0);  // pad
+
+    FlowBlockInfo info;
+    info.offset = offset;
+    info.min_src = info.max_src = staging.src_col()[0];
+    for (std::size_t i = 1; i < m; ++i) {
+      info.min_src = std::min(info.min_src, staging.src_col()[i]);
+      info.max_src = std::max(info.max_src, staging.src_col()[i]);
+    }
+    info.crc = net::Crc32::of({buf.data(), buf.size()});
+    infos.push_back(info);
+    sink(buf.data(), buf.size());
+    offset += buf.size();
+  }
+
+  // Footer: window + segment index + zone maps + block CRCs, CRC-sealed.
+  std::vector<std::uint8_t> footer;
+  detail::append<std::int64_t>(footer, start_day);
+  detail::append<std::int64_t>(footer, end_day);
+  detail::append<std::uint64_t>(footer, segments.size());
+  detail::append<std::uint64_t>(footer, block_count);
+  std::uint64_t row_begin = 0;
+  for (const Fde1Segment& s : segments) {
+    detail::append<std::uint64_t>(footer, s.router);
+    detail::append<std::int64_t>(footer, s.day);
+    detail::append<std::uint64_t>(footer, row_begin);
+    detail::append<std::uint64_t>(footer, s.total_packets);
+    detail::append<std::uint64_t>(footer, s.user_packets);
+    detail::append<std::uint64_t>(footer, s.scanner_packets);
+    row_begin += s.rows.size();
+  }
+  for (const FlowBlockInfo& info : infos) {
+    detail::append<std::uint64_t>(footer, info.offset);
+    detail::append<std::uint32_t>(footer, info.min_src);
+    detail::append<std::uint32_t>(footer, info.max_src);
+  }
+  for (const FlowBlockInfo& info : infos) {
+    detail::append<std::uint32_t>(footer, info.crc);
+  }
+  detail::append<std::uint32_t>(footer,
+                                net::Crc32::of({footer.data(), footer.size()}));
+  sink(footer.data(), footer.size());
+  return footer_offset + footer.size();
+}
+
+std::uint64_t write_flows_fde1(std::uint32_t sampling_rate,
+                               std::int64_t start_day, std::int64_t end_day,
+                               const std::vector<Fde1Segment>& segments,
+                               std::ostream& out, std::uint64_t block_flows) {
+  const std::uint64_t bytes = write_flows_fde1_impl(
+      sampling_rate, start_day, end_day, segments,
+      [&out](const std::uint8_t* p, std::size_t m) {
+        out.write(reinterpret_cast<const char*>(p),
+                  static_cast<std::streamsize>(m));
+        if (!out) {
+          throw std::runtime_error(
+              "fde1 store: stream write failure (bad/fail state)");
+        }
+      },
+      block_flows);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("fde1 store: stream flush failure");
+  }
+  return bytes;
+}
+
+std::uint64_t write_flows_fde1(std::uint32_t sampling_rate,
+                               std::int64_t start_day, std::int64_t end_day,
+                               const std::vector<Fde1Segment>& segments,
+                               net::io::File& out, std::uint64_t block_flows) {
+  return write_flows_fde1_impl(
+      sampling_rate, start_day, end_day, segments,
+      [&out](const std::uint8_t* p, std::size_t m) { out.write(p, m); },
+      block_flows);
+}
+
+namespace {
+
+/// One segment per (router, day) cell of the simulated window, rows from
+/// the same flow_batch_of feed the in-memory index builds from.
+std::vector<Fde1Segment> segments_of(const flowsim::FlowDataset& flows) {
+  std::vector<Fde1Segment> segments;
+  segments.reserve(flowsim::kRouterCount *
+                   static_cast<std::size_t>(flows.end_day() - flows.start_day()));
+  for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
+    for (std::int64_t day = flows.start_day(); day < flows.end_day(); ++day) {
+      const flowsim::RouterDay& rd = flows.at(router, day);
+      Fde1Segment seg;
+      seg.router = static_cast<std::uint16_t>(router);
+      seg.day = day;
+      seg.total_packets = rd.total_packets;
+      seg.user_packets = rd.user_packets;
+      seg.scanner_packets = rd.scanner_packets;
+      seg.rows =
+          flowsim::flow_batch_of(rd, static_cast<std::uint16_t>(router), day);
+      segments.push_back(std::move(seg));
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+std::uint64_t write_flows_fde1(const flowsim::FlowDataset& flows,
+                               std::ostream& out, std::uint64_t block_flows) {
+  return write_flows_fde1(flows.sampling_rate(), flows.start_day(),
+                          flows.end_day(), segments_of(flows), out,
+                          block_flows);
+}
+
+std::uint64_t write_flows_fde1(const flowsim::FlowDataset& flows,
+                               net::io::File& out, std::uint64_t block_flows) {
+  return write_flows_fde1(flows.sampling_rate(), flows.start_day(),
+                          flows.end_day(), segments_of(flows), out,
+                          block_flows);
+}
+
+std::uint64_t write_flows_fde1_file(const flowsim::FlowDataset& flows,
+                                    const std::string& path,
+                                    std::uint64_t block_flows) {
+  net::io::File out = net::io::File::create(path);
+  const std::uint64_t bytes = write_flows_fde1(flows, out, block_flows);
+  out.sync();
+  out.close();
+  return bytes;
+}
+
+std::uint64_t write_flows_fde1_file(std::uint32_t sampling_rate,
+                                    std::int64_t start_day,
+                                    std::int64_t end_day,
+                                    const std::vector<Fde1Segment>& segments,
+                                    const std::string& path,
+                                    std::uint64_t block_flows) {
+  net::io::File out = net::io::File::create(path);
+  const std::uint64_t bytes = write_flows_fde1(
+      sampling_rate, start_day, end_day, segments, out, block_flows);
+  out.sync();
+  out.close();
+  return bytes;
+}
+
+namespace {
+
+/// Parsed, CRC-verified header fields (salvage-side; returns false with
+/// `error` set instead of throwing).
+struct FlowHeader {
+  std::uint64_t sampling_rate = 0;
+  std::uint64_t flow_count = 0;
+  std::uint64_t block_flows = 0;
+  std::uint64_t footer_offset = 0;
+};
+
+bool parse_flow_header(const std::vector<std::uint8_t>& bytes, FlowHeader& h,
+                       std::string& error) {
+  if (bytes.size() < kFde1HeaderBytes) {
+    error = "fde1 store: truncated header";
+    return false;
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    error = "fde1 store: bad magic (not an FDE1 file)";
+    return false;
+  }
+  const std::uint32_t stored_crc = detail::get_u32(bytes.data() + 4);
+  if (net::Crc32::of({bytes.data() + 8, 32}) != stored_crc) {
+    error = "fde1 store: header CRC mismatch";
+    return false;
+  }
+  h.sampling_rate = detail::get_u64(bytes.data() + 8);
+  h.flow_count = detail::get_u64(bytes.data() + 16);
+  h.block_flows = detail::get_u64(bytes.data() + 24);
+  h.footer_offset = detail::get_u64(bytes.data() + 32);
+  if (h.flow_count > detail::kMaxFlowCount) {
+    error = "fde1 store: absurd flow count";
+    return false;
+  }
+  if (h.block_flows == 0 || h.block_flows > detail::kMaxBlockFlows) {
+    error = "fde1 store: absurd block size";
+    return false;
+  }
+  if (h.footer_offset !=
+      kFde1HeaderBytes + total_block_bytes(h.flow_count, h.block_flows)) {
+    error = "fde1 store: header geometry mismatch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Fde1SalvageResult read_flows_fde1_salvage(const std::string& path) {
+  Fde1SalvageResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    result.error = "fde1 store: cannot open " + path;
+    return result;
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+
+  FlowHeader h;
+  if (!parse_flow_header(bytes, h, result.error)) {
+    return result;
+  }
+  result.sampling_rate = static_cast<std::uint32_t>(h.sampling_rate);
+  result.declared_count = h.flow_count;
+  const std::uint64_t n = h.flow_count;
+  const std::uint64_t b = h.block_flows;
+  const std::uint64_t block_count = n == 0 ? 0 : (n + b - 1) / b;
+
+  // Try the footer; its CRC decides whether per-block CRCs are usable and
+  // whether the segment index (row ranges + totals) can be trusted.
+  std::vector<std::uint32_t> block_crcs;
+  if (h.footer_offset + 32 <= bytes.size()) {
+    const std::uint8_t* f = bytes.data() + h.footer_offset;
+    const std::uint64_t segment_count = detail::get_u64(f + 16);
+    const std::uint64_t footer_blocks = detail::get_u64(f + 24);
+    const std::uint64_t footer_bytes =
+        32 + kFde1SegmentBytes * segment_count +
+        (kFde1BlockMetaBytes + 4) * footer_blocks + 4;
+    if (footer_blocks == block_count &&
+        segment_count <= detail::kMaxSegmentCount &&
+        h.footer_offset + footer_bytes == bytes.size()) {
+      const std::uint32_t stored =
+          detail::get_u32(bytes.data() + bytes.size() - 4);
+      if (net::Crc32::of({f, static_cast<std::size_t>(footer_bytes - 4)}) ==
+          stored) {
+        result.footer_intact = true;
+        result.start_day = detail::get_i64(f);
+        result.end_day = detail::get_i64(f + 8);
+        result.segments.resize(static_cast<std::size_t>(segment_count));
+        const std::uint8_t* cursor = f + 32;
+        for (std::uint64_t s = 0; s < segment_count;
+             ++s, cursor += kFde1SegmentBytes) {
+          FlowSegment& seg = result.segments[static_cast<std::size_t>(s)];
+          seg.router = static_cast<std::size_t>(detail::get_u64(cursor));
+          seg.day = detail::get_i64(cursor + 8);
+          seg.row_begin = detail::get_u64(cursor + 16);
+          seg.row_end = s + 1 < segment_count
+                            ? detail::get_u64(cursor + kFde1SegmentBytes + 16)
+                            : n;
+          seg.total_packets = detail::get_u64(cursor + 24);
+          seg.user_packets = detail::get_u64(cursor + 32);
+          seg.scanner_packets = detail::get_u64(cursor + 40);
+        }
+        cursor += kFde1BlockMetaBytes * block_count;
+        for (std::uint64_t k = 0; k < block_count; ++k, cursor += 4) {
+          block_crcs.push_back(detail::get_u32(cursor));
+        }
+      }
+    }
+  }
+
+  // Recover the prefix of complete, valid blocks (CRC-checked when the
+  // footer survived; order-validated against the global archive order
+  // when it did not — flow fields are total, so order is the structure).
+  result.complete = result.footer_intact;
+  RowOrderKey last{};
+  bool has_last = false;
+  std::uint64_t offset = kFde1HeaderBytes;
+  for (std::uint64_t k = 0; k < block_count; ++k) {
+    const std::uint64_t rows = std::min(b, n - k * b);
+    const std::uint64_t block_bytes = fde1_block_bytes(rows);
+    if (offset + block_bytes > bytes.size()) {
+      result.complete = false;
+      result.error = "fde1 store: truncated block " + std::to_string(k);
+      break;
+    }
+    const std::uint8_t* base = bytes.data() + offset;
+    if (result.footer_intact) {
+      if (net::Crc32::of({base, static_cast<std::size_t>(block_bytes)}) !=
+          block_crcs[static_cast<std::size_t>(k)]) {
+        result.complete = false;
+        result.error =
+            "fde1 store: block " + std::to_string(k) + " CRC mismatch";
+        break;
+      }
+    } else {
+      bool ordered = true;
+      RowOrderKey scan_last = last;
+      bool scan_has_last = has_last;
+      for (std::uint64_t i = 0; i < rows; ++i) {
+        const RowOrderKey key =
+            key_of(detail::decode_flow_row(base, rows, i));
+        if (scan_has_last && key < scan_last) {
+          ordered = false;
+          break;
+        }
+        scan_last = key;
+        scan_has_last = true;
+      }
+      if (!ordered) {
+        result.complete = false;
+        result.error =
+            "fde1 store: rows out of order in block " + std::to_string(k);
+        break;
+      }
+    }
+    for (std::uint64_t i = 0; i < rows; ++i) {
+      result.rows.push_back(detail::decode_flow_row(base, rows, i));
+    }
+    last = key_of(result.rows.record_at(result.rows.size() - 1));
+    has_last = true;
+    offset += block_bytes;
+  }
+  if (!result.footer_intact && result.error.empty()) {
+    result.error = "fde1 store: footer missing or corrupt";
+  }
+  result.recovered_count = result.rows.size();
+  return result;
+}
+
+std::string sniff_flow_format(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("flow store: cannot open " + path);
+  }
+  char head[64] = {};
+  in.read(head, sizeof(head));
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got >= 4 && std::memcmp(head, kMagic, 4) == 0) return "FDE1";
+  // NetFlow v5 export packets start with the big-endian version field.
+  if (got >= 2 && head[0] == 0 && head[1] == 5) return "NFV5";
+  // CSV: printable text (the header line) all the way through the probe.
+  bool text = got > 0;
+  for (std::size_t i = 0; i < got; ++i) {
+    const auto c = static_cast<unsigned char>(head[i]);
+    if (c != '\t' && c != '\n' && c != '\r' && (c < 0x20 || c > 0x7E)) {
+      text = false;
+      break;
+    }
+  }
+  if (text) return "CSV";
+  return "?";
+}
+
+}  // namespace orion::store

@@ -1,0 +1,70 @@
+// Internal FDE1 byte-layout helpers shared by the writer (fde1.cpp) and
+// the mapped reader (mapped_flow.cpp). Not installed. The flow-side
+// sibling of layout.hpp; the little-endian zero-copy contract asserted
+// there covers these views too (both headers are store-internal).
+#pragma once
+
+#include <cstdint>
+
+#include "layout.hpp"
+#include "orion/flowsim/flow_batch.hpp"
+
+namespace orion::store::detail {
+
+/// Byte offsets of each flow column inside a block of `m` rows. Widest
+/// columns first so every 8-byte column starts 8-aligned; the u32/u16/u8
+/// tails only need their own natural alignment, which the descending
+/// widths guarantee.
+struct FlowColumnLayout {
+  std::uint64_t ts, packets, bytes, src, dst, src_port, dst_port, router,
+      proto;
+
+  constexpr explicit FlowColumnLayout(std::uint64_t m)
+      : ts(0),
+        packets(8 * m),
+        bytes(16 * m),
+        src(24 * m),
+        dst(28 * m),
+        src_port(32 * m),
+        dst_port(34 * m),
+        router(36 * m),
+        proto(38 * m) {}
+};
+
+/// Gathers row `i` of a block at `base` holding `m` rows into a full
+/// FlowRecord. Reads unverified bytes in salvage — every field is total
+/// (any byte pattern is a value), so no per-field validation is needed;
+/// salvage validates row ORDER instead (see fde1.cpp).
+inline flowsim::FlowRecord decode_flow_row(const std::uint8_t* base,
+                                           std::uint64_t m, std::uint64_t i) {
+  const FlowColumnLayout at(m);
+  flowsim::FlowRecord r;
+  r.ts_ns = get_i64(base + at.ts + 8 * i);
+  r.packets = get_u64(base + at.packets + 8 * i);
+  r.bytes = get_u64(base + at.bytes + 8 * i);
+  r.src = net::Ipv4Address(get_u32(base + at.src + 4 * i));
+  r.dst = net::Ipv4Address(get_u32(base + at.dst + 4 * i));
+  std::uint16_t u16;
+  std::memcpy(&u16, base + at.src_port + 2 * i, 2);
+  r.src_port = u16;
+  std::memcpy(&u16, base + at.dst_port + 2 * i, 2);
+  r.dst_port = u16;
+  std::memcpy(&u16, base + at.router + 2 * i, 2);
+  r.router = u16;
+  r.proto = base[at.proto + i];
+  return r;
+}
+
+constexpr std::uint64_t kMaxFlowCount = std::uint64_t{1} << 27;
+constexpr std::uint64_t kMaxBlockFlows = std::uint64_t{1} << 24;
+constexpr std::uint64_t kMaxSegmentCount = std::uint64_t{1} << 22;
+
+constexpr std::int64_t kNanosPerDay = std::int64_t{86'400'000'000'000};
+
+/// Day bucket of a flow timestamp — the same truncating division
+/// SimTime::day() performs, so segment days agree with the simulator's.
+constexpr std::int64_t flow_day_of(std::int64_t ts_ns) {
+  return ts_ns / kNanosPerDay;
+}
+
+}  // namespace orion::store::detail

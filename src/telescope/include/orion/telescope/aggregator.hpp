@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "orion/netbase/flat_map.hpp"
@@ -63,7 +64,20 @@ class EventAggregator {
   /// One deliberate strengthening: timestamps are validated for the whole
   /// batch up front, so a mid-batch regression throws *before* any record
   /// is applied (the scalar loop would have applied the valid prefix).
-  void observe_batch(const pkt::PacketBatch& batch);
+  void observe_batch(const pkt::PacketBatch& batch) {
+    observe_batch(batch, {});
+  }
+
+  /// Same, with dark-space membership precomputed by the caller: member
+  /// (when non-empty) must hold batch.size() 0/1 bytes equal to what
+  /// dark_space.contains_batch returns for batch's dst column — the
+  /// ParallelPipeline dispatcher vectorizes that test once per incoming
+  /// batch and scatters the column alongside the records, so per-shard
+  /// aggregators skip recomputing it. Empty member means "compute here"
+  /// (identical results either way); any other size throws
+  /// std::invalid_argument.
+  void observe_batch(const pkt::PacketBatch& batch,
+                     std::span<const std::uint8_t> member);
 
   /// Expires everything idle at `now` without feeding a packet (used at
   /// day boundaries by the longitudinal driver).

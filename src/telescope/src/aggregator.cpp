@@ -80,9 +80,14 @@ void EventAggregator::observe(const pkt::Packet& packet) {
   live->dests.add(dark_space_.offset_of(packet.tuple.dst));
 }
 
-void EventAggregator::observe_batch(const pkt::PacketBatch& batch) {
+void EventAggregator::observe_batch(const pkt::PacketBatch& batch,
+                                    std::span<const std::uint8_t> member) {
   const std::size_t n = batch.size();
   if (n == 0) return;
+  if (!member.empty() && member.size() != n) {
+    throw std::invalid_argument(
+        "EventAggregator::observe_batch: membership column size mismatch");
+  }
 
   // Whole-batch monotonicity validation before any record is applied.
   {
@@ -113,19 +118,26 @@ void EventAggregator::observe_batch(const pkt::PacketBatch& batch) {
   // the same constexpr cores the original per-record loop called, so the
   // scratch contents are identical at every tier.
   scratch_kind_.resize(n);
-  scratch_member_.resize(n);
   scratch_type_.resize(n);
   scratch_tool_.resize(n);
   scratch_key_.resize(n);
   scratch_hash_.resize(n);
   scratch_offset_.resize(n);
-  dark_space_.contains_batch(batch.dst_col().data(), n, scratch_member_.data());
+  // Membership: trust the caller's precomputed column when given (the
+  // dispatcher ran the same contains_batch kernel once for the whole
+  // batch), else compute it here.
+  const std::uint8_t* member_col = member.data();
+  if (member.empty()) {
+    scratch_member_.resize(n);
+    dark_space_.contains_batch(batch.dst_col().data(), n, scratch_member_.data());
+    member_col = scratch_member_.data();
+  }
   pkt::classify_traffic_batch(batch, scratch_type_.data());
   pkt::classify_tool_batch(batch, scratch_tool_.data());
   std::uint64_t out_of_space = 0;
   std::uint64_t non_scanning = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!scratch_member_[i]) {
+    if (!member_col[i]) {
       scratch_kind_[i] = 0;
       ++out_of_space;
       continue;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <set>
 #include <unordered_set>
 
@@ -196,6 +197,58 @@ TEST(TopK, RanksByWeightThenKey) {
   EXPECT_EQ(topk.distinct(), 3u);
   EXPECT_EQ(topk.count(7), 10u);
   EXPECT_EQ(topk.count(99), 0u);
+}
+
+TEST(TopK, BoundedSpillsNewKeysOnceFull) {
+  TopK<int> topk(2);
+  EXPECT_EQ(topk.bound(), 2u);
+  topk.add(1, 10);
+  topk.add(2, 20);
+  topk.add(3, 5);   // full: new key -> spill
+  topk.add(1, 7);   // tracked keys stay exact
+  topk.add(3, 5);   // spilled key stays spilled
+  EXPECT_EQ(topk.count(1), 17u);
+  EXPECT_EQ(topk.count(2), 20u);
+  EXPECT_EQ(topk.count(3), 0u);
+  EXPECT_EQ(topk.distinct(), 2u);
+  EXPECT_EQ(topk.spilled_weight(), 10u);
+  EXPECT_EQ(topk.spilled_adds(), 2u);
+  EXPECT_EQ(topk.total(), 47u);  // weight conserved, spill included
+}
+
+// Property pin for the bounded counter's head guarantee: against an exact
+// reference over random heavy-tailed streams, every tracked count is
+// exact, total weight is conserved, and any key whose true count exceeds
+// spilled_weight() is provably tracked. (kPortMixBound in the flow join
+// relies on exactly this contract.)
+TEST(TopK, BoundedHeadMatchesExactCounterProperty) {
+  std::mt19937_64 rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t bound = 1 + static_cast<std::size_t>(rng() % 64);
+    TopK<std::uint16_t> bounded(bound);
+    TopK<std::uint16_t> exact;
+    std::geometric_distribution<int> keys(0.02);
+    for (int i = 0; i < 4000; ++i) {
+      const auto key = static_cast<std::uint16_t>(keys(rng));
+      const std::uint64_t weight = 1 + rng() % 9;
+      bounded.add(key, weight);
+      exact.add(key, weight);
+    }
+    EXPECT_EQ(bounded.total(), exact.total());
+    EXPECT_LE(bounded.distinct(), bound);
+    std::uint64_t tracked_weight = 0;
+    for (const auto& [key, count] : bounded.counts()) {
+      EXPECT_EQ(count, exact.count(key));  // tracked == exact, always
+      tracked_weight += count;
+    }
+    EXPECT_EQ(tracked_weight + bounded.spilled_weight(), exact.total());
+    for (const auto& [key, count] : exact.counts()) {
+      if (count > bounded.spilled_weight()) {
+        EXPECT_EQ(bounded.count(key), count)
+            << "heavy key " << key << " missing from the bounded head";
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------------------- Zipf
