@@ -15,7 +15,15 @@
 //   orion_cli flow-convert --in flows.{fde1,nfv5,csv} --out flows.fde1
 //                       [--block-flows N] [--sampling-rate N] [--router N]
 //   orion_cli flow-inspect --in flows.{fde1,nfv5,csv}
+//   orion_cli serve-query --port N [--host H] [--kind impact|info|ping]
+//                       [--router N] [--day N] [--sources IP,IP,...]
+//                       [--tenant NAME]
 //   orion_cli cpu
+//   orion_cli help
+//
+// Subcommands live in a declarative registry (kCommands): name, flag
+// synopsis, one-line description, handler. usage() and `orion_cli help`
+// are generated from it, and main() dispatches through it.
 //
 // Event datasets travel in the ODE1 binary format (telescope/store.hpp)
 // or the ODE2 columnar format (store/ode2.hpp); every --in flag sniffs
@@ -23,6 +31,11 @@
 // format (store/fde1.hpp) and every flow-reading path likewise sniffs
 // FDE1 vs the legacy inputs (NetFlow v5 export-packet streams, flow CSV).
 // Daily AH lists use the CSV format of detect/lists.hpp.
+//
+// Every per-cell impact/store answer — local (flow-impact, flow-inspect)
+// or remote (serve-query against a running orion_serve) — is a typed
+// serve::QueryRequest executed by serve::execute_query, so the CLI and
+// the daemon can never drift apart.
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
@@ -49,6 +62,9 @@
 #include "orion/report/table.hpp"
 #include "orion/scangen/event_synth.hpp"
 #include "orion/scangen/scenario.hpp"
+#include "orion/serve/client.hpp"
+#include "orion/serve/engine.hpp"
+#include "orion/serve/protocol.hpp"
 #include "orion/store/fde1.hpp"
 #include "orion/store/mapped.hpp"
 #include "orion/store/mapped_flow.hpp"
@@ -60,26 +76,87 @@ namespace {
 
 using namespace orion;
 
+using Flags = std::map<std::string, std::string>;
+
+int cmd_simulate(const Flags& flags);
+int cmd_aggregate(const Flags& flags);
+int cmd_filter(const Flags& flags);
+int cmd_detect(const Flags& flags);
+int cmd_export(const Flags& flags);
+int cmd_summary(const Flags& flags);
+int cmd_convert(const Flags& flags);
+int cmd_inspect(const Flags& flags);
+int cmd_diff(const Flags& flags);
+int cmd_flow_impact(const Flags& flags);
+int cmd_flow_convert(const Flags& flags);
+int cmd_flow_inspect(const Flags& flags);
+int cmd_serve_query(const Flags& flags);
+int cmd_cpu(const Flags& flags);
+int cmd_help(const Flags& flags);
+
+/// One subcommand: everything usage(), `orion_cli help` and main()'s
+/// dispatch need, in one row. Adding a command is adding a row.
+struct Command {
+  const char* name;
+  const char* synopsis;  // flag summary, shown by usage()
+  const char* brief;     // one-line description, shown by `help`
+  int (*handler)(const Flags& flags);
+};
+
+constexpr Command kCommands[] = {
+    {"simulate", "--out FILE [--scenario tiny|paper] [--year 2021|2022]",
+     "synthesize a darknet event dataset from a scenario", cmd_simulate},
+    {"aggregate", "--pcap FILE --darknet CIDR --out FILE [--timeout-min N]",
+     "aggregate a pcap into darknet events", cmd_aggregate},
+    {"filter", "--in FILE --out FILE [--darknet CIDR]",
+     "drop spoofed/misconfigured traffic from an event dataset", cmd_filter},
+    {"detect",
+     "--in FILE [--lists FILE] [--dispersion F] [--alpha2 F] [--alpha3 F]",
+     "run the three AH definitions and print per-definition counts",
+     cmd_detect},
+    {"export", "--in FILE --csv FILE", "export an event dataset as CSV",
+     cmd_export},
+    {"summary", "--in FILE", "print event dataset totals", cmd_summary},
+    {"convert", "--in FILE --out FILE [--format ode1|ode2] [--block-events N]",
+     "re-encode an event dataset (ODE1 rows <-> ODE2 columns)", cmd_convert},
+    {"inspect", "--in FILE", "verify an ODE1/ODE2 archive and print metadata",
+     cmd_inspect},
+    {"diff", "--old LISTS.csv --new LISTS.csv",
+     "diff two daily AH lists (churn, added, removed)", cmd_diff},
+    {"flow-impact",
+     "--in FILE [--flows FILE] [--scenario tiny|paper]\n"
+     "              [--year 2021|2022] [--days N] [--sampling-rate N]\n"
+     "              [--dispersion F]",
+     "join AH sources against border flows (Table 2 rows)", cmd_flow_impact},
+    {"flow-convert",
+     "--in FILE --out FILE [--block-flows N]\n"
+     "              [--sampling-rate N] [--router N]",
+     "lift FDE1/NetFlow-v5/CSV flows into an FDE1 archive", cmd_flow_convert},
+    {"flow-inspect", "--in FILE",
+     "verify an FDE1/NFV5/CSV flow input and print metadata",
+     cmd_flow_inspect},
+    {"serve-query",
+     "--port N [--host H] [--kind impact|info|ping]\n"
+     "              [--router N] [--day N] [--sources IP,IP,...] [--tenant NAME]",
+     "query a running orion_serve daemon over the OQP1 protocol",
+     cmd_serve_query},
+    {"cpu", "", "print the detected/active SIMD tier and CPU features",
+     cmd_cpu},
+    {"help", "", "list every command with a one-line description", cmd_help},
+};
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr <<
-      "usage: orion_cli <command> [options]\n"
-      "  simulate  --out FILE [--scenario tiny|paper] [--year 2021|2022]\n"
-      "  aggregate --pcap FILE --darknet CIDR --out FILE [--timeout-min N]\n"
-      "  filter    --in FILE --out FILE [--darknet CIDR]\n"
-      "  detect    --in FILE [--lists FILE] [--dispersion F] [--alpha2 F] [--alpha3 F]\n"
-      "  export    --in FILE --csv FILE\n"
-      "  summary   --in FILE\n"
-      "  convert   --in FILE --out FILE [--format ode1|ode2] [--block-events N]\n"
-      "  inspect   --in FILE\n"
-      "  diff      --old LISTS.csv --new LISTS.csv\n"
-      "  flow-impact --in FILE [--flows FILE] [--scenario tiny|paper]\n"
-      "              [--year 2021|2022] [--days N] [--sampling-rate N]\n"
-      "              [--dispersion F]\n"
-      "  flow-convert --in FILE --out FILE [--block-flows N]\n"
-      "              [--sampling-rate N] [--router N]\n"
-      "  flow-inspect --in FILE\n"
-      "  cpu       (print the detected/active SIMD tier and CPU features)\n";
+  std::cerr << "usage: orion_cli <command> [options]\n";
+  for (const Command& command : kCommands) {
+    std::string line = "  ";
+    line += command.name;
+    const std::size_t pad = line.size() < 14 ? 14 - line.size() : 1;
+    line.append(pad, ' ');
+    line += command.synopsis;
+    std::cerr << line << "\n";
+  }
+  std::cerr << "run `orion_cli help` for one-line descriptions\n";
   std::exit(2);
 }
 
@@ -573,12 +650,24 @@ int cmd_flow_inspect(const std::map<std::string, std::string>& flags) {
   try {
     const store::MappedFlowStore mapped(in);
     const std::size_t first_bad = mapped.verify_blocks();
+    // The store-facing half of the report goes through the same typed
+    // query the daemon serves — one StoreInfo request, one answer shape.
+    serve::EngineBackend backend;
+    backend.flows = &mapped;
+    serve::QueryRequest request;
+    request.kind = serve::QueryKind::StoreInfo;
+    const serve::QueryResponse response = serve::execute_query(request, backend);
+    if (response.status != serve::Status::Ok) {
+      std::cerr << "error: " << response.error << "\n";
+      return 1;
+    }
+    const serve::StoreInfoBody& info = response.info;
     report::Table table({"metric", "value"});
-    table.add_row({"sampling rate", "1:" + std::to_string(mapped.sampling_rate())});
-    table.add_row({"flows", report::fmt_count(mapped.flow_count())});
-    table.add_row({"segments", report::fmt_count(mapped.segments().size())});
-    table.add_row({"window", net::day_label(mapped.start_day()) + " .. " +
-                                 net::day_label(mapped.end_day() - 1)});
+    table.add_row({"sampling rate", "1:" + std::to_string(info.sampling_rate)});
+    table.add_row({"flows", report::fmt_count(info.flow_count)});
+    table.add_row({"segments", report::fmt_count(info.segment_count)});
+    table.add_row({"window", net::day_label(info.start_day) + " .. " +
+                                 net::day_label(info.end_day - 1)});
     table.add_row({"blocks", report::fmt_count(mapped.block_count()) + " x " +
                                  report::fmt_count(mapped.block_flows()) +
                                  " flows"});
@@ -686,10 +775,18 @@ int cmd_flow_impact(const std::map<std::string, std::string>& flags) {
     end_day = config.end_day;
   }
 
-  // The Table 2 rows: one query() per (router, day) cell fills impact,
-  // mixes and visibility in a single index probe. Cells an external
-  // archive never exported print as "-".
-  const impact::SourceSet sources(ah);
+  // The Table 2 rows: one typed FlowImpact query per (router, day) cell,
+  // executed by the same serve::execute_query the daemon runs — the CLI
+  // is just a local client of the unified query API. Cells an external
+  // archive never exported answer Status::NotFound and print as "-".
+  serve::EngineBackend backend;
+  backend.analyzer = &*analyzer;
+  if (mapped) backend.flows = &*mapped;
+  if (flows) backend.dataset = &*flows;
+  serve::QueryRequest request;
+  request.kind = serve::QueryKind::FlowImpact;
+  request.tenant = "cli";
+  request.sources.assign(ah.begin(), ah.end());
   report::Table table({"date", "router-1", "router-2", "router-3",
                        "visibility % (r1/r2/r3)"});
   for (std::int64_t day = start_day; day < end_day; ++day) {
@@ -697,14 +794,22 @@ int cmd_flow_impact(const std::map<std::string, std::string>& flags) {
     std::string visibility;
     for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
       if (router) visibility += " / ";
-      if (mapped && mapped->segment(router, day) == nullptr) {
+      request.router = static_cast<std::uint32_t>(router);
+      request.day = day;
+      const serve::QueryResponse response =
+          serve::execute_query(request, backend);
+      if (response.status == serve::Status::NotFound) {
         row.push_back("-");
         visibility += "-";
         continue;
       }
-      const impact::RouterDayReport report = analyzer->query(router, day, sources);
-      row.push_back(report::fmt_count(report.impact.matched_packets) + " (" +
-                    report::fmt_double(report.impact.percentage(), 2) + "%)");
+      if (response.status != serve::Status::Ok) {
+        std::cerr << "error: " << response.error << "\n";
+        return 1;
+      }
+      const serve::FlowImpactBody& report = response.impact;
+      row.push_back(report::fmt_count(report.matched_packets) + " (" +
+                    report::fmt_double(report.percentage(), 2) + "%)");
       visibility += report::fmt_double(report.visibility_percent(), 1);
     }
     row.push_back(visibility);
@@ -750,24 +855,116 @@ int cmd_summary(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_serve_query(const Flags& flags) {
+  serve::QueryRequest request;
+  request.tenant = get_or(flags, "tenant", "cli");
+  const std::string kind = get_or(flags, "kind", "impact");
+  if (kind == "ping") {
+    request.kind = serve::QueryKind::Ping;
+  } else if (kind == "info") {
+    request.kind = serve::QueryKind::StoreInfo;
+  } else if (kind == "impact") {
+    request.kind = serve::QueryKind::FlowImpact;
+    request.router =
+        static_cast<std::uint32_t>(std::stoul(require(flags, "router")));
+    request.day = std::stoll(require(flags, "day"));
+    std::stringstream list(get_or(flags, "sources", ""));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      if (item.empty()) continue;
+      const auto ip = net::Ipv4Address::parse(item);
+      if (!ip) {
+        std::cerr << "error: bad source address: " << item << "\n";
+        return 1;
+      }
+      request.sources.push_back(*ip);
+    }
+  } else {
+    usage("--kind must be impact, info or ping");
+  }
+
+  serve::Client client;
+  try {
+    client.connect(get_or(flags, "host", "127.0.0.1"),
+                   static_cast<std::uint16_t>(
+                       std::stoul(require(flags, "port"))));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  const serve::QueryResponse response = client.call(request);
+  if (response.status != serve::Status::Ok) {
+    std::cerr << "error: " << serve::to_string(response.status)
+              << (response.error.empty() ? "" : ": " + response.error)
+              << " (generation " << response.generation << ")\n";
+    return 1;
+  }
+  report::Table table({"metric", "value"});
+  table.add_row({"generation", report::fmt_count(response.generation)});
+  if (response.kind == serve::QueryKind::StoreInfo) {
+    const serve::StoreInfoBody& info = response.info;
+    table.add_row({"sampling rate", "1:" + std::to_string(info.sampling_rate)});
+    table.add_row({"flows", report::fmt_count(info.flow_count)});
+    table.add_row({"segments", report::fmt_count(info.segment_count)});
+    table.add_row({"window", net::day_label(info.start_day) + " .. " +
+                                 net::day_label(info.end_day - 1)});
+    table.add_row({"events", info.has_events
+                                 ? report::fmt_count(info.event_count)
+                                 : std::string("(not published)")});
+  } else if (response.kind == serve::QueryKind::FlowImpact) {
+    const serve::FlowImpactBody& body = response.impact;
+    table.add_row({"router-day", std::to_string(body.router) + " / " +
+                                     net::day_label(body.day)});
+    table.add_row({"matched packets",
+                   report::fmt_count(body.matched_packets) + " of " +
+                       report::fmt_count(body.total_packets) + " (" +
+                       report::fmt_double(body.percentage(), 2) + "%)"});
+    table.add_row({"matched sources",
+                   report::fmt_count(body.matched_sources) + " of " +
+                       report::fmt_count(body.probed_sources) + " (" +
+                       report::fmt_double(body.visibility_percent(), 1) +
+                       "% visible)"});
+    table.add_row({"protocol mix (tcp-syn/udp/icmp)",
+                   report::fmt_count(body.protocols[0]) + " / " +
+                       report::fmt_count(body.protocols[1]) + " / " +
+                       report::fmt_count(body.protocols[2])});
+    std::string top_ports;
+    std::vector<std::pair<std::uint16_t, std::uint64_t>> ports = body.ports;
+    std::sort(ports.begin(), ports.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (std::size_t i = 0; i < ports.size() && i < 5; ++i) {
+      if (i) top_ports += ", ";
+      top_ports += std::to_string(ports[i].first) + ":" +
+                   report::fmt_count(ports[i].second);
+    }
+    table.add_row({"top ports", top_ports.empty() ? "(none)" : top_ports});
+  } else {
+    table.add_row({"status", "ok (pong)"});
+  }
+  std::cout << table.to_ascii();
+  return 0;
+}
+
+int cmd_help(const Flags& flags) {
+  if (!flags.empty()) usage("help takes no options");
+  report::Table table({"command", "description"});
+  for (const Command& command : kCommands) {
+    table.add_row({command.name, command.brief});
+  }
+  std::cout << table.to_ascii();
+  std::cout << "\nusage: orion_cli <command> [--flag value ...]\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
-  if (command == "simulate") return cmd_simulate(flags);
-  if (command == "aggregate") return cmd_aggregate(flags);
-  if (command == "filter") return cmd_filter(flags);
-  if (command == "detect") return cmd_detect(flags);
-  if (command == "export") return cmd_export(flags);
-  if (command == "summary") return cmd_summary(flags);
-  if (command == "convert") return cmd_convert(flags);
-  if (command == "inspect") return cmd_inspect(flags);
-  if (command == "diff") return cmd_diff(flags);
-  if (command == "flow-impact") return cmd_flow_impact(flags);
-  if (command == "flow-convert") return cmd_flow_convert(flags);
-  if (command == "flow-inspect") return cmd_flow_inspect(flags);
-  if (command == "cpu") return cmd_cpu(flags);
+  for (const Command& entry : kCommands) {
+    if (command == entry.name) {
+      return entry.handler(parse_flags(argc, argv, 2));
+    }
+  }
   usage("unknown command: " + command);
 }

@@ -6,10 +6,11 @@
 // them by source into flat columns, and one query() probe — sorted,
 // pre-hashed sources with prefetch-ahead, mirroring
 // telescope::EventAggregator::observe_batch — fills every per-table
-// number (impact, protocol mix, port mix, visibility) at once. The
-// legacy one-table-per-call methods survive as deprecated wrappers, and
-// join_flow_index_scalar() pins their original scalar algorithm as the
-// equivalence/timing baseline (bench_flowjoin's gate).
+// number (impact, protocol mix, port mix, visibility) at once. query()
+// is the ONLY per-cell entry point — serve::execute_query and orion_cli
+// both go through it — and join_flow_index_scalar() pins the original
+// scalar algorithm as the equivalence/timing baseline (bench_flowjoin's
+// gate and the flowjoin_test scalar-join pin).
 #pragma once
 
 #include <array>
@@ -223,34 +224,6 @@ class FlowImpactAnalyzer {
 
   /// All router-days in the dataset window for one source set.
   std::vector<RouterDayImpact> impact_table(const detect::IpSet& sources) const;
-
-  /// Fraction (0-100) of `sources` that appear (>= 1 sampled flow) at a
-  /// router-day — Table 8's visibility percentages.
-  double visibility_percent(std::size_t router, std::int64_t day,
-                            const detect::IpSet& sources) const;
-
-  /// Impact of the given source set at one router-day (Table 2/4 cells).
-  [[deprecated("use query(); it fills every table in one probe")]]
-  RouterDayImpact impact(std::size_t router, std::int64_t day,
-                         const detect::IpSet& sources) const;
-
-  /// Deprecated asymmetric overload (every sibling takes an IpSet).
-  /// Duplicates no longer count twice: the list is collapsed to distinct
-  /// addresses, matching the IpSet overload. The paper's active lists are
-  /// sorted-unique, so their percentages are unchanged.
-  [[deprecated("use the detect::IpSet overload")]]
-  double visibility_percent(std::size_t router, std::int64_t day,
-                            const std::vector<net::Ipv4Address>& sources) const;
-
-  /// Flow-side protocol mix for matched sources (Table 3).
-  [[deprecated("use query(); it fills every table in one probe")]]
-  ProtocolMix protocol_mix(std::size_t router, std::int64_t day,
-                           const detect::IpSet& sources) const;
-
-  /// Flow-side per-port packet estimates for matched sources (Figure 5).
-  [[deprecated("use query(); it fills every table in one probe")]]
-  stats::TopK<std::uint16_t> port_mix(std::size_t router, std::int64_t day,
-                                      const detect::IpSet& sources) const;
 
  private:
   /// (router, day) as a real pair key. The previous cache packed both

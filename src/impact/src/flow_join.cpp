@@ -352,33 +352,6 @@ std::vector<RouterDayImpact> FlowImpactAnalyzer::impact_table(
   return out;
 }
 
-double FlowImpactAnalyzer::visibility_percent(
-    std::size_t router, std::int64_t day, const detect::IpSet& sources) const {
-  return query(router, day, sources).visibility_percent();
-}
-
-RouterDayImpact FlowImpactAnalyzer::impact(std::size_t router, std::int64_t day,
-                                           const detect::IpSet& sources) const {
-  return query(router, day, sources).impact;
-}
-
-double FlowImpactAnalyzer::visibility_percent(
-    std::size_t router, std::int64_t day,
-    const std::vector<net::Ipv4Address>& sources) const {
-  return query(router, day, SourceSet(sources)).visibility_percent();
-}
-
-ProtocolMix FlowImpactAnalyzer::protocol_mix(std::size_t router,
-                                             std::int64_t day,
-                                             const detect::IpSet& sources) const {
-  return query(router, day, sources).protocols;
-}
-
-stats::TopK<std::uint16_t> FlowImpactAnalyzer::port_mix(
-    std::size_t router, std::int64_t day, const detect::IpSet& sources) const {
-  return query(router, day, sources).ports;
-}
-
 namespace detail {
 
 template <typename Fn>

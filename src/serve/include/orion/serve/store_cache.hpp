@@ -1,0 +1,97 @@
+// Generation-keyed snapshot cache over a store::ArchiveDir — the
+// snapshot-isolation layer of orion_serve (DESIGN.md §16.4).
+//
+// A snapshot pins ONE manifest generation: the mmap'd FDE1 flow store
+// (and the ODE2 event store when published), plus a FlowImpactAnalyzer
+// whose per-(router, day) indexes are fully pre-built so concurrent
+// queries only ever read. Snapshots are handed out as shared_ptr — the
+// reference count IS the generation refcount: while any in-flight query
+// holds the pointer the old mapping stays alive, and the unmap happens on
+// the last release, never under a reader. refresh() re-reads the
+// manifest; when live_monitor / orion_serve --bootstrap publishes a new
+// generation (publish_many commits events + flows under one manifest
+// rename), the cache builds the new snapshot OFF to the side and swaps
+// the current pointer atomically. In-flight queries finish on the old
+// generation, new requests see the new one, and nobody ever observes a
+// half-loaded store.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "orion/impact/flow_join.hpp"
+#include "orion/serve/engine.hpp"
+#include "orion/store/archive.hpp"
+#include "orion/store/mapped.hpp"
+#include "orion/store/mapped_flow.hpp"
+
+namespace orion::serve {
+
+/// One immutable, query-ready view of a published generation.
+struct StoreSnapshot {
+  /// The manifest generation this snapshot pins (ArchiveDir::generation
+  /// at load time); echoed in every response served from it.
+  std::uint64_t generation = 0;
+  std::optional<store::MappedFlowStore> flows;
+  std::optional<store::MappedEventStore> events;
+  /// Points at *flows; index cache pre-built — read-only afterwards.
+  std::optional<impact::FlowImpactAnalyzer> analyzer;
+
+  EngineBackend backend() const {
+    EngineBackend b;
+    b.analyzer = analyzer ? &*analyzer : nullptr;
+    b.flows = flows ? &*flows : nullptr;
+    b.events = events ? &*events : nullptr;
+    b.generation = generation;
+    return b;
+  }
+};
+
+class StoreCache {
+ public:
+  /// Watches `archive_dir`'s manifest for the named artifacts. Does not
+  /// load anything yet — call refresh() (the daemon does so at startup
+  /// and on every poll tick).
+  explicit StoreCache(std::string archive_dir,
+                      std::string flows_artifact = "flows",
+                      std::string events_artifact = "events");
+
+  /// The live snapshot (nullptr before the first successful refresh).
+  /// Callers keep the shared_ptr for the whole query — that hold is what
+  /// defers the old generation's unmap across a concurrent swap.
+  std::shared_ptr<const StoreSnapshot> current() const;
+
+  /// Re-reads the manifest; when it names a generation newer than the
+  /// current snapshot (or there is no snapshot yet), loads the artifacts,
+  /// pre-builds every query index, and swaps. Returns true when a swap
+  /// happened. Missing archive/artifacts and corrupt manifests are not
+  /// errors — the previous snapshot simply stays live.
+  bool refresh();
+
+  /// Completed generation swaps since construction.
+  std::uint64_t swaps() const;
+
+  const std::string& archive_dir() const { return archive_dir_; }
+
+ private:
+  const std::string archive_dir_;
+  const std::string flows_artifact_;
+  const std::string events_artifact_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const StoreSnapshot> current_;
+  std::uint64_t swaps_ = 0;
+};
+
+/// Builds a snapshot for the CURRENT generation of an already-open
+/// archive (the daemon's startup path and the test seam; StoreCache uses
+/// it internally). Throws store::ArchiveError / std::runtime_error when
+/// the flows artifact is missing or damaged.
+std::shared_ptr<const StoreSnapshot> load_snapshot(
+    const store::ArchiveDir& archive, const std::string& flows_artifact,
+    const std::string& events_artifact);
+
+}  // namespace orion::serve

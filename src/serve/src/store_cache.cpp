@@ -1,0 +1,70 @@
+#include "orion/serve/store_cache.hpp"
+
+#include <utility>
+
+namespace orion::serve {
+
+std::shared_ptr<const StoreSnapshot> load_snapshot(
+    const store::ArchiveDir& archive, const std::string& flows_artifact,
+    const std::string& events_artifact) {
+  auto snapshot = std::make_shared<StoreSnapshot>();
+  snapshot->generation = archive.generation();
+  snapshot->flows.emplace(open_mapped_flows(archive, flows_artifact));
+  if (!events_artifact.empty() && archive.find(events_artifact)) {
+    snapshot->events.emplace(open_mapped_events(archive, events_artifact));
+  }
+  snapshot->analyzer.emplace(&*snapshot->flows);
+  // Pre-build every (router, day) index now: after this the analyzer is
+  // read-only and any number of daemon workers may query it concurrently.
+  snapshot->analyzer->prebuild_indexes();
+  return snapshot;
+}
+
+StoreCache::StoreCache(std::string archive_dir, std::string flows_artifact,
+                       std::string events_artifact)
+    : archive_dir_(std::move(archive_dir)),
+      flows_artifact_(std::move(flows_artifact)),
+      events_artifact_(std::move(events_artifact)) {}
+
+std::shared_ptr<const StoreSnapshot> StoreCache::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+bool StoreCache::refresh() {
+  // Manifest read + snapshot build happen OUTSIDE the lock: queries keep
+  // being served from the old snapshot while the new generation's mmap
+  // and index builds proceed. refresh() itself is called from one thread
+  // (the daemon's event loop / the test driver).
+  std::uint64_t live_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_generation = current_ ? current_->generation : 0;
+  }
+  std::shared_ptr<const StoreSnapshot> fresh;
+  try {
+    const store::ArchiveDir archive(archive_dir_);
+    if (archive.generation() == live_generation || !archive.find(flows_artifact_)) {
+      return false;
+    }
+    fresh = load_snapshot(archive, flows_artifact_, events_artifact_);
+  } catch (const std::exception&) {
+    // Corrupt manifest, damaged artifact, vanished directory: keep
+    // serving the generation we have. recover_archive() is the operator's
+    // tool; a watcher must not take the service down.
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // The old snapshot's shared_ptr may live on in any in-flight query;
+  // its mmap is unmapped when the last holder releases it.
+  current_ = std::move(fresh);
+  ++swaps_;
+  return true;
+}
+
+std::uint64_t StoreCache::swaps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return swaps_;
+}
+
+}  // namespace orion::serve

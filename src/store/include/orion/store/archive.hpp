@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "orion/netbase/io.hpp"
+#include "orion/store/fde1.hpp"
 #include "orion/store/ode2.hpp"
 
 namespace orion::store {
@@ -141,12 +142,33 @@ class ArchiveError : public std::runtime_error {
 RecoverReport recover_archive(const std::string& dir);
 
 class MappedEventStore;
+class MappedFlowStore;
 
 /// Publishes `dataset` as the live ODE2 artifact `name` (atomic swap).
 ManifestEntry publish_events_ode2(
     ArchiveDir& archive, const std::string& name,
     const telescope::EventDataset& dataset,
     std::uint64_t block_events = kOde2DefaultBlockEvents);
+
+/// Publishes a whole flow window as the live FDE1 artifact `name`
+/// through the §13 write-ahead protocol — the crash-safe at-rest form of
+/// live flow collection (the ROADMAP FDE1 follow-on).
+ManifestEntry publish_flows_fde1(
+    ArchiveDir& archive, const std::string& name,
+    const flowsim::FlowDataset& flows,
+    std::uint64_t block_flows = kFde1DefaultBlockFlows);
+
+/// Writer factories for ArchiveDir::publish_many composition: publish an
+/// event store and a flow archive under ONE manifest commit, so a
+/// watching daemon (serve::StoreCache) sees both generations flip in the
+/// same atomic instant. The referenced dataset must outlive the publish
+/// call; the writers borrow it.
+ArchiveDir::Writer events_ode2_writer(
+    const telescope::EventDataset& dataset,
+    std::uint64_t block_events = kOde2DefaultBlockEvents);
+ArchiveDir::Writer flows_fde1_writer(
+    const flowsim::FlowDataset& flows,
+    std::uint64_t block_flows = kFde1DefaultBlockFlows);
 
 /// Opens the live generation of `name` as a zero-copy store. Resolution
 /// goes through the manifest, so orphaned temporaries and partial
@@ -155,5 +177,10 @@ ManifestEntry publish_events_ode2(
 /// published (or its file was damaged to a different size).
 MappedEventStore open_mapped_events(const ArchiveDir& archive,
                                     const std::string& name);
+
+/// Flow-side sibling of open_mapped_events: the live FDE1 generation of
+/// `name`, size-checked against the manifest.
+MappedFlowStore open_mapped_flows(const ArchiveDir& archive,
+                                  const std::string& name);
 
 }  // namespace orion::store

@@ -7,6 +7,7 @@
 #include "layout.hpp"
 #include "orion/netbase/crc32.hpp"
 #include "orion/store/mapped.hpp"
+#include "orion/store/mapped_flow.hpp"
 
 namespace orion::store {
 
@@ -394,9 +395,27 @@ RecoverReport recover_archive(const std::string& dir) {
 ManifestEntry publish_events_ode2(ArchiveDir& archive, const std::string& name,
                                   const telescope::EventDataset& dataset,
                                   std::uint64_t block_events) {
-  return archive.publish(name, [&](net::io::File& f) {
+  return archive.publish(name, events_ode2_writer(dataset, block_events));
+}
+
+ManifestEntry publish_flows_fde1(ArchiveDir& archive, const std::string& name,
+                                 const flowsim::FlowDataset& flows,
+                                 std::uint64_t block_flows) {
+  return archive.publish(name, flows_fde1_writer(flows, block_flows));
+}
+
+ArchiveDir::Writer events_ode2_writer(const telescope::EventDataset& dataset,
+                                      std::uint64_t block_events) {
+  return [&dataset, block_events](net::io::File& f) {
     write_events_ode2(dataset, f, block_events);
-  });
+  };
+}
+
+ArchiveDir::Writer flows_fde1_writer(const flowsim::FlowDataset& flows,
+                                     std::uint64_t block_flows) {
+  return [&flows, block_flows](net::io::File& f) {
+    write_flows_fde1(flows, f, block_flows);
+  };
 }
 
 MappedEventStore open_mapped_events(const ArchiveDir& archive,
@@ -406,6 +425,19 @@ MappedEventStore open_mapped_events(const ArchiveDir& archive,
     throw ArchiveError("no live artifact '" + name + "' in " + archive.dir());
   }
   MappedEventStore store(archive.path_of(*entry));
+  if (store.file_bytes() != entry->bytes) {
+    throw ArchiveError("artifact '" + name + "' size differs from manifest");
+  }
+  return store;
+}
+
+MappedFlowStore open_mapped_flows(const ArchiveDir& archive,
+                                  const std::string& name) {
+  const auto entry = archive.find(name);
+  if (!entry) {
+    throw ArchiveError("no live artifact '" + name + "' in " + archive.dir());
+  }
+  MappedFlowStore store(archive.path_of(*entry));
   if (store.file_bytes() != entry->bytes) {
     throw ArchiveError("artifact '" + name + "' size differs from manifest");
   }

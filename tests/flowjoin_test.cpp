@@ -17,9 +17,10 @@
 #include "orion/impact/flow_join.hpp"
 #include "orion/scangen/scenario.hpp"
 
-// The equivalence half of this suite compares the new query() against the
-// deprecated one-table-per-call wrappers on purpose.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// The equivalence half of this suite pins query() against the scalar
+// reference join (query_scalar) on every router-day — the one test that
+// keeps the batched probe honest now that the legacy one-table-per-call
+// wrappers are gone.
 
 namespace orion::impact {
 namespace {
@@ -341,34 +342,6 @@ TEST(FlowJoin, EmptyRouterDayAndEmptySources) {
   expect_same_report(tiny_analyzer.query(0, 2, none),
                      tiny_analyzer.query_scalar(0, 2, none));
   EXPECT_DOUBLE_EQ(tiny_analyzer.query(0, 2, none).visibility_percent(), 0.0);
-}
-
-TEST(FlowJoin, QueryMatchesLegacyFourCalls) {
-  const auto flows = tiny_flows();
-  const detect::IpSet ips = tiny_sources();
-  FlowImpactAnalyzer analyzer(&flows);
-  for (std::size_t router = 0; router < flowsim::kRouterCount; ++router) {
-    for (std::int64_t day = flows.start_day(); day < flows.end_day(); ++day) {
-      const RouterDayReport report = analyzer.query(router, day, ips);
-
-      const RouterDayImpact legacy = analyzer.impact(router, day, ips);
-      EXPECT_EQ(report.impact.matched_packets, legacy.matched_packets);
-      EXPECT_EQ(report.impact.total_packets, legacy.total_packets);
-      EXPECT_EQ(report.impact.matched_sources, legacy.matched_sources);
-      EXPECT_EQ(report.impact.router, legacy.router);
-      EXPECT_EQ(report.impact.day, legacy.day);
-
-      EXPECT_EQ(report.protocols, analyzer.protocol_mix(router, day, ips));
-      EXPECT_EQ(report.ports.counts(),
-                analyzer.port_mix(router, day, ips).counts());
-      EXPECT_DOUBLE_EQ(report.visibility_percent(),
-                       analyzer.visibility_percent(router, day, ips));
-      // And the legacy vector overload (unique list) agrees too.
-      const std::vector<net::Ipv4Address> as_vector(ips.begin(), ips.end());
-      EXPECT_DOUBLE_EQ(report.visibility_percent(),
-                       analyzer.visibility_percent(router, day, as_vector));
-    }
-  }
 }
 
 TEST(FlowJoin, SourceSetCollapsesDuplicates) {

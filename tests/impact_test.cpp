@@ -6,10 +6,9 @@
 #include "orion/impact/stream_join.hpp"
 #include "orion/scangen/scenario.hpp"
 
-// This suite deliberately exercises the deprecated one-table-per-call
-// wrappers: they must keep compiling and returning query()-identical
-// values (tests/flowjoin_test.cpp checks the equivalence directly).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Every per-cell number comes from query(): since the serve redesign the
+// one-probe API is the analyzer's only per-cell surface (the wrappers are
+// gone; tests/flowjoin_test.cpp pins query() against the scalar join).
 
 namespace orion::impact {
 namespace {
@@ -47,15 +46,15 @@ TEST(FlowImpact, PercentagesFromSampledEstimates) {
   FlowImpactAnalyzer analyzer(&flows);
   const detect::IpSet ah = {ip("203.0.113.1")};
 
-  const RouterDayImpact impact = analyzer.impact(0, 10, ah);
+  const RouterDayImpact impact = analyzer.query(0, 10, ah).impact;
   EXPECT_EQ(impact.matched_packets, 40000u);
   EXPECT_EQ(impact.total_packets, 1000000u);
   EXPECT_DOUBLE_EQ(impact.percentage(), 4.0);
   EXPECT_EQ(impact.matched_sources, 1u);
 
   // Router with no AH flows.
-  EXPECT_EQ(analyzer.impact(1, 10, ah).matched_packets, 0u);
-  EXPECT_DOUBLE_EQ(analyzer.impact(1, 10, ah).percentage(), 0.0);
+  EXPECT_EQ(analyzer.query(1, 10, ah).impact.matched_packets, 0u);
+  EXPECT_DOUBLE_EQ(analyzer.query(1, 10, ah).impact.percentage(), 0.0);
 }
 
 TEST(FlowImpact, ImpactTableCoversAllRouterDays) {
@@ -68,21 +67,17 @@ TEST(FlowImpact, ImpactTableCoversAllRouterDays) {
 TEST(FlowImpact, VisibilityPercent) {
   const auto flows = hand_dataset();
   FlowImpactAnalyzer analyzer(&flows);
-  const std::vector<net::Ipv4Address> ah = {ip("203.0.113.1"), ip("203.0.113.9")};
-  EXPECT_DOUBLE_EQ(analyzer.visibility_percent(0, 10, ah), 50.0);
-  EXPECT_DOUBLE_EQ(analyzer.visibility_percent(1, 10, ah), 0.0);
-  EXPECT_DOUBLE_EQ(
-      analyzer.visibility_percent(0, 10, std::vector<net::Ipv4Address>{}), 0.0);
-  // The unified IpSet overload agrees with the legacy vector one.
-  EXPECT_DOUBLE_EQ(
-      analyzer.visibility_percent(0, 10, detect::IpSet(ah.begin(), ah.end())),
-      50.0);
+  const detect::IpSet ah = {ip("203.0.113.1"), ip("203.0.113.9")};
+  EXPECT_DOUBLE_EQ(analyzer.query(0, 10, ah).visibility_percent(), 50.0);
+  EXPECT_DOUBLE_EQ(analyzer.query(1, 10, ah).visibility_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(analyzer.query(0, 10, detect::IpSet{}).visibility_percent(),
+                   0.0);
 }
 
 TEST(FlowImpact, ProtocolMixScalesSampledCounts) {
   const auto flows = hand_dataset();
   FlowImpactAnalyzer analyzer(&flows);
-  const ProtocolMix mix = analyzer.protocol_mix(0, 10, {ip("203.0.113.1")});
+  const ProtocolMix mix = analyzer.query(0, 10, {ip("203.0.113.1")}).protocols;
   EXPECT_EQ(mix[0], 30000u);  // TCP-SYN
   EXPECT_EQ(mix[1], 10000u);  // UDP
   EXPECT_EQ(mix[2], 0u);      // ICMP
@@ -91,7 +86,7 @@ TEST(FlowImpact, ProtocolMixScalesSampledCounts) {
 TEST(FlowImpact, PortMix) {
   const auto flows = hand_dataset();
   FlowImpactAnalyzer analyzer(&flows);
-  const auto ports = analyzer.port_mix(0, 10, {ip("203.0.113.1")});
+  const auto ports = analyzer.query(0, 10, {ip("203.0.113.1")}).ports;
   EXPECT_EQ(ports.count(23), 30000u);
   EXPECT_EQ(ports.count(53), 10000u);
   EXPECT_EQ(ports.count(80), 0u);  // non-AH source excluded
